@@ -1,0 +1,155 @@
+"""Shared state for the paper-reproduction benchmarks.
+
+Every table and figure of the paper's evaluation has one benchmark file;
+they share a session-scoped benchmark build and session-scoped trained
+models, so `pytest benchmarks/ --benchmark-only` regenerates the whole
+evaluation in one pass.
+
+Two profiles (env var ``REPRO_BENCH_PROFILE``):
+
+* ``standard`` (default) — a ~2,000-pair benchmark and fully trained
+  models; the whole suite takes tens of minutes on CPU and reproduces
+  the paper's shapes.
+* ``quick`` — miniature sizes for smoke-testing the harness (~3 min).
+
+Each benchmark prints its paper-style table and also appends it to
+``benchmarks/results/summary.txt`` so the output survives pytest's
+capture.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.core.nvbench import NVBench, NVBenchConfig, build_nvbench
+from repro.eval.crowd import HumanStudySimulator, StudyConfig, StudyResult
+from repro.eval.harness import (
+    EvaluationReport,
+    ExperimentConfig,
+    train_and_evaluate,
+)
+from repro.neural.model import Seq2Vis
+from repro.neural.trainer import TrainConfig
+from repro.spider.corpus import CorpusConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@dataclass(frozen=True)
+class BenchProfile:
+    name: str
+    num_databases: int
+    pairs_per_database: int
+    row_scale: float
+    hidden_dim: int
+    embed_dim: int
+    epochs: int
+    batch_size: int
+    injection_pair_budget: int
+    injection_epochs: int
+    injection_hidden: int
+    covid_epochs: int
+
+
+PROFILES = {
+    "standard": BenchProfile(
+        name="standard",
+        num_databases=30,
+        pairs_per_database=16,
+        row_scale=0.5,
+        hidden_dim=96,
+        embed_dim=56,
+        epochs=24,
+        batch_size=24,
+        injection_pair_budget=900,
+        injection_epochs=10,
+        injection_hidden=64,
+        covid_epochs=24,
+    ),
+    "quick": BenchProfile(
+        name="quick",
+        num_databases=10,
+        pairs_per_database=8,
+        row_scale=0.4,
+        hidden_dim=48,
+        embed_dim=32,
+        epochs=5,
+        batch_size=16,
+        injection_pair_budget=250,
+        injection_epochs=3,
+        injection_hidden=40,
+        covid_epochs=5,
+    ),
+}
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / "summary.txt", "a") as handle:
+        handle.write(banner)
+
+
+@pytest.fixture(scope="session")
+def profile() -> BenchProfile:
+    name = os.environ.get("REPRO_BENCH_PROFILE", "standard")
+    if name not in PROFILES:
+        raise ValueError(f"unknown REPRO_BENCH_PROFILE {name!r}")
+    return PROFILES[name]
+
+
+@pytest.fixture(scope="session")
+def bench(profile: BenchProfile) -> NVBench:
+    """The session's nvBench-style benchmark."""
+    config = NVBenchConfig(
+        corpus=CorpusConfig(
+            num_databases=profile.num_databases,
+            pairs_per_database=profile.pairs_per_database,
+            row_scale=profile.row_scale,
+            seed=7,
+        ),
+        filter_training_pairs=80,
+        seed=7,
+    )
+    return build_nvbench(config=config)
+
+
+@pytest.fixture(scope="session")
+def study(bench: NVBench) -> StudyResult:
+    """The simulated expert/crowd validation study over the benchmark."""
+    simulator = HumanStudySimulator(StudyConfig(sample_fraction=0.25, seed=17))
+    return simulator.run(bench.pairs)
+
+
+@pytest.fixture(scope="session")
+def experiment_config(profile: BenchProfile) -> ExperimentConfig:
+    return ExperimentConfig(
+        embed_dim=profile.embed_dim,
+        hidden_dim=profile.hidden_dim,
+        train=TrainConfig(
+            epochs=profile.epochs,
+            batch_size=profile.batch_size,
+            lr=5e-3,
+            clip_norm=5.0,
+            patience=5,
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def trained_models(
+    bench: NVBench, experiment_config: ExperimentConfig
+) -> Dict[str, Tuple[Seq2Vis, EvaluationReport]]:
+    """All three seq2vis variants, trained once and shared by the
+    Figure 17 / Table 4 / Table 5 benchmarks."""
+    models: Dict[str, Tuple[Seq2Vis, EvaluationReport]] = {}
+    for variant in ("basic", "attention", "copy"):
+        models[variant] = train_and_evaluate(bench, variant, experiment_config)
+    return models

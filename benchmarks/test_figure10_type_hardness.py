@@ -1,0 +1,46 @@
+"""Figure 10: distribution of visualizations across type × hardness.
+
+Paper shape: medium is the most common hardness (38.64%), and the bar
+family holds the largest share at every hardness level.
+"""
+
+from collections import Counter
+
+from conftest import emit
+
+from repro.core.hardness import HARDNESS_LEVELS
+from repro.grammar.ast_nodes import VIS_TYPES
+
+
+def test_figure10_type_vs_hardness(benchmark, bench):
+    matrix = benchmark.pedantic(bench.type_hardness_matrix, rounds=1, iterations=1)
+
+    header = f"{'vis type':17s} " + " ".join(f"{h:>11s}" for h in HARDNESS_LEVELS)
+    lines = [header]
+    for vis_type in VIS_TYPES:
+        row = [matrix.get((vis_type, hardness), 0) for hardness in HARDNESS_LEVELS]
+        if sum(row) == 0:
+            continue
+        lines.append(f"{vis_type:17s} " + " ".join(f"{c:11d}" for c in row))
+    totals = Counter()
+    for (vis_type, hardness), count in matrix.items():
+        totals[hardness] += count
+    total = sum(totals.values())
+    lines.append(
+        "hardness shares: "
+        + "  ".join(f"{h}: {totals.get(h, 0) / total:.1%}" for h in HARDNESS_LEVELS)
+        + "   (paper: medium largest at 38.64%)"
+    )
+    emit("Figure 10 — vis types vs hardness", "\n".join(lines))
+
+    # Medium is the most common hardness, as in the paper.
+    assert totals["medium"] == max(totals.values())
+    # Bars dominate overall.
+    bar_total = sum(
+        count for (vis_type, _), count in matrix.items()
+        if vis_type in ("bar", "stacked bar")
+    )
+    assert bar_total / total > 0.5
+    # Extra hard is the rarest populated tier.
+    assert totals["extra hard"] <= totals["medium"]
+    assert totals["extra hard"] <= totals["hard"]

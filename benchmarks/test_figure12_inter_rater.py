@@ -1,0 +1,37 @@
+"""Figure 12: inter-rater reliability on 50 overlap pairs (task T2).
+
+Paper shape: 22/50 pairs fully agree, most of the rest differ by at most
+one Likert step, and only a couple of pairs show a spread of two.
+"""
+
+from conftest import emit
+
+from repro.eval.crowd import interrater_sample
+
+
+def test_figure12_inter_rater_reliability(benchmark, study):
+    sample = benchmark.pedantic(
+        lambda: interrater_sample(study, sample=50), rounds=1, iterations=1
+    )
+
+    fully = mainly = disagree = 0
+    for _, ratings in sample:
+        spread = max(ratings) - min(ratings)
+        if spread == 0:
+            fully += 1
+        elif spread == 1:
+            mainly += 1
+        else:
+            disagree += 1
+    lines = [
+        f"overlap pairs: {len(sample)}",
+        f"fully agree (spread 0): {fully}   (paper: 22)",
+        f"mainly agree (spread 1): {mainly}",
+        f"spread >= 2: {disagree}   (paper: 2)",
+        "sample boxplot data (x, ratings): "
+        + "  ".join(f"{x}:{sorted(r)}" for x, r in sample[:8]),
+    ]
+    emit("Figure 12 — inter-rater reliability (T2)", "\n".join(lines))
+
+    assert fully + mainly >= disagree * 2, "raters should mostly agree"
+    assert fully >= 5

@@ -1,0 +1,45 @@
+"""Figure 13: expert/crowd evaluation of the synthesized pairs.
+
+Paper values: T1 (reads handwritten) — experts 81.1% agree+, crowd
+85.6% agree+; T2 (NL matches vis) — experts 86.9% agree+, crowd 88.7%
+agree+; only ~6% rated disagree or worse in either task.
+"""
+
+from conftest import emit
+
+PAPER = {
+    ("t1", "expert"): 0.811,
+    ("t1", "crowd"): 0.856,
+    ("t2", "expert"): 0.869,
+    ("t2", "crowd"): 0.887,
+}
+
+
+def test_figure13_expert_and_crowd_evaluation(benchmark, study):
+    def summarize():
+        rows = {}
+        for task in ("t1", "t2"):
+            for population in ("expert", "crowd"):
+                rows[(task, population)] = (
+                    study.distribution(task, population),
+                    study.agree_fraction(task, population),
+                )
+        return rows
+
+    rows = benchmark.pedantic(summarize, rounds=1, iterations=1)
+
+    lines = [f"rated pairs: {len(study.rated)}"]
+    for (task, population), (dist, agree) in rows.items():
+        label = "machine-or-handwritten" if task == "t1" else "NL-matches-vis"
+        lines.append(
+            f"{task.upper()} ({label}) {population:6s}: agree+ {agree:.1%} "
+            f"(paper {PAPER[(task, population)]:.1%})  "
+            + "  ".join(f"{k}: {v:.1%}" for k, v in dist.items())
+        )
+    emit("Figure 13 — expert/crowd evaluation", "\n".join(lines))
+
+    for (task, population), (_, agree) in rows.items():
+        # Same headline: a solid majority rates pairs agree or better.
+        assert agree > 0.6, f"{task}/{population} agree+ too low: {agree:.2f}"
+    # T2 (matching) is not lower than T1 (naturalness) for experts.
+    assert rows[("t2", "expert")][1] >= rows[("t1", "expert")][1] - 0.05

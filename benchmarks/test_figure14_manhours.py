@@ -1,0 +1,40 @@
+"""Figure 14 + Section 3.3 man-hour accounting.
+
+Paper values: writing one NL query takes 37-411 s (median 82, mean 140);
+building all of nvBench by hand would take ~42 days, versus ~2.4 days of
+manual deletion-revision with the synthesizer — a reduction to 5.7%
+(17.5× fewer man-hours).
+"""
+
+import numpy as np
+
+from conftest import emit
+
+from repro.eval.crowd import HumanStudySimulator
+
+
+def test_figure14_time_and_manhour_reduction(benchmark, bench, study):
+    simulator = HumanStudySimulator()
+
+    def account():
+        times = np.asarray(study.t3_times)
+        return times, simulator.manhour_reduction(bench.pairs)
+
+    times, accounting = benchmark.pedantic(account, rounds=1, iterations=1)
+
+    lines = [
+        f"T3 handwriting times (s): min {times.min():.0f}  "
+        f"median {np.median(times):.0f}  mean {times.mean():.0f}  "
+        f"max {times.max():.0f}   (paper: 37 / 82 / 140 / 411)",
+        f"manual-from-scratch estimate: {accounting['scratch_minutes']:.0f} min "
+        f"for {len(bench.pairs)} NL queries",
+        f"synthesizer manual-revision time: "
+        f"{accounting['synthesizer_minutes']:.0f} min",
+        f"man-hour ratio: {accounting['ratio']:.1%} "
+        f"(paper: 5.7%)   speedup: {accounting['speedup']:.1f}x (paper: 17.5x)",
+    ]
+    emit("Figure 14 — man-hour accounting", "\n".join(lines))
+
+    assert 37 <= np.median(times) <= 200
+    assert accounting["ratio"] < 0.35
+    assert accounting["speedup"] > 3

@@ -1,0 +1,55 @@
+"""Figure 16: train/test distribution heatmaps.
+
+The paper shows that the random 80/4.5/15.5 split leaves the train and
+test sets with near-identical distributions over vis type × hardness
+(and both close to the full-benchmark distribution of Figure 10).
+"""
+
+from collections import Counter
+
+from conftest import emit
+
+from repro.core.hardness import HARDNESS_LEVELS
+from repro.eval.splits import split_pairs
+from repro.grammar.ast_nodes import VIS_TYPES
+
+
+def _distribution(pairs):
+    counts = Counter((pair.vis_type, pair.hardness.value) for pair in pairs)
+    total = max(sum(counts.values()), 1)
+    return {key: value / total for key, value in counts.items()}
+
+
+def test_figure16_split_distributions(benchmark, bench):
+    def run():
+        train, val, test = split_pairs(bench.pairs, seed=0)
+        return train, val, test, _distribution(train), _distribution(test)
+
+    train, val, test, train_dist, test_dist = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    lines = [
+        f"split sizes: train {len(train)} / val {len(val)} / test {len(test)} "
+        f"(paper: 20,598 / 1,162 / 3,990)"
+    ]
+    header = f"{'cell (type, hardness)':34s} {'train':>8s} {'test':>8s}"
+    lines.append(header)
+    keys = sorted(set(train_dist) | set(test_dist))
+    for key in keys:
+        vis_type, hardness = key
+        lines.append(
+            f"{vis_type + ' / ' + hardness:34s} "
+            f"{train_dist.get(key, 0.0):8.3f} {test_dist.get(key, 0.0):8.3f}"
+        )
+    l1 = sum(abs(train_dist.get(k, 0) - test_dist.get(k, 0)) for k in keys)
+    lines.append(f"L1 distance between train and test distributions: {l1:.3f}")
+    emit("Figure 16 — train/test split distributions", "\n".join(lines))
+
+    # Ratios per the paper.
+    total = len(bench.pairs)
+    assert abs(len(train) / total - 0.80) < 0.01
+    assert abs(len(test) / total - 0.155) < 0.02
+    # Similar distributions across splits (tolerance widens with the
+    # sampling noise of a small test split).
+    assert l1 < max(0.30, 4.0 / len(test) ** 0.5)

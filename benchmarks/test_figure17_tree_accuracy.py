@@ -1,0 +1,69 @@
+"""Figure 17: vis tree matching accuracy of the three seq2vis variants.
+
+Paper shape: seq2vis+attention is best on average (65.69% — "matches the
+state of the art of nl2sql"), copying beats basic overall (+7.97% in the
+paper), and accuracy degrades from easy to (extra) hard, with sparse
+type × hardness cells behaving noisily.
+"""
+
+from conftest import emit
+
+from repro.core.hardness import HARDNESS_LEVELS
+from repro.grammar.ast_nodes import VIS_TYPES
+
+
+def test_figure17_tree_matching_accuracy(benchmark, trained_models, profile):
+    reports = benchmark.pedantic(
+        lambda: {variant: report for variant, (_, report) in trained_models.items()},
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = ["(a) overall vis tree matching accuracy:"]
+    for variant, report in reports.items():
+        lines.append(
+            f"    seq2vis {variant:10s}: {report.tree_accuracy:.1%} "
+            f"(result matching: {report.result_accuracy:.1%})"
+        )
+    lines.append("    (paper: attention best at 65.69%)")
+
+    lines.append("(b) accuracy by hardness:")
+    for variant, report in reports.items():
+        by_hardness = report.tree_accuracy_by_hardness()
+        lines.append(
+            f"    {variant:10s}: "
+            + "  ".join(f"{h}: {by_hardness.get(h, 0.0):.1%}" for h in HARDNESS_LEVELS)
+        )
+
+    lines.append("(c)-(e) accuracy by vis type:")
+    for variant, report in reports.items():
+        by_type = report.tree_accuracy_by_type()
+        lines.append(
+            f"    {variant:10s}: "
+            + "  ".join(f"{t}: {v:.1%}" for t, v in by_type.items())
+        )
+    emit("Figure 17 — seq2vis tree matching accuracy", "\n".join(lines))
+
+    lines = ["error analysis (dominant wrong-prediction categories):"]
+    for variant, report in reports.items():
+        counts = report.error_analysis().category_counts().most_common(3)
+        lines.append(f"    {variant:10s}: " + "  ".join(f"{c}:{n}" for c, n in counts))
+    emit("Figure 17 (cont.) — error analysis", "\n".join(lines))
+
+    if profile.name != "standard":
+        return  # quick profile smoke-tests the harness, not the model
+    attention = reports["attention"]
+    basic = reports["basic"]
+    copy = reports["copy"]
+    # Attention beats the basic encoder-decoder decisively (paper's
+    # ordering).  NOTE: on this synthetic corpus the copy variant can
+    # exceed attention — schema-token copying dominates when column
+    # names carry most of the output; EXPERIMENTS.md discusses this
+    # deviation from the paper's exact ordering.
+    assert attention.tree_accuracy >= basic.tree_accuracy + 0.10
+    assert copy.tree_accuracy >= basic.tree_accuracy + 0.10
+    # The attention model genuinely learns the task (paper: 65.7%).
+    assert attention.tree_accuracy > 0.25
+    # Result matching is at least as forgiving as tree matching.
+    for report in reports.values():
+        assert report.result_accuracy >= report.tree_accuracy - 0.02

@@ -1,0 +1,94 @@
+"""Figure 19: case study with COVID-19 data.
+
+Protocol (Section 4.6): experts write NL queries for the JHU-dashboard
+visualizations; seq2vis must produce the matching VIS trees over the
+COVID-19 table.  Paper result: 5 of 6 queries succeed; the failure
+contains "until today", which cannot be grounded to a date literal.
+"""
+
+from conftest import emit
+
+from repro.eval.covid_case import attach_covid, case_study_queries
+from repro.eval.harness import ExperimentConfig, build_model, make_datasets
+from repro.eval.metrics import tree_match
+from repro.grammar.serialize import from_tokens
+from repro.neural.data import encode_example
+from repro.neural.trainer import TrainConfig, train_model
+
+
+def test_figure19_covid_case_study(benchmark, bench, profile):
+    # attach_covid mutates its bench, so work on a copy — the session
+    # fixture is shared with the Table 2-5 benchmarks.
+    from repro.core.nvbench import NVBench
+    from repro.spider.corpus import SpiderCorpus
+
+    bench = NVBench(
+        corpus=SpiderCorpus(
+            databases=dict(bench.corpus.databases),
+            pairs=list(bench.corpus.pairs),
+        ),
+        pairs=list(bench.pairs),
+    )
+    database = attach_covid(bench, n_pairs=500, seed=29)
+    config = ExperimentConfig(
+        embed_dim=profile.embed_dim,
+        hidden_dim=profile.hidden_dim,
+        train=TrainConfig(
+            epochs=profile.covid_epochs, batch_size=profile.batch_size,
+            lr=5e-3, clip_norm=5.0, patience=6,
+        ),
+    )
+    train_set, val_set, _ = make_datasets(bench, config)
+    # The copy variant is the right tool here: the COVID schema's six
+    # near-synonymous measures must be produced by pointing at schema
+    # tokens, which is exactly what the copy mechanism buys (Section 4.1).
+    model = build_model("copy", train_set, config)
+    train_model(model, train_set, val_set, config.train)
+
+    queries = case_study_queries()
+
+    def predict_all():
+        outcomes = []
+        for case in queries:
+            # Encode the handwritten NL against the COVID schema.
+            fake_pair = type(
+                "P", (), {"nl": case.nl, "vis": case.gold, "db_name": database.name}
+            )
+            example = encode_example(fake_pair, database)
+            batch = train_set.batch_of([example])
+            decoded = model.greedy_decode(
+                batch, train_set.out_vocab.bos_id, train_set.out_vocab.eos_id
+            )[0]
+            tokens = train_set.out_vocab.decode(decoded)
+            try:
+                predicted = from_tokens(tokens)
+            except Exception:
+                predicted = None
+            matched = tree_match(predicted, case.gold)
+            outcomes.append((case, matched, tokens))
+        return outcomes
+
+    outcomes = benchmark.pedantic(predict_all, rounds=1, iterations=1)
+
+    lines = []
+    successes = 0
+    for case, matched, tokens in outcomes:
+        flag = "OK  " if matched else "FAIL"
+        successes += matched
+        lines.append(f"[{flag}] {case.nl}")
+        if not matched:
+            note = case.note or "prediction differs from the gold tree"
+            lines.append(f"       -> {note}")
+            lines.append(f"       predicted: {' '.join(tokens)[:90]}")
+    lines.append(f"result: {successes}/6 predicted (paper: 5/6)")
+    emit("Figure 19 — COVID-19 case study", "\n".join(lines))
+
+    # The "until today" query must fail (ungroundable filter) at any
+    # profile; success counts only mean something with a trained model.
+    until_today = [o for o in outcomes if not o[0].expected_success][0]
+    assert not until_today[1]
+    if profile.name != "standard":
+        return
+    expected_successes = [o for o in outcomes if o[0].expected_success]
+    # The headline shape: most dashboard queries work.
+    assert sum(m for _, m, _ in expected_successes) >= 3

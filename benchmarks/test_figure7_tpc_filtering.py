@@ -1,0 +1,82 @@
+"""Figure 7: DeepEye-style filtering on TPC-H / TPC-DS style charts.
+
+The paper's four demonstrations:
+(a) TPC-H Q20-style  — a pie with one slice per supplier: too many
+    slices → filtered out (bad);
+(b) TPC-H Q8-style   — market share over order years: a sound bar
+    chart → kept (good);
+(c) TPC-DS Q9-style  — a single aggregated value as a bar: single-value
+    chart → filtered out (bad);
+(d) TPC-DS Q7-style  — quantity vs net-paid scatter → kept (good).
+"""
+
+from conftest import emit
+
+from repro.core.filter_model import DeepEyeFilter, extract_features
+from repro.grammar.ast_nodes import Attribute, Group, QueryCore, VisQuery
+from repro.spider.tpc import build_tpcds_database, build_tpch_database
+
+
+def _charts():
+    tpch = build_tpch_database()
+    tpcds = build_tpcds_database()
+    supplier_pie = VisQuery("pie", QueryCore(
+        select=(
+            Attribute("s_name", "supplier"),
+            Attribute("s_acctbal", "supplier", agg="sum"),
+        ),
+        groups=(Group("grouping", Attribute("s_name", "supplier")),),
+    ))
+    year_bar = VisQuery("bar", QueryCore(
+        select=(
+            Attribute("o_orderdate", "orders"),
+            Attribute("o_totalprice", "orders", agg="sum"),
+        ),
+        groups=(Group("binning", Attribute("o_orderdate", "orders"), bin_unit="year"),),
+    ))
+    # (c) retrieves a single aggregated value — better shown as a table.
+    single_value_bar = VisQuery("bar", QueryCore(
+        select=(
+            Attribute("ss_quantity", "store_sales", agg="sum"),
+            Attribute("ss_net_paid", "store_sales", agg="sum"),
+        ),
+    ))
+    quantity_scatter = VisQuery("scatter", QueryCore(
+        select=(
+            Attribute("ss_quantity", "store_sales"),
+            Attribute("ss_net_paid", "store_sales"),
+        ),
+    ))
+    return [
+        ("(a) TPC-H Q20-style supplier pie", supplier_pie, tpch, False),
+        ("(b) TPC-H Q8-style yearly bar", year_bar, tpch, True),
+        ("(c) TPC-DS Q9-style single-value bar", single_value_bar, tpcds, False),
+        ("(d) TPC-DS Q7-style scatter", quantity_scatter, tpcds, True),
+    ]
+
+
+def test_figure7_tpc_filtering(benchmark):
+    chart_filter = DeepEyeFilter()
+
+    def run():
+        verdicts = []
+        for name, vis, database, expected in _charts():
+            features = extract_features(vis, database)
+            good = features is not None and chart_filter.score(features) >= 0.5
+            verdicts.append((name, good, expected, features))
+        return verdicts
+
+    verdicts = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = []
+    for name, good, expected, features in verdicts:
+        detail = ""
+        if features is not None:
+            detail = f"(rows={features.n_rows}, distinct_x={features.n_distinct_x})"
+        flag = "GOOD" if good else "BAD "
+        want = "keep" if expected else "filter out"
+        lines.append(f"{flag} {name:42s} {detail:30s} expected: {want}")
+    emit("Figure 7 — TPC-H/TPC-DS chart filtering", "\n".join(lines))
+
+    for name, good, expected, _ in verdicts:
+        assert good == expected, f"{name}: verdict {good}, expected {expected}"

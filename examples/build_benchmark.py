@@ -1,0 +1,67 @@
+"""Build a small nvBench-style benchmark and inspect its statistics.
+
+Runs the whole nl2sql-to-nl2vis pipeline over a synthetic Spider-like
+corpus, then prints Table-2/Table-3-style statistics, a hardness
+breakdown, and a few sample (NL, VIS) pairs.  Finishes by saving the
+benchmark to JSON and loading it back.
+
+Run:  python examples/build_benchmark.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.core.nvbench import (
+    NVBenchConfig,
+    build_nvbench,
+    load_nvbench_pairs,
+    save_nvbench_pairs,
+)
+from repro.grammar.serialize import to_text
+from repro.spider.corpus import CorpusConfig
+from repro.stats.dataset_stats import dataset_summary
+from repro.stats.nl_stats import nl_vis_table
+
+
+def main() -> None:
+    config = NVBenchConfig(
+        corpus=CorpusConfig(
+            num_databases=24, pairs_per_database=12, row_scale=0.5, seed=11
+        ),
+        filter_training_pairs=80,
+    )
+    print("building benchmark ...")
+    bench = build_nvbench(config=config)
+
+    summary = dataset_summary(bench.corpus)
+    print(f"\ndatabases: {summary.n_databases}  tables: {summary.n_tables}  "
+          f"domains: {summary.n_domains}")
+    print(f"columns: {summary.n_columns} (avg {summary.avg_columns:.2f})  "
+          f"rows: {summary.n_rows} (avg {summary.avg_rows:.1f})")
+    fractions = summary.column_type_fractions()
+    print("column types:", {k: f"{v:.1%}" for k, v in sorted(fractions.items())})
+
+    print(f"\n(NL, VIS) pairs: {len(bench.pairs)}  distinct vis: {len(bench.distinct_vis)}")
+    print("hardness:", dict(bench.hardness_counts()))
+    print("\nper-type stats (Table 3 style):")
+    for row in nl_vis_table(bench):
+        print(f"  {row.vis_type:17s} vis={row.n_vis:4d} pairs={row.n_pairs:5d} "
+              f"pairs/vis={row.pairs_per_vis:.2f} avg words={row.avg_words:.1f} "
+              f"BLEU={row.avg_bleu:.3f}")
+
+    print("\nsample pairs:")
+    for pair in bench.pairs[:4]:
+        print(" NL :", pair.nl)
+        print(" VIS:", to_text(pair.vis)[:100])
+        print()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "nvbench_pairs.json"
+        save_nvbench_pairs(bench, str(path))
+        reloaded = load_nvbench_pairs(bench.corpus, str(path))
+        print(f"saved + reloaded {len(reloaded.pairs)} pairs "
+              f"({path.stat().st_size // 1024} KiB)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Bring your own database: synthesize charts for your own SQL.
+
+Shows the downstream-user workflow: define a schema, load rows, write
+ordinary SQL, and get back good visualizations in both Vega-Lite and
+ECharts, with the bad-chart filter doing its job.
+
+Run:  python examples/custom_database.py
+"""
+
+import json
+
+from repro.core.filter_model import DeepEyeFilter, extract_features
+from repro.core.synthesizer import NL2VISSynthesizer
+from repro.core.tree_edits import generate_candidates
+from repro.grammar.serialize import to_text
+from repro.sqlparse import parse_sql
+from repro.storage.schema import Column, Database, ForeignKey, Table
+from repro.vis import to_echarts, to_vega_lite
+
+
+def build_store_database() -> Database:
+    product = Table(
+        "product",
+        (
+            Column("product_id", "C"),
+            Column("name", "C"),
+            Column("category", "C"),
+            Column("price", "Q"),
+        ),
+    )
+    product.extend(
+        [
+            (1, "Solid Kit 4", "kitchen", 39.0),
+            (2, "Eco Pack 9", "kitchen", 12.5),
+            (3, "Ultra Set 2", "garden", 89.0),
+            (4, "Mini Kit 7", "garden", 24.0),
+            (5, "Pro Unit 1", "office", 149.0),
+            (6, "Smart Pack 3", "office", 59.0),
+        ]
+    )
+    sale = Table(
+        "sale",
+        (
+            Column("sale_id", "C"),
+            Column("product_id", "C"),
+            Column("sold_on", "T"),
+            Column("amount", "Q"),
+        ),
+    )
+    rows = []
+    for index, (pid, day, amount) in enumerate(
+        [
+            (1, "2021-01-04", 39.0), (2, "2021-01-09", 25.0), (3, "2021-02-02", 89.0),
+            (1, "2021-02-14", 78.0), (5, "2021-03-01", 149.0), (4, "2021-03-18", 24.0),
+            (6, "2021-04-02", 118.0), (2, "2021-04-22", 12.5), (3, "2021-05-05", 178.0),
+            (5, "2021-05-30", 298.0), (1, "2021-06-11", 39.0), (6, "2021-06-28", 59.0),
+        ]
+    ):
+        rows.append((index, pid, day, amount))
+    sale.extend(rows)
+    db = Database(name="store", domain="shop")
+    db.add_table(product)
+    db.add_table(sale)
+    db.foreign_keys.append(ForeignKey("sale", "product_id", "product", "product_id"))
+    return db
+
+
+def main() -> None:
+    database = build_store_database()
+    sql = (
+        "SELECT category, amount, sold_on FROM product "
+        "JOIN sale ON product.product_id = sale.product_id"
+    )
+    query = parse_sql(sql, database)
+    print("SQL:", sql)
+
+    # Inspect the raw candidate space, then what survives the filter.
+    candidates = generate_candidates(query, database)
+    chart_filter = DeepEyeFilter()
+    good = []
+    for candidate in candidates:
+        features = extract_features(candidate.vis, database)
+        verdict = features is not None and chart_filter.score(features) >= 0.5
+        if verdict:
+            good.append(candidate)
+    print(f"\n{len(candidates)} candidate charts, {len(good)} pass the filter")
+
+    synthesizer = NL2VISSynthesizer(seed=3, max_vis_per_query=3)
+    kept = synthesizer.good_candidates(query, database)
+    for index, candidate in enumerate(kept, start=1):
+        print(f"\n== kept chart #{index}: {candidate.vis.vis_type} ==")
+        print("tree     :", to_text(candidate.vis))
+        vega = to_vega_lite(candidate.vis, database)
+        echarts = to_echarts(candidate.vis, database)
+        print("vega-lite:", json.dumps(vega)[:160], "...")
+        print("echarts  :", json.dumps(echarts)[:160], "...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Evaluate the rule-based baselines (DeepEye, NL4DV) on a benchmark.
+
+Builds a small nvBench-style benchmark and scores both baselines with
+tree-matching accuracy, split by hardness — a miniature of the paper's
+Table 5 without the (slower) neural training.
+
+Run:  python examples/evaluate_baselines.py
+"""
+
+from collections import defaultdict
+
+from repro.baselines import DeepEyeBaseline, NL4DVBaseline
+from repro.core.nvbench import NVBenchConfig, build_nvbench
+from repro.eval.metrics import tree_match
+from repro.eval.splits import split_pairs
+from repro.spider.corpus import CorpusConfig
+
+
+def main() -> None:
+    print("building benchmark ...")
+    bench = build_nvbench(config=NVBenchConfig(
+        corpus=CorpusConfig(
+            num_databases=18, pairs_per_database=12, row_scale=0.5, seed=31
+        ),
+        filter_training_pairs=60,
+    ))
+    _, _, test_pairs = split_pairs(bench.pairs, seed=0)
+    print(f"{len(test_pairs)} test pairs")
+
+    deepeye = DeepEyeBaseline()
+    nl4dv = NL4DVBaseline()
+    de_hits = defaultdict(lambda: defaultdict(int))
+    nv_hits = defaultdict(int)
+    totals = defaultdict(int)
+    for pair in test_pairs:
+        database = bench.databases[pair.db_name]
+        hardness = pair.hardness.value
+        totals[hardness] += 1
+        ranked = deepeye.predict(pair.nl, database, k=6)
+        for k in (1, 3, 6):
+            if any(tree_match(vis, pair.vis) for vis in ranked[:k]):
+                de_hits[k][hardness] += 1
+        if tree_match(nl4dv.predict(pair.nl, database), pair.vis):
+            nv_hits[hardness] += 1
+
+    def rate(hits, hardness=None):
+        if hardness is None:
+            return sum(hits.values()) / max(sum(totals.values()), 1)
+        return hits.get(hardness, 0) / max(totals.get(hardness, 0), 1)
+
+    print(f"\n{'hardness':12s} {'DE@1':>7s} {'DE@3':>7s} {'DE@6':>7s} {'NL4DV':>7s}")
+    for hardness in ("easy", "medium", "hard", "extra hard"):
+        if not totals.get(hardness):
+            continue
+        print(f"{hardness:12s} {rate(de_hits[1], hardness):7.1%} "
+              f"{rate(de_hits[3], hardness):7.1%} {rate(de_hits[6], hardness):7.1%} "
+              f"{rate(nv_hits, hardness):7.1%}")
+    print(f"{'overall':12s} {rate(de_hits[1]):7.1%} {rate(de_hits[3]):7.1%} "
+          f"{rate(de_hits[6]):7.1%} {rate(nv_hits):7.1%}")
+    print("\n(the paper's seq2vis reaches ~65% overall — run "
+          "examples/train_seq2vis.py to see the learned model win)")
+
+
+if __name__ == "__main__":
+    main()

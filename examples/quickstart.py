@@ -1,0 +1,73 @@
+"""Quickstart: synthesize (NL, VIS) pairs from one (NL, SQL) pair.
+
+Builds a tiny flights database, feeds the synthesizer one Spider-style
+(NL, SQL) input, and prints every synthesized visualization with its NL
+variants plus a renderable Vega-Lite spec.
+
+Run:  python examples/quickstart.py
+"""
+
+import json
+
+from repro.core.synthesizer import NL2VISSynthesizer
+from repro.grammar.serialize import to_text
+from repro.storage.schema import Column, Database, Table
+from repro.vis import to_vega_lite
+
+
+def build_database() -> Database:
+    flight = Table(
+        "flight",
+        (
+            Column("flight_number", "C"),
+            Column("origin", "C"),
+            Column("destination", "C"),
+            Column("price", "Q"),
+            Column("departure_date", "T"),
+        ),
+    )
+    flight.extend(
+        [
+            ("UA101", "Chicago", "Atlanta", 320.0, "2020-01-05"),
+            ("UA102", "Chicago", "Boston", 150.0, "2020-02-11"),
+            ("DL201", "Los Angeles", "Atlanta", 510.0, "2020-02-20"),
+            ("DL202", "Chicago", "Seattle", 260.0, "2020-05-02"),
+            ("AA301", "Los Angeles", "Seattle", 700.0, "2020-07-09"),
+            ("AA302", "Boston", "Los Angeles", 450.0, "2020-11-19"),
+            ("UA103", "Chicago", "Miami", 210.0, "2021-01-15"),
+            ("DL203", "Boston", "Miami", 330.0, "2021-03-22"),
+        ]
+    )
+    database = Database(name="flights", domain="flight")
+    database.add_table(flight)
+    return database
+
+
+def main() -> None:
+    database = build_database()
+    nl = "What are the origin and price of all flights?"
+    sql = "SELECT origin, price FROM flight"
+    print(f"input NL : {nl}")
+    print(f"input SQL: {sql}")
+    print()
+
+    synthesizer = NL2VISSynthesizer(seed=7)
+    pairs = synthesizer.synthesize(nl, sql, database)
+
+    by_vis = {}
+    for pair in pairs:
+        by_vis.setdefault(pair.vis, []).append(pair)
+    for index, (vis, group) in enumerate(by_vis.items(), start=1):
+        print(f"--- synthesized vis #{index} ({vis.vis_type}, {group[0].hardness.value}) ---")
+        print("tree:", to_text(vis))
+        for pair in group:
+            print("  NL:", pair.nl)
+        print()
+
+    first_vis = next(iter(by_vis))
+    print("Vega-Lite spec for vis #1:")
+    print(json.dumps(to_vega_lite(first_vis, database), indent=2)[:1200])
+
+
+if __name__ == "__main__":
+    main()

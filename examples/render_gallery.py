@@ -1,0 +1,82 @@
+"""Render a small HTML gallery of synthesized visualizations.
+
+Builds a miniature benchmark, takes the first few distinct charts, and
+writes ``gallery.html`` embedding their Vega-Lite specs (rendered with
+vega-embed when opened in a browser) alongside the NL variants and an
+ASCII preview printed to the terminal.
+
+Run:  python examples/render_gallery.py [output.html]
+"""
+
+import json
+import sys
+from pathlib import Path
+
+from repro.core.nvbench import NVBenchConfig, build_nvbench
+from repro.spider.corpus import CorpusConfig
+from repro.vis import to_ascii, to_vega_lite
+
+PAGE_TEMPLATE = """<!DOCTYPE html>
+<html>
+<head>
+  <meta charset="utf-8"/>
+  <title>nvBench reproduction — chart gallery</title>
+  <script src="https://cdn.jsdelivr.net/npm/vega@5"></script>
+  <script src="https://cdn.jsdelivr.net/npm/vega-lite@5"></script>
+  <script src="https://cdn.jsdelivr.net/npm/vega-embed@6"></script>
+  <style>
+    body {{ font-family: sans-serif; margin: 2em; }}
+    .card {{ border: 1px solid #ccc; border-radius: 8px;
+             padding: 1em; margin-bottom: 2em; }}
+    .nl {{ color: #444; margin: 0.2em 0; }}
+  </style>
+</head>
+<body>
+<h1>Synthesized (NL, VIS) pairs</h1>
+{cards}
+<script>
+{scripts}
+</script>
+</body>
+</html>
+"""
+
+
+def main() -> None:
+    out_path = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("gallery.html")
+    print("building benchmark ...")
+    bench = build_nvbench(config=NVBenchConfig(
+        corpus=CorpusConfig(
+            num_databases=8, pairs_per_database=8, row_scale=0.5, seed=41
+        ),
+        filter_training_pairs=40,
+    ))
+
+    by_vis = {}
+    for pair in bench.pairs:
+        by_vis.setdefault((pair.db_name, pair.vis), []).append(pair)
+
+    cards, scripts = [], []
+    for index, ((db_name, vis), group) in enumerate(list(by_vis.items())[:8]):
+        database = bench.databases[db_name]
+        spec = to_vega_lite(vis, database)
+        nls = "".join(f'<p class="nl">&ldquo;{p.nl}&rdquo;</p>' for p in group[:3])
+        cards.append(
+            f'<div class="card"><h3>#{index + 1}: {vis.vis_type} '
+            f'({db_name})</h3>{nls}<div id="vis{index}"></div></div>'
+        )
+        scripts.append(
+            f"vegaEmbed('#vis{index}', {json.dumps(spec)});"
+        )
+        print(f"\n--- chart #{index + 1} ({vis.vis_type}) ---")
+        print(to_ascii(vis, database, width=40, height=8))
+
+    out_path.write_text(PAGE_TEMPLATE.format(
+        cards="\n".join(cards), scripts="\n".join(scripts)
+    ))
+    print(f"\nwrote {out_path} ({out_path.stat().st_size // 1024} KiB) — "
+          "open it in a browser to see the rendered charts")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept alongside ``pyproject.toml`` so that editable installs work on
+environments whose setuptools lacks the PEP 660 wheel backend (legacy
+``pip install -e .`` falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""Reproduction of "Synthesizing NL2VIS Benchmarks from NL2SQL Benchmarks"
+(Luo et al., SIGMOD 2021).
+
+The top-level package re-exports the main entry points; see ``README.md``
+for a quickstart and ``DESIGN.md`` for the system inventory.
+
+>>> from repro import NL2VISSynthesizer, build_nvbench, to_vega_lite
+"""
+
+from repro.core.nvbench import NVBench, NVBenchConfig, build_nvbench
+from repro.core.synthesizer import NL2VISSynthesizer, SynthesizedPair
+from repro.grammar import SQLQuery, VisQuery, from_tokens, to_text, to_tokens
+from repro.spider.corpus import CorpusConfig, SpiderCorpus, build_spider_corpus
+from repro.sqlparse import parse_sql, to_sql
+from repro.storage import Column, Database, Executor, ForeignKey, Table
+from repro.vis import render_data, to_echarts, to_vega_lite
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Column",
+    "CorpusConfig",
+    "Database",
+    "Executor",
+    "ForeignKey",
+    "NL2VISSynthesizer",
+    "NVBench",
+    "NVBenchConfig",
+    "SQLQuery",
+    "SpiderCorpus",
+    "SynthesizedPair",
+    "Table",
+    "VisQuery",
+    "__version__",
+    "build_nvbench",
+    "build_spider_corpus",
+    "from_tokens",
+    "parse_sql",
+    "render_data",
+    "to_echarts",
+    "to_sql",
+    "to_text",
+    "to_tokens",
+    "to_vega_lite",
+]

@@ -1,0 +1,16 @@
+"""State-of-the-art baselines the paper compares against (Section 4.4).
+
+* :mod:`deepeye_baseline` — DeepEye's keyword-search approach: match NL
+  keywords to columns, enumerate rule-valid charts, rank with the
+  learned good/bad scorer, return top-k.  Cannot handle Join, Nested, or
+  Filter queries (as noted in the paper).
+* :mod:`nl4dv_baseline` — NL4DV's semantic-parser approach: detect
+  attributes, explicit chart-type words, aggregation/sort keywords, and
+  build a single analytic specification.  Cannot handle Join or Nested
+  queries.
+"""
+
+from repro.baselines.deepeye_baseline import DeepEyeBaseline
+from repro.baselines.nl4dv_baseline import NL4DVBaseline
+
+__all__ = ["DeepEyeBaseline", "NL4DVBaseline"]

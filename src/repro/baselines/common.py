@@ -1,0 +1,119 @@
+"""Shared NL-analysis helpers for the rule-based baselines."""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.storage.schema import Column, Database, Table
+
+
+def _phrase(name: str) -> str:
+    return name.replace("_", " ")
+
+
+def match_columns(nl: str, database: Database) -> Dict[str, List[Column]]:
+    """Columns whose name (as a phrase) appears in the NL, per table.
+
+    Columns are returned in *mention order* (position of the first match
+    in the text) — both baselines lay out axes by mention order, which
+    is how the original systems behave.
+    """
+    lowered = nl.lower()
+    matches: Dict[str, List[Tuple[int, Column]]] = {}
+    for table_name, column in database.iter_columns():
+        phrase = _phrase(column.name).lower()
+        found = re.search(rf"\b{re.escape(phrase)}\b", lowered)
+        if found:
+            matches.setdefault(table_name, []).append((found.start(), column))
+    return {
+        table: [column for _, column in sorted(entries, key=lambda e: e[0])]
+        for table, entries in matches.items()
+    }
+
+
+def pick_primary_table(
+    nl: str, database: Database, matches: Dict[str, List[Column]]
+) -> Optional[str]:
+    """The table with the most matched columns; table-name mentions break
+    ties (both baselines are single-table systems)."""
+    lowered = nl.lower()
+    best: Optional[str] = None
+    best_score = -1.0
+    for table_name, table in database.tables.items():
+        score = float(len(matches.get(table_name, [])))
+        if re.search(rf"\b{re.escape(_phrase(table_name))}", lowered):
+            score += 1.5
+        if score > best_score and (score > 0 or best is None):
+            best = table_name
+            best_score = score
+    return best
+
+
+AGGREGATE_KEYWORDS: Tuple[Tuple[str, str], ...] = (
+    (r"\baverage\b|\bmean\b", "avg"),
+    (r"\btotal\b|\bsum\b", "sum"),
+    (r"\bmaximum\b|\bhighest\b|\blargest\b", "max"),
+    (r"\bminimum\b|\blowest\b|\bsmallest\b", "min"),
+    (r"\bhow many\b|\bnumber of\b|\bcount\b", "count"),
+)
+
+
+def detect_aggregate(nl: str) -> Optional[str]:
+    """The aggregate function implied by task keywords, if any."""
+    lowered = nl.lower()
+    for pattern, agg in AGGREGATE_KEYWORDS:
+        if re.search(pattern, lowered):
+            return agg
+    return None
+
+
+CHART_KEYWORDS: Tuple[Tuple[str, str], ...] = (
+    (r"stacked bar", "stacked bar"),
+    (r"grouped line|multi-?series line|line per group|grouping line", "grouping line"),
+    (r"grouped scatter|colored scatter|scatter .{0,20}group", "grouping scatter"),
+    (r"\bbar\b|histogram|compar", "bar"),
+    (r"\bpie\b|proportion|fraction|percentage", "pie"),
+    (r"\bline\b|trend|over time", "line"),
+    (r"scatter|correlat|relationship", "scatter"),
+)
+
+
+def detect_chart_type(nl: str) -> Optional[str]:
+    """An explicitly or implicitly requested chart type, if any."""
+    lowered = nl.lower()
+    for pattern, vis_type in CHART_KEYWORDS:
+        if re.search(pattern, lowered):
+            return vis_type
+    return None
+
+
+def detect_bin_unit(nl: str) -> Optional[str]:
+    """A temporal binning unit mentioned in the text, if any."""
+    lowered = nl.lower()
+    for unit in ("year", "quarter", "month", "weekday", "hour", "minute"):
+        if re.search(rf"\b{unit}", lowered):
+            return unit
+    if "day of the week" in lowered:
+        return "weekday"
+    return None
+
+
+def detect_sort(nl: str) -> Optional[str]:
+    """A sort direction implied by the text ('asc'/'desc'), if any."""
+    lowered = nl.lower()
+    if re.search(r"descending|high to low|decreasing", lowered):
+        return "desc"
+    if re.search(r"ascending|low to high|increasing|alphabetical", lowered):
+        return "asc"
+    if re.search(r"\bsort|\border(ed)? by|\brank", lowered):
+        return "desc"
+    return None
+
+
+def detect_topk(nl: str) -> Optional[int]:
+    """The k of a 'top k' request, if present."""
+    match = re.search(r"\btop\s+(\d+)", nl.lower())
+    if match:
+        return int(match.group(1))
+    return None

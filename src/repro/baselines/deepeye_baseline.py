@@ -1,0 +1,120 @@
+"""DeepEye: keyword-search visualization recommendation (Luo et al.).
+
+The baseline from Section 4.4: it treats the NL query as a *bag of
+keywords*, matches them against one table's columns, enumerates every
+rule-valid chart over the matched columns, scores candidates with the
+learned good/bad model, and returns the top-k list.  It has no notion of
+Join, Nested, or Filter semantics — exactly the limitation the paper
+reports — so any gold query relying on those can at best be matched by a
+filter-free guess.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Optional, Tuple
+
+from repro.baselines.common import (
+    detect_bin_unit,
+    match_columns,
+    pick_primary_table,
+)
+from repro.core.filter_model import DeepEyeFilter, extract_features
+from repro.core.vis_rules import (
+    GROUP_BINNING,
+    GROUP_GROUPING,
+    GROUP_NONE,
+    arrange_axes,
+    chart_specs_for,
+)
+from repro.grammar.ast_nodes import Attribute, Group, QueryCore, VisQuery
+from repro.storage.schema import Column, Database
+
+
+class DeepEyeBaseline:
+    """Keyword search → ranked chart recommendations."""
+
+    def __init__(self, chart_filter: Optional[DeepEyeFilter] = None):
+        self.chart_filter = chart_filter or DeepEyeFilter()
+
+    def predict(self, nl: str, database: Database, k: int = 1) -> List[VisQuery]:
+        """Top-*k* recommended charts for the keyword content of *nl*."""
+        matches = match_columns(nl, database)
+        table_name = pick_primary_table(nl, database, matches)
+        if table_name is None:
+            return []
+        table = database.table(table_name)
+        columns = matches.get(table_name, [])
+        if not columns:
+            # Fall back to the table's first few non-id columns.
+            columns = [
+                column for column in table.columns
+                if not column.name.endswith("_id")
+            ][:3]
+        bin_unit = detect_bin_unit(nl)
+        candidates = self._enumerate(table_name, columns, database, bin_unit)
+        scored: List[Tuple[float, int, VisQuery]] = []
+        for index, vis in enumerate(candidates):
+            features = extract_features(vis, database)
+            if features is None:
+                continue
+            scored.append((self.chart_filter.score(features), index, vis))
+        scored.sort(key=lambda item: (-item[0], item[1]))
+        return [vis for _, _, vis in scored[:k]]
+
+    def _enumerate(
+        self,
+        table_name: str,
+        columns: List[Column],
+        database: Database,
+        bin_unit: Optional[str],
+    ) -> List[VisQuery]:
+        out: List[VisQuery] = []
+        max_size = min(3, len(columns))
+        for size in range(1, max_size + 1):
+            for combo in combinations(columns, size):
+                signature = [column.ctype for column in combo]
+                attrs = [
+                    Attribute(column=column.name, table=table_name)
+                    for column in combo
+                ]
+                for spec in chart_specs_for(signature):
+                    vis = self._build(attrs, signature, spec, bin_unit)
+                    if vis is not None:
+                        out.append(vis)
+        deduped = dict.fromkeys(out)
+        return list(deduped)
+
+    def _build(self, attrs, signature, spec, bin_unit) -> Optional[VisQuery]:
+        if spec.count_measure:
+            x = attrs[0]
+            measure = Attribute(column="*", table=x.table, agg="count")
+            color = None
+        else:
+            axes = arrange_axes(list(zip(attrs, signature)), spec)
+            x = axes[0]
+            color = axes[2] if spec.arity == 3 else None
+            measure = axes[1]
+            if spec.needs_aggregate and not measure.is_aggregated:
+                # Keyword search has no aggregation semantics: DeepEye
+                # defaults to SUM when a measure must be aggregated.
+                measure = Attribute(column=measure.column, table=measure.table, agg="sum")
+        groups = []
+        if spec.x_group == GROUP_GROUPING:
+            groups.append(Group(kind="grouping", attr=x.bare()))
+        elif spec.x_group == GROUP_BINNING:
+            x_type = signature[attrs.index(x)] if x in attrs else "T"
+            unit = bin_unit if (bin_unit and x_type == "T") else (
+                "year" if x_type == "T" else "numeric"
+            )
+            groups.append(Group(kind="binning", attr=x.bare(), bin_unit=unit))
+        if color is not None and spec.color_group == GROUP_GROUPING:
+            groups.append(Group(kind="grouping", attr=color.bare()))
+        select = (x.bare(), measure) + ((color.bare(),) if color is not None else ())
+        try:
+            return VisQuery(
+                vis_type=spec.vis_type,
+                body=QueryCore(select=select, groups=tuple(groups)),
+            )
+        except ValueError:
+            return None

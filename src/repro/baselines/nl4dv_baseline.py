@@ -1,0 +1,196 @@
+"""NL4DV: semantic-parser based NL→VIS (Narechania et al., TVCG 2021).
+
+The second baseline from Section 4.4.  NL4DV shallow-parses the query:
+it detects *attributes* (column mentions), *tasks* (aggregates, sorts,
+simple value filters), and an optional *explicit chart type*, then emits
+one analytic specification.  Unlike DeepEye it understands filters and
+sorts, but it is still single-table — Join and Nested queries are out of
+scope (as the paper notes).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from repro.baselines.common import (
+    detect_aggregate,
+    detect_bin_unit,
+    detect_chart_type,
+    detect_sort,
+    detect_topk,
+    match_columns,
+    pick_primary_table,
+)
+from repro.core.vis_rules import (
+    GROUP_BINNING,
+    GROUP_GROUPING,
+    arrange_axes,
+    chart_specs_for,
+)
+from repro.grammar.ast_nodes import (
+    Attribute,
+    Comparison,
+    Filter,
+    Group,
+    Order,
+    QueryCore,
+    Superlative,
+    VisQuery,
+)
+from repro.storage.schema import Column, Database
+
+
+class NL4DVBaseline:
+    """Shallow semantic parse → one visualization specification."""
+
+    def predict(self, nl: str, database: Database) -> Optional[VisQuery]:
+        """Parse *nl* and emit one visualization spec (or ``None``)."""
+        matches = match_columns(nl, database)
+        table_name = pick_primary_table(nl, database, matches)
+        if table_name is None:
+            return None
+        table = database.table(table_name)
+        columns = matches.get(table_name, [])[:3]
+        if not columns:
+            return None
+
+        aggregate = detect_aggregate(nl)
+        requested_type = detect_chart_type(nl)
+        spec, attrs, signature = self._choose_spec(
+            table_name, columns, aggregate, requested_type
+        )
+        if spec is None:
+            return None
+
+        if spec.count_measure or (aggregate == "count" and len(attrs) == 1):
+            x = attrs[0]
+            measure = Attribute(column="*", table=table_name, agg="count")
+            color = None
+        else:
+            axes = arrange_axes(list(zip(attrs, signature)), spec)
+            x = axes[0]
+            color = axes[2] if spec.arity == 3 else None
+            measure = axes[1]
+            if spec.needs_aggregate and not measure.is_aggregated:
+                measure = Attribute(
+                    column=measure.column,
+                    table=measure.table,
+                    agg=aggregate if aggregate not in (None, "count") else "avg",
+                )
+        groups = []
+        if spec.x_group == GROUP_GROUPING:
+            groups.append(Group(kind="grouping", attr=x.bare()))
+        elif spec.x_group == GROUP_BINNING:
+            x_column = database.column(x.table, x.column)
+            if x_column.ctype == "T":
+                unit = detect_bin_unit(nl) or "year"
+            else:
+                unit = "numeric"
+            groups.append(Group(kind="binning", attr=x.bare(), bin_unit=unit))
+        if color is not None and spec.color_group == GROUP_GROUPING:
+            groups.append(Group(kind="grouping", attr=color.bare()))
+
+        select = (x.bare(), measure) + ((color.bare(),) if color is not None else ())
+        filter_ = self._detect_filter(nl, table_name, table.columns)
+        order = None
+        superlative = None
+        direction = detect_sort(nl)
+        top_k = detect_topk(nl)
+        if top_k is not None:
+            superlative = Superlative(
+                kind="most" if direction != "asc" else "least",
+                k=top_k,
+                attr=measure,
+            )
+        elif direction is not None and spec.vis_type in (
+            "bar", "stacked bar", "line", "grouping line",
+        ):
+            target = measure if measure.is_aggregated else x.bare()
+            order = Order(direction=direction, attr=target)
+        try:
+            return VisQuery(
+                vis_type=spec.vis_type,
+                body=QueryCore(
+                    select=select,
+                    groups=tuple(groups),
+                    filter=filter_,
+                    order=order,
+                    superlative=superlative,
+                ),
+            )
+        except ValueError:
+            return None
+
+    # ----- internals -------------------------------------------------------
+
+    def _choose_spec(self, table_name, columns, aggregate, requested_type):
+        signature = [column.ctype for column in columns]
+        attrs = [
+            Attribute(column=column.name, table=table_name) for column in columns
+        ]
+        specs = chart_specs_for(signature)
+        if not specs and len(columns) > 2:
+            columns = columns[:2]
+            signature = signature[:2]
+            attrs = attrs[:2]
+            specs = chart_specs_for(signature)
+        if not specs and len(columns) > 1:
+            columns = columns[:1]
+            signature = signature[:1]
+            attrs = attrs[:1]
+            specs = chart_specs_for(signature)
+        if not specs:
+            return None, attrs, signature
+        # Honor an explicit chart-type request, then fall back to every
+        # valid spec for the signature.
+        preferred = specs
+        if requested_type is not None:
+            matching = [s for s in specs if s.vis_type == requested_type]
+            if matching:
+                preferred = matching
+        if aggregate is not None:
+            for spec in preferred:
+                if spec.needs_aggregate or spec.count_measure:
+                    return spec, attrs, signature
+        # NL4DV's documented default: categorical + quantitative pairs are
+        # aggregated (mean) specs even without an aggregation task — it
+        # rarely emits raw per-row bars.  Scatter (Q+Q) and temporal lines
+        # stay raw.
+        if sorted(signature) == ["C", "Q"]:
+            for spec in preferred:
+                if spec.needs_aggregate:
+                    return spec, attrs, signature
+        return preferred[0], attrs, signature
+
+    def _detect_filter(
+        self, nl: str, table_name: str, columns
+    ) -> Optional[Filter]:
+        """Value filters: '<column> (greater|less) than <number>' and
+        '<column> is <categorical value>' patterns."""
+        lowered = nl.lower()
+        for column in columns:
+            phrase = column.name.replace("_", " ")
+            if column.ctype == "Q":
+                match = re.search(
+                    rf"{re.escape(phrase)}[a-z\s]*?"
+                    r"(greater than|less than|at least|at most|above|below|over|under)"
+                    r"\s+(-?\d+(?:\.\d+)?)",
+                    lowered,
+                )
+                if match:
+                    op = {
+                        "greater than": ">",
+                        "above": ">",
+                        "over": ">",
+                        "less than": "<",
+                        "below": "<",
+                        "under": "<",
+                        "at least": ">=",
+                        "at most": "<=",
+                    }[match.group(1)]
+                    raw = match.group(2)
+                    value = float(raw) if "." in raw else int(raw)
+                    attr = Attribute(column=column.name, table=table_name)
+                    return Filter(Comparison(op=op, attr=attr, value=value))
+        return None

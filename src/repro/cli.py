@@ -1,0 +1,225 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``build-corpus``     build a Spider-like NL2SQL corpus and save it as JSON
+``build-benchmark``  run the full synthesizer over a corpus; save the pairs
+``stats``            print Table-2/Table-3 style statistics for a benchmark
+``train``            train a seq2vis variant on a benchmark; save the model
+``translate``        translate an NL question with a saved model
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.nvbench import (
+    NVBenchConfig,
+    build_nvbench,
+    load_nvbench_pairs,
+    save_nvbench_pairs,
+)
+from repro.spider.corpus import (
+    CorpusConfig,
+    build_spider_corpus,
+    load_corpus,
+    save_corpus,
+)
+
+
+def _corpus_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--databases", type=int, default=40,
+                        help="number of databases to generate")
+    parser.add_argument("--pairs-per-db", type=int, default=16,
+                        help="(NL, SQL) pairs per database")
+    parser.add_argument("--row-scale", type=float, default=0.5,
+                        help="row-count scale factor")
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def _cmd_build_corpus(args: argparse.Namespace) -> int:
+    config = CorpusConfig(
+        num_databases=args.databases,
+        pairs_per_database=args.pairs_per_db,
+        row_scale=args.row_scale,
+        seed=args.seed,
+    )
+    corpus = build_spider_corpus(config)
+    save_corpus(corpus, args.out)
+    print(f"wrote {len(corpus.pairs)} (NL, SQL) pairs over "
+          f"{len(corpus.databases)} databases to {args.out}")
+    return 0
+
+
+def _cmd_build_benchmark(args: argparse.Namespace) -> int:
+    corpus = load_corpus(args.corpus) if args.corpus else None
+    config = NVBenchConfig(
+        corpus=CorpusConfig(
+            num_databases=args.databases,
+            pairs_per_database=args.pairs_per_db,
+            row_scale=args.row_scale,
+            seed=args.seed,
+        ),
+        seed=args.seed,
+    )
+    bench = build_nvbench(corpus=corpus, config=config)
+    if not args.corpus:
+        save_corpus(bench.corpus, args.out + ".corpus.json")
+        print(f"wrote corpus to {args.out}.corpus.json")
+    save_nvbench_pairs(bench, args.out)
+    print(f"wrote {len(bench.pairs)} (NL, VIS) pairs "
+          f"({len(bench.distinct_vis)} distinct vis) to {args.out}")
+    return 0
+
+
+def _load_bench(corpus_path: str, pairs_path: str):
+    corpus = load_corpus(corpus_path)
+    return load_nvbench_pairs(corpus, pairs_path)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.stats.dataset_stats import dataset_summary
+    from repro.stats.nl_stats import nl_vis_table
+
+    bench = _load_bench(args.corpus, args.pairs)
+    summary = dataset_summary(bench.corpus)
+    print(f"databases: {summary.n_databases}  tables: {summary.n_tables}  "
+          f"domains: {summary.n_domains}")
+    print(f"columns: {summary.n_columns} (avg {summary.avg_columns:.2f})  "
+          f"rows: {summary.n_rows} (avg {summary.avg_rows:.1f})")
+    print("column types:",
+          {k: f"{v:.1%}" for k, v in summary.column_type_fractions().items()})
+    print()
+    for row in nl_vis_table(bench):
+        print(f"{row.vis_type:17s} vis={row.n_vis:5d} pairs={row.n_pairs:6d} "
+              f"avg words={row.avg_words:5.1f} BLEU={row.avg_bleu:.3f}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.eval.harness import (
+        ExperimentConfig, build_model, evaluate_model, make_datasets,
+    )
+    from repro.neural.persist import save_model
+    from repro.neural.trainer import TrainConfig, train_model
+
+    bench = _load_bench(args.corpus, args.pairs)
+    config = ExperimentConfig(
+        embed_dim=args.embed_dim,
+        hidden_dim=args.hidden_dim,
+        train=TrainConfig(
+            epochs=args.epochs, batch_size=args.batch_size,
+            lr=args.lr, patience=args.patience, verbose=True,
+        ),
+    )
+    train_set, val_set, test_set = make_datasets(bench, config)
+    model = build_model(args.variant, train_set, config)
+    print(f"training seq2vis ({args.variant}) on {len(train_set)} pairs ...")
+    train_model(model, train_set, val_set, config.train)
+    report = evaluate_model(model, test_set, bench)
+    print(f"tree accuracy {report.tree_accuracy:.1%}  "
+          f"result accuracy {report.result_accuracy:.1%}")
+    save_model(model, train_set.in_vocab, train_set.out_vocab, args.out)
+    print(f"saved model to {args.out}")
+    return 0
+
+
+def _cmd_translate(args: argparse.Namespace) -> int:
+    from repro.grammar.serialize import from_tokens, to_text
+    from repro.neural.data import SEP_TOKEN, schema_tokens
+    from repro.neural.model import Batch
+    from repro.neural.persist import load_model
+    from repro.neural.slots import fill_value_slots
+    from repro.nlp.tokenize import tokenize_nl
+
+    import numpy as np
+
+    corpus = load_corpus(args.corpus)
+    if args.database not in corpus.databases:
+        print(f"unknown database {args.database!r}; choices: "
+              f"{sorted(corpus.databases)[:10]} ...", file=sys.stderr)
+        return 2
+    database = corpus.databases[args.database]
+    model, in_vocab, out_vocab = load_model(args.model)
+
+    src_tokens = tokenize_nl(args.question) + [SEP_TOKEN] + schema_tokens(database)
+    src_ids = np.array([in_vocab.encode(src_tokens)])
+    src_out = np.array([[out_vocab.id_of(t) for t in src_tokens]])
+    batch = Batch(
+        src_ids=src_ids,
+        src_mask=np.ones_like(src_ids, dtype=float),
+        src_out_ids=src_out,
+        tgt_in=np.zeros((1, 1), dtype=np.int64),
+        tgt_out=np.zeros((1, 1), dtype=np.int64),
+        tgt_mask=np.zeros((1, 1)),
+    )
+    decoded = model.greedy_decode(batch, out_vocab.bos_id, out_vocab.eos_id)[0]
+    tokens = out_vocab.decode(decoded)
+    print("predicted tokens:", " ".join(tokens))
+    try:
+        tree = from_tokens(tokens)
+        tree = fill_value_slots(tree, args.question, database)
+        print("predicted tree :", to_text(tree))
+    except Exception as exc:  # noqa: BLE001 - report, don't crash
+        print(f"(not a parseable vis tree: {exc})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="nvBench reproduction command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("build-corpus", help="generate a Spider-like corpus")
+    _corpus_args(p)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_build_corpus)
+
+    p = sub.add_parser("build-benchmark", help="synthesize an nvBench-style benchmark")
+    _corpus_args(p)
+    p.add_argument("--corpus", help="reuse a saved corpus JSON")
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_build_benchmark)
+
+    p = sub.add_parser("stats", help="print benchmark statistics")
+    p.add_argument("--corpus", required=True)
+    p.add_argument("--pairs", required=True)
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("train", help="train a seq2vis model")
+    p.add_argument("--corpus", required=True)
+    p.add_argument("--pairs", required=True)
+    p.add_argument("--variant", choices=("basic", "attention", "copy"),
+                   default="attention")
+    p.add_argument("--epochs", type=int, default=20)
+    p.add_argument("--batch-size", type=int, default=24)
+    p.add_argument("--lr", type=float, default=5e-3)
+    p.add_argument("--patience", type=int, default=5)
+    p.add_argument("--embed-dim", type=int, default=56)
+    p.add_argument("--hidden-dim", type=int, default=96)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser("translate", help="translate one NL question")
+    p.add_argument("--corpus", required=True)
+    p.add_argument("--model", required=True)
+    p.add_argument("--database", required=True)
+    p.add_argument("question")
+    p.set_defaults(func=_cmd_translate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

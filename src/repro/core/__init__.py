@@ -1,0 +1,39 @@
+"""The nl2sql-to-nl2vis synthesizer (the paper's primary contribution).
+
+Pipeline (paper Section 2):
+
+1. :mod:`tree_edits` — delete Select/Order subtrees from the SQL AST,
+   insert Group/Binning/Aggregate/Visualize/Order subtrees per the
+   Table 1 chart-validity rules → candidate VIS trees with edit records.
+2. :mod:`filter_model` — a DeepEye-style filter (expert rules + trained
+   classifier) prunes bad charts.
+3. :mod:`nl_edits` + :mod:`backtranslation` — rewrite the source NL to
+   reflect the tree edits, producing several NL variants per VIS.
+4. :mod:`nvbench` — the resulting benchmark container with hardness
+   labels (:mod:`hardness`) and dataset statistics.
+"""
+
+from repro.core.filter_model import ChartFeatures, DeepEyeFilter, extract_features
+from repro.core.hardness import Hardness, classify_hardness
+from repro.core.nvbench import NVBench, NVBenchConfig, NVBenchPair, build_nvbench
+from repro.core.synthesizer import NL2VISSynthesizer, SynthesizedPair
+from repro.core.tree_edits import TreeEdit, VisCandidate, generate_candidates
+from repro.core.vis_rules import chart_specs_for
+
+__all__ = [
+    "ChartFeatures",
+    "DeepEyeFilter",
+    "Hardness",
+    "NL2VISSynthesizer",
+    "NVBench",
+    "NVBenchConfig",
+    "NVBenchPair",
+    "SynthesizedPair",
+    "TreeEdit",
+    "VisCandidate",
+    "build_nvbench",
+    "chart_specs_for",
+    "classify_hardness",
+    "extract_features",
+    "generate_candidates",
+]

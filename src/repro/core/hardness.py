@@ -1,0 +1,120 @@
+"""VIS-query hardness classification (paper Section 3.2).
+
+The paper defines hardness from three ingredients:
+
+* **S1** — the clause subtree kinds {Select, Order, Group, Filter,
+  Superlative} present in the tree;
+* **S2** — three count conditions over A-subtrees, Filter-subtrees, and
+  Group-subtrees;
+* **S3** — the set operators {intersect, union, except}.
+
+The printed rules R1-R5 are somewhat ambiguous; we implement the
+interpretation that reproduces the published distribution (Figure 10:
+medium most common, then easy, hard, extra hard):
+
+* **Easy** — only a Select (no other S1 subtree) with ≤ 2 attributes.
+* **Medium** — one extra S1 subtree, and at most one of the S2 counts
+  reaches 2 (R2); e.g. the canonical grouped-count bar chart.
+* **Hard** — two extra S1 subtrees (R4), or any S2 count exceeding 2 /
+  at least two S2 counts reaching 2 (R3), or a plain set operation over
+  otherwise-simple branches (R5), or a nested subquery.
+* **Extra Hard** — anything beyond: three or more extra S1 subtrees,
+  set operations over non-trivial branches, or combinations of nesting
+  with heavy clause structure.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Union
+
+from repro.grammar.ast_nodes import (
+    InSubquery,
+    QueryCore,
+    SetQuery,
+    SQLQuery,
+    SubqueryComparison,
+    VisQuery,
+)
+
+HARDNESS_LEVELS = ("easy", "medium", "hard", "extra hard")
+
+
+class Hardness(str, Enum):
+    """Spider-style difficulty tiers."""
+
+    EASY = "easy"
+    MEDIUM = "medium"
+    HARD = "hard"
+    EXTRA_HARD = "extra hard"
+
+
+def classify_hardness(query: Union[SQLQuery, VisQuery]) -> Hardness:
+    """Classify *query* into one of the four hardness tiers."""
+    body = query.body
+    if isinstance(body, SetQuery):
+        left = _core_signature(body.left)
+        right = _core_signature(body.right)
+        extra_s1 = max(left["extra_s1"], right["extra_s1"])
+        s2_hits = max(left["s2_hits"], right["s2_hits"])
+        nested = left["nested"] or right["nested"]
+        # R5: a bare set operation is hard; s2_hits ≤ 1 allows the
+        # baseline two-attribute select every chartable query carries.
+        if extra_s1 <= 1 and s2_hits <= 1 and not nested:
+            return Hardness.HARD
+        return Hardness.EXTRA_HARD
+
+    signature = _core_signature(body)
+    extra_s1 = signature["extra_s1"]
+    s2_hits = signature["s2_hits"]
+    nested = signature["nested"]
+
+    if nested:
+        # A nested subquery is at least hard; with heavy clause structure
+        # on top it becomes extra hard.
+        if extra_s1 >= 3 or s2_hits >= 3:
+            return Hardness.EXTRA_HARD
+        return Hardness.HARD
+    if extra_s1 >= 3 or (extra_s1 == 2 and s2_hits >= 3):
+        return Hardness.EXTRA_HARD
+    if extra_s1 == 2 or s2_hits >= 3:
+        # R4 (three S1 subtrees) or R3 (all three S2 counts reach two).
+        return Hardness.HARD
+    if extra_s1 == 1 or signature["n_attrs"] > 2:
+        # R1/R2: Select plus at most one other clause kind.
+        return Hardness.MEDIUM
+    return Hardness.EASY
+
+
+def _core_signature(core: QueryCore) -> dict:
+    n_attrs = len(core.select)
+    n_groups = len(core.groups)
+    n_filters = 0
+    nested = False
+    if core.filter is not None:
+        for pred in core.filter.predicates():
+            if isinstance(pred, (SubqueryComparison, InSubquery)):
+                nested = True
+            if not list(pred.children()):
+                n_filters += 1
+
+    extra_s1 = 0
+    if core.order is not None:
+        extra_s1 += 1
+    if core.superlative is not None:
+        extra_s1 += 1
+    if n_groups:
+        extra_s1 += 1
+    if core.filter is not None:
+        extra_s1 += 1
+
+    # S2: counts reaching two, and counts overflowing two.
+    s2_hits = sum(1 for count in (n_attrs, n_filters, n_groups) if count >= 2)
+    s2_overflow = sum(1 for count in (n_attrs, n_filters, n_groups) if count > 2)
+    return {
+        "n_attrs": n_attrs,
+        "extra_s1": extra_s1,
+        "s2_hits": s2_hits,
+        "s2_overflow": s2_overflow,
+        "nested": nested,
+    }

@@ -1,0 +1,272 @@
+"""NL edits: rewriting the source NL question to match the tree edits.
+
+Section 2.5 of the paper:
+
+* **Insertions** use rule templates (collected from Ask Data / NL4DV /
+  a binning user study) to splice chart-type, grouping, binning,
+  aggregate, and ordering phrases into the NL, with both explicit
+  ("draw a pie chart") and implicit ("show the proportion") phrasings.
+* **Deletions** cannot be rewritten automatically in general — the paper
+  has PhD students revise those by hand (~1 minute each).  Our corpus NL
+  is clause-aligned, so the stand-in "manual" revision removes the
+  deleted columns' mentions from the attribute listing; each such
+  revision is flagged ``manually_edited`` and feeds the Figure 14
+  man-hour accounting.
+* Every produced variant may be smoothed with back-translation
+  (:mod:`repro.core.backtranslation`).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.backtranslation import smooth
+from repro.core.tree_edits import TreeEdit
+from repro.grammar.ast_nodes import Attribute, Group, Order, VisQuery
+
+
+@dataclass(frozen=True)
+class NLVariant:
+    """One synthesized NL query for a VIS tree."""
+
+    text: str
+    manually_edited: bool
+    back_translated: bool
+
+
+#: Explicit chart-type phrasings (Ask Data / NL4DV style).
+_VIS_PREFIXES = {
+    "bar": (
+        "Draw a bar chart about",
+        "Visualize a bar chart for",
+        "Show a bar graph of",
+        "Plot a bar chart showing",
+    ),
+    "pie": (
+        "Draw a pie chart about",
+        "Visualize with a pie chart:",
+        "Show a pie chart for",
+        "Plot a pie graph of",
+    ),
+    "line": (
+        "Draw a line chart about",
+        "Visualize a line chart for",
+        "Show a line graph of",
+        "Plot a line chart showing",
+    ),
+    "scatter": (
+        "Draw a scatter plot about",
+        "Visualize a scatter chart for",
+        "Show a scatter diagram of",
+    ),
+    "stacked bar": (
+        "Draw a stacked bar chart about",
+        "Visualize a stacked bar chart for",
+        "Show a stacked bar graph of",
+    ),
+    "grouping line": (
+        "Draw a multi-series line chart about",
+        "Visualize a grouped line chart for",
+        "Show a line chart with one line per group of",
+    ),
+    "grouping scatter": (
+        "Draw a grouped scatter plot about",
+        "Visualize a colored scatter chart for",
+        "Show a scatter plot grouped by color of",
+    ),
+}
+
+#: Implicit phrasings — no chart word, the intent implies the type.
+_VIS_IMPLICIT = {
+    "bar": ("Compare across categories:", "Give a visual comparison of"),
+    "pie": ("Show the proportion of", "What fraction does each part take:"),
+    "line": ("Show the trend of", "How does it change over time:"),
+    "scatter": ("Show the relationship for", "Is there a correlation:"),
+    "stacked bar": ("Compare the composition of", "Break down by group:"),
+    "grouping line": ("Compare the trends of", "Show how each group evolves:"),
+    "grouping scatter": ("Show the relationship per group for", "Compare correlations across groups:"),
+}
+
+_BIN_PHRASES = {
+    "year": ("by year", "with a bin of one year", "yearly"),
+    "quarter": ("by quarter", "in quarterly buckets", "quarter by quarter"),
+    "month": ("by month", "with a bucket of one month", "monthly"),
+    "weekday": ("by day of the week", "for each weekday"),
+    "hour": ("by hour", "with hourly bins"),
+    "minute": ("by minute", "with one-minute buckets"),
+    "numeric": ("in equal-width bins", "binned into intervals", "as a histogram"),
+}
+
+_AGG_PHRASES = {
+    "sum": "the total {col}",
+    "avg": "the average {col}",
+    "max": "the maximum {col}",
+    "min": "the minimum {col}",
+    "count": "how many there are",
+}
+
+
+def _phrase(name: str) -> str:
+    return name.replace("_", " ")
+
+
+def remove_column_mentions(nl: str, columns: Sequence[str]) -> str:
+    """Remove mentions of deleted columns from an NL attribute listing.
+
+    This is the stand-in for the paper's manual deletion revision; it
+    handles the ``a, b and c`` listing shapes our corpus produces and
+    cleans up leftover separators.
+    """
+    text = nl
+    for column in columns:
+        phrase = re.escape(_phrase(column))
+        # ", col and" -> " and" ; ", col," -> "," ; "col and " -> "" ...
+        patterns = (
+            (rf",\s*{phrase}\s+and\b", " and"),
+            (rf",\s*{phrase}\s*,", ","),
+            (rf"\b{phrase}\s*,\s*", ""),
+            (rf"\s+and\s+{phrase}\b", ""),
+            (rf"\b{phrase}\s+and\s+", ""),
+            (rf",\s*{phrase}\b", ""),
+        )
+        for pattern, replacement in patterns:
+            new_text, count = re.subn(pattern, replacement, text, count=1, flags=re.IGNORECASE)
+            if count:
+                text = new_text
+                break
+    text = re.sub(r"\s{2,}", " ", text)
+    text = re.sub(r"\s+([,.?])", r"\1", text)
+    text = re.sub(r",\s*(and\b)", r" \1", text)
+    return text.strip()
+
+
+def _insertion_clauses(
+    edit: TreeEdit, vis: VisQuery, rng: np.random.Generator
+) -> List[str]:
+    """Trailing clauses describing the inserted Group/Agg/Order nodes."""
+    clauses: List[str] = []
+    for group in edit.added_groups:
+        col = _phrase(group.attr.column)
+        if group.kind == "grouping":
+            template = str(
+                rng.choice(
+                    [
+                        f"for each {col}",
+                        f"by each {col}",
+                        f"grouped by {col}",
+                        f"per {col}",
+                    ]
+                )
+            )
+        else:
+            unit_phrase = str(rng.choice(_BIN_PHRASES[group.bin_unit]))
+            template = str(
+                rng.choice(
+                    [
+                        f"bin the {col} {unit_phrase}",
+                        f"bucket {col} {unit_phrase}",
+                        f"with {col} {unit_phrase}",
+                    ]
+                )
+            )
+        clauses.append(template)
+    if edit.added_count:
+        clauses.append(
+            str(
+                rng.choice(
+                    [
+                        "and count how many there are",
+                        "showing the number of records",
+                        "and show how many we have",
+                    ]
+                )
+            )
+        )
+    elif edit.added_aggregate is not None:
+        measure = vis.primary_core.select[1]
+        agg_phrase = _AGG_PHRASES[edit.added_aggregate].format(
+            col=_phrase(measure.column)
+        )
+        clauses.append(
+            str(rng.choice([f"showing {agg_phrase}", f"and compute {agg_phrase}"]))
+        )
+    if edit.added_order is not None:
+        clauses.append(_order_clause(edit.added_order, rng))
+    return clauses
+
+
+def _order_clause(order: Order, rng: np.random.Generator) -> str:
+    col = _phrase(order.attr.column) if order.attr.column != "*" else "the total number"
+    word = "ascending" if order.direction == "asc" else "descending"
+    return str(
+        rng.choice(
+            [
+                f"sort by {col} in {word} order",
+                f"order the result by {col} {word}",
+                f"and rank by {col} from "
+                + ("low to high" if order.direction == "asc" else "high to low"),
+            ]
+        )
+    )
+
+
+def synthesize_nl_variants(
+    source_nl: str,
+    edit: TreeEdit,
+    vis: VisQuery,
+    rng: np.random.Generator,
+    n_variants: Optional[int] = None,
+    back_translate: bool = True,
+) -> List[NLVariant]:
+    """Produce NL variants for one VIS tree (Section 2.5).
+
+    The number of variants defaults to 2-6 (nvBench averages ~3.7 per
+    vis); roughly half are smoothed with back-translation.
+    """
+    if n_variants is None:
+        n_variants = int(rng.integers(3, 8))
+    deleted_columns = [
+        attr.column for attr in edit.deleted_attrs if attr.column != "*"
+    ]
+    base = source_nl
+    manually_edited = False
+    if deleted_columns:
+        revised = remove_column_mentions(base, deleted_columns)
+        manually_edited = revised != base
+        base = revised
+    base_body = base.rstrip(" .?!")
+
+    prefixes = list(_VIS_PREFIXES[vis.vis_type]) + list(_VIS_IMPLICIT[vis.vis_type])
+    order = rng.permutation(len(prefixes))
+    variants: List[NLVariant] = []
+    seen = set()
+    for index in range(n_variants * 2):
+        prefix = prefixes[int(order[index % len(prefixes)])]
+        clauses = _insertion_clauses(edit, vis, rng)
+        body = base_body[0].lower() + base_body[1:] if base_body else base_body
+        text = prefix + " " + body
+        if clauses:
+            text += ", " + ", ".join(clauses)
+        text += "."
+        # Section 2.5: *all* NL specifications are smoothed with
+        # back-translation; the per-word coin flips inside ``smooth``
+        # give each variant a different surface form.
+        translated = back_translate
+        if translated:
+            text = smooth(text, rng)
+        if text not in seen:
+            seen.add(text)
+            variants.append(
+                NLVariant(
+                    text=text,
+                    manually_edited=manually_edited,
+                    back_translated=translated,
+                )
+            )
+        if len(variants) >= n_variants:
+            break
+    return variants

@@ -1,0 +1,196 @@
+"""The nvBench-style benchmark: container, builder, and statistics.
+
+``build_nvbench`` drives the full paper pipeline: build (or accept) a
+Spider-like corpus, train the DeepEye-style filter on a sample of
+candidate charts, run the synthesizer over every (NL, SQL) pair, and
+assemble the resulting (NL, VIS) pairs with hardness labels.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.filter_model import DeepEyeFilter, train_filter_from_candidates
+from repro.core.synthesizer import NL2VISSynthesizer, SynthesizedPair
+from repro.core.tree_edits import TreeEditConfig, generate_candidates
+from repro.grammar.ast_nodes import VisQuery
+from repro.grammar.serialize import from_tokens, to_tokens
+from repro.spider.corpus import CorpusConfig, SpiderCorpus, build_spider_corpus
+from repro.storage.schema import Database
+
+
+@dataclass
+class NVBenchConfig:
+    """End-to-end build configuration."""
+
+    corpus: CorpusConfig = field(default_factory=CorpusConfig)
+    tree_edits: TreeEditConfig = field(default_factory=TreeEditConfig)
+    #: VIS trees kept per input SQL query after filtering
+    max_vis_per_query: int = 2
+    #: how many input pairs to featurize when training the filter
+    filter_training_pairs: int = 150
+    #: train the classifier stage (False = rules + teacher only)
+    train_filter: bool = True
+    seed: int = 11
+
+
+@dataclass(frozen=True)
+class NVBenchPair(SynthesizedPair):
+    """Alias of :class:`SynthesizedPair` under its benchmark name."""
+
+
+@dataclass
+class NVBench:
+    """The synthesized benchmark: databases plus (NL, VIS) pairs."""
+
+    corpus: SpiderCorpus
+    pairs: List[SynthesizedPair] = field(default_factory=list)
+
+    @property
+    def databases(self) -> Dict[str, Database]:
+        """Name → database map of the underlying corpus."""
+        return self.corpus.databases
+
+    def database_of(self, pair: SynthesizedPair) -> Database:
+        """The database a pair was synthesized over."""
+        return self.corpus.databases[pair.db_name]
+
+    @property
+    def distinct_vis(self) -> List[Tuple[str, VisQuery]]:
+        """Distinct (db, vis-tree) pairs — the paper's "#-vis"."""
+        seen = dict.fromkeys((pair.db_name, pair.vis) for pair in self.pairs)
+        return list(seen)
+
+    def vis_type_counts(self) -> Counter:
+        """Distinct-vis counts per chart type (Table 3's #-vis)."""
+        return Counter(db_vis[1].vis_type for db_vis in self.distinct_vis)
+
+    def pair_type_counts(self) -> Counter:
+        """(NL, VIS) pair counts per chart type."""
+        return Counter(pair.vis_type for pair in self.pairs)
+
+    def hardness_counts(self) -> Counter:
+        """Pair counts per hardness tier."""
+        return Counter(pair.hardness.value for pair in self.pairs)
+
+    def type_hardness_matrix(self) -> Dict[Tuple[str, str], int]:
+        """Counts of distinct vis per (vis type, hardness) — Figure 10."""
+        from repro.core.hardness import classify_hardness
+
+        matrix: Counter = Counter()
+        for _, vis in self.distinct_vis:
+            matrix[(vis.vis_type, classify_hardness(vis).value)] += 1
+        return dict(matrix)
+
+    @property
+    def manual_edit_pairs(self) -> List[SynthesizedPair]:
+        """Pairs whose NL needed the manual deletion revision."""
+        return [pair for pair in self.pairs if pair.manually_edited]
+
+
+def build_nvbench(
+    corpus: Optional[SpiderCorpus] = None,
+    config: Optional[NVBenchConfig] = None,
+) -> NVBench:
+    """Run the full nl2sql-to-nl2vis pipeline and return the benchmark."""
+    config = config or NVBenchConfig()
+    if corpus is None:
+        corpus = build_spider_corpus(config.corpus)
+
+    chart_filter = _make_filter(corpus, config)
+    synthesizer = NL2VISSynthesizer(
+        chart_filter=chart_filter,
+        tree_config=config.tree_edits,
+        max_vis_per_query=config.max_vis_per_query,
+        seed=config.seed,
+    )
+    bench = NVBench(corpus=corpus)
+    for pair in corpus.pairs:
+        database = corpus.databases[pair.db_name]
+        synthesized = synthesizer.synthesize(pair.nl, pair.query, database)
+        for item in synthesized:
+            bench.pairs.append(
+                SynthesizedPair(
+                    nl=item.nl,
+                    vis=item.vis,
+                    db_name=item.db_name,
+                    hardness=item.hardness,
+                    source_nl=pair.nl,
+                    source_sql=pair.sql,
+                    manually_edited=item.manually_edited,
+                    back_translated=item.back_translated,
+                )
+            )
+    return bench
+
+
+def _make_filter(corpus: SpiderCorpus, config: NVBenchConfig) -> DeepEyeFilter:
+    if not config.train_filter:
+        return DeepEyeFilter()
+    rng = np.random.default_rng(config.seed)
+    sample_size = min(config.filter_training_pairs, len(corpus.pairs))
+    if sample_size == 0:
+        return DeepEyeFilter()
+    indexes = rng.choice(len(corpus.pairs), size=sample_size, replace=False)
+    charts = []
+    for index in indexes:
+        pair = corpus.pairs[int(index)]
+        database = corpus.databases[pair.db_name]
+        for candidate in generate_candidates(pair.query, database, config.tree_edits):
+            charts.append((candidate.vis, database))
+    return train_filter_from_candidates(charts, seed=config.seed)
+
+
+# ----- JSON (de)serialization ---------------------------------------------
+
+
+def save_nvbench_pairs(bench: NVBench, path: str) -> None:
+    """Write the (NL, VIS) pairs (not the databases) to JSON; VIS trees
+    are stored in their canonical token form."""
+    from repro.core.hardness import Hardness  # local to avoid cycle at import
+
+    payload = [
+        {
+            "nl": pair.nl,
+            "vis_tokens": to_tokens(pair.vis),
+            "db_name": pair.db_name,
+            "hardness": pair.hardness.value,
+            "source_nl": pair.source_nl,
+            "source_sql": pair.source_sql,
+            "manually_edited": pair.manually_edited,
+            "back_translated": pair.back_translated,
+        }
+        for pair in bench.pairs
+    ]
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_nvbench_pairs(corpus: SpiderCorpus, path: str) -> NVBench:
+    """Load pairs saved by :func:`save_nvbench_pairs` over *corpus*."""
+    from repro.core.hardness import Hardness
+
+    payload = json.loads(Path(path).read_text())
+    bench = NVBench(corpus=corpus)
+    for item in payload:
+        vis = from_tokens(item["vis_tokens"])
+        if not isinstance(vis, VisQuery):
+            raise ValueError("stored tokens do not form a vis query")
+        bench.pairs.append(
+            SynthesizedPair(
+                nl=item["nl"],
+                vis=vis,
+                db_name=item["db_name"],
+                hardness=Hardness(item["hardness"]),
+                source_nl=item["source_nl"],
+                source_sql=item["source_sql"],
+                manually_edited=item["manually_edited"],
+                back_translated=item["back_translated"],
+            )
+        )
+    return bench

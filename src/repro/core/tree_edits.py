@@ -1,0 +1,394 @@
+"""Tree edits: generating candidate VIS trees from one SQL tree.
+
+Implements Section 2.3 of the paper:
+
+* **Deletions** (∆⁻) operate only on Select and Order.  The select list
+  is re-enumerated as all 1-, 2-, and 3-attribute combinations; Order is
+  kept and dropped.  Filter, Superlative, and existing grouping subtrees
+  stay untouched (they map directly to vis languages), so combinations
+  that would orphan a Superlative or grouping attribute are skipped.
+* **Insertions** (∆⁺) add grouping/binning (temporal columns bin by a
+  configurable set of calendar units, numeric columns by equal-width
+  bins), an aggregate on the measure axis when grouping demands one, the
+  ``Visualize`` subtree itself (per the Table 1 rules), and optionally a
+  sort on bar-family charts.
+
+Every candidate carries a :class:`TreeEdit` record of its ∆ — the NL
+edit stage replays these edits against the source NL question.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from itertools import combinations
+from typing import List, Optional, Sequence, Tuple
+
+from repro.grammar.ast_nodes import (
+    Attribute,
+    Group,
+    Order,
+    QueryCore,
+    SetQuery,
+    SQLQuery,
+    VisQuery,
+)
+from repro.grammar.errors import GrammarError
+from repro.grammar.validate import ORDERABLE_VIS_TYPES, validate_query
+from repro.core.vis_rules import (
+    GROUP_BINNING,
+    GROUP_GROUPING,
+    GROUP_NONE,
+    ChartSpec,
+    arrange_axes,
+    chart_specs_for,
+)
+from repro.storage.schema import Database
+
+
+@dataclass(frozen=True)
+class TreeEdit:
+    """The ∆ between the SQL tree and one candidate VIS tree."""
+
+    deleted_attrs: Tuple[Attribute, ...] = ()
+    deleted_order: Optional[Order] = None
+    added_groups: Tuple[Group, ...] = ()
+    added_aggregate: Optional[str] = None
+    added_count: bool = False
+    added_vis: str = "bar"
+    added_order: Optional[Order] = None
+
+    @property
+    def has_deletions(self) -> bool:
+        """True when the edit removed Select attributes or the Order."""
+        return bool(self.deleted_attrs) or self.deleted_order is not None
+
+
+@dataclass(frozen=True)
+class VisCandidate:
+    """A candidate VIS tree plus its provenance."""
+
+    vis: VisQuery
+    edit: TreeEdit
+    source: SQLQuery
+
+
+@dataclass
+class TreeEditConfig:
+    """Knobs bounding the candidate enumeration."""
+
+    #: aggregate functions tried on the measure axis when one is needed
+    #: and the source attribute carries none
+    aggregates: Tuple[str, ...] = ("sum", "avg")
+    #: calendar units tried when binning a temporal x axis
+    temporal_units: Tuple[str, ...] = ("year", "month", "weekday")
+    #: add a sorted-by-measure variant for bar-family charts
+    add_sorted_variants: bool = True
+    #: hard cap on candidates per input query
+    max_candidates: int = 40
+
+
+def generate_candidates(
+    query: SQLQuery,
+    database: Database,
+    config: Optional[TreeEditConfig] = None,
+) -> List[VisCandidate]:
+    """Enumerate candidate VIS trees for *query* against *database*."""
+    config = config or TreeEditConfig()
+    body = query.body
+    if isinstance(body, SetQuery):
+        candidates = _set_query_candidates(query, body, database, config)
+    else:
+        candidates = _core_candidates(query, body, database, config)
+    deduped: dict = {}
+    for candidate in candidates:
+        deduped.setdefault(candidate.vis, candidate)
+    out = list(deduped.values())[: config.max_candidates]
+    for candidate in out:
+        validate_query(candidate.vis)
+    return out
+
+
+# ----- set-operation queries ----------------------------------------------
+
+
+def _set_query_candidates(
+    query: SQLQuery,
+    body: SetQuery,
+    database: Database,
+    config: TreeEditConfig,
+) -> List[VisCandidate]:
+    """VIS over a set operation: no deletions/insertions inside the
+    branches — only a Visualize node on top, when the (shared) select
+    signature already supports a group-free chart."""
+    if len(body.left.select) != len(body.right.select):
+        return []
+    signature = [_attr_type(attr, database) for attr in body.left.select]
+    candidates = []
+    for spec in chart_specs_for(signature):
+        if spec.x_group != GROUP_NONE or spec.needs_aggregate:
+            continue
+        if len(body.left.select) != spec.arity:
+            continue
+        vis = VisQuery(vis_type=spec.vis_type, body=body)
+        candidates.append(
+            VisCandidate(vis=vis, edit=TreeEdit(added_vis=spec.vis_type), source=query)
+        )
+    return candidates
+
+
+# ----- single-core queries -------------------------------------------------
+
+
+def _core_candidates(
+    query: SQLQuery,
+    core: QueryCore,
+    database: Database,
+    config: TreeEditConfig,
+) -> List[VisCandidate]:
+    original_attrs = list(dict.fromkeys(core.select))
+    required = _required_attrs(core)
+    candidates: List[VisCandidate] = []
+    for subset in _attr_subsets(original_attrs, required):
+        deleted = tuple(a for a in original_attrs if a not in subset)
+        for order_kept in _order_variants(core):
+            candidates.extend(
+                _insertions_for(
+                    query, core, subset, deleted, order_kept, database, config
+                )
+            )
+    return candidates
+
+
+def _required_attrs(core: QueryCore) -> List[Attribute]:
+    """Attributes that deletions must keep: grouping columns (their
+    subtrees are invariant) and the Superlative's target."""
+    required = [group.attr.bare() for group in core.groups if group.kind == "grouping"]
+    if core.superlative is not None:
+        required.append(core.superlative.attr)
+    return required
+
+
+def _attr_subsets(
+    attrs: List[Attribute], required: List[Attribute]
+) -> List[Tuple[Attribute, ...]]:
+    subsets: List[Tuple[Attribute, ...]] = []
+    max_size = min(3, len(attrs))
+    for size in range(1, max_size + 1):
+        for combo in combinations(attrs, size):
+            if all(_contains(combo, req) for req in required):
+                subsets.append(combo)
+    return subsets
+
+
+def _contains(combo: Sequence[Attribute], required: Attribute) -> bool:
+    return any(
+        attr.qualified_name == required.qualified_name
+        and (attr.agg == required.agg or required.agg is None)
+        for attr in combo
+    )
+
+
+def _order_variants(core: QueryCore) -> List[Optional[Order]]:
+    """Keep the original Order and also try the tree without it
+    (Section 2.3: Order may not be needed for some visualizations)."""
+    if core.order is None:
+        return [None]
+    return [core.order, None]
+
+
+def _attr_type(attr: Attribute, database: Database) -> str:
+    if attr.is_aggregated:
+        return "Q"
+    return database.column_type(attr.table, attr.column)
+
+
+def _insertions_for(
+    query: SQLQuery,
+    core: QueryCore,
+    subset: Tuple[Attribute, ...],
+    deleted: Tuple[Attribute, ...],
+    order_kept: Optional[Order],
+    database: Database,
+    config: TreeEditConfig,
+) -> List[VisCandidate]:
+    signature = [_attr_type(attr, database) for attr in subset]
+    typed = list(zip(subset, signature))
+    out: List[VisCandidate] = []
+    for spec in chart_specs_for(signature):
+        if spec.arity == 2 and len(subset) == 1 and not spec.count_measure:
+            continue
+        out.extend(
+            _build_candidates(
+                query, core, typed, deleted, order_kept, spec, database, config
+            )
+        )
+    return out
+
+
+def _build_candidates(
+    query: SQLQuery,
+    core: QueryCore,
+    typed: List[Tuple[Attribute, str]],
+    deleted: Tuple[Attribute, ...],
+    order_kept: Optional[Order],
+    spec: ChartSpec,
+    database: Database,
+    config: TreeEditConfig,
+) -> List[VisCandidate]:
+    if spec.count_measure:
+        # One-variable specs: the single kept attribute is the x axis and
+        # the measure is a synthesized COUNT(*).
+        x_attr = typed[0][0]
+        color_attr = None
+        measures = [Attribute(column="*", table=x_attr.table, agg="count")]
+        added_count = True
+    else:
+        axes = arrange_axes(typed, spec)
+        x_attr = axes[0]
+        color_attr = axes[2] if spec.arity == 3 else None
+        y_attr = axes[1]
+        added_count = False
+        if spec.needs_aggregate and not y_attr.is_aggregated:
+            measures = [replace(y_attr, agg=agg) for agg in config.aggregates]
+        else:
+            measures = [y_attr]
+    # The x and color axes must be raw columns: an aggregate (notably
+    # COUNT(*)) can only ever be the measure.
+    if x_attr.is_aggregated or (color_attr is not None and color_attr.is_aggregated):
+        return []
+
+    group_variants = _group_variants(spec, x_attr, color_attr, core, database, config)
+
+    out: List[VisCandidate] = []
+    for measure in measures:
+        for groups, added_groups in group_variants:
+            select: Tuple[Attribute, ...] = (x_attr.bare(), measure)
+            if color_attr is not None:
+                select = select + (color_attr.bare(),)
+            orders = _final_orders(spec, order_kept, select, measure, config)
+            for order, added_order in orders:
+                try:
+                    vis_core = QueryCore(
+                        select=select,
+                        filter=core.filter,
+                        groups=groups,
+                        order=order,
+                        superlative=_kept_superlative(core, select),
+                    )
+                    vis = VisQuery(vis_type=spec.vis_type, body=vis_core)
+                    validate_query(vis)
+                except (ValueError, GrammarError):
+                    # The spec clashed with the invariant subtrees (e.g. a
+                    # group-free chart over a query whose grouping must be
+                    # kept) — not a valid candidate.
+                    continue
+                deleted_order = (
+                    core.order
+                    if core.order is not None and order != core.order
+                    else None
+                )
+                edit = TreeEdit(
+                    deleted_attrs=deleted,
+                    deleted_order=deleted_order,
+                    added_groups=added_groups,
+                    added_aggregate=measure.agg if measure.agg and not added_count else None,
+                    added_count=added_count,
+                    added_vis=spec.vis_type,
+                    added_order=added_order,
+                )
+                out.append(VisCandidate(vis=vis, edit=edit, source=query))
+    return out
+
+
+def _group_variants(
+    spec: ChartSpec,
+    x_attr: Attribute,
+    color_attr: Optional[Attribute],
+    core: QueryCore,
+    database: Database,
+    config: TreeEditConfig,
+) -> List[Tuple[Tuple[Group, ...], Tuple[Group, ...]]]:
+    """Enumerate (groups, added_groups) pairs for the candidate.
+
+    Groups already present in the SQL tree are invariant and reused;
+    anything beyond them counts as an insertion.
+    """
+    existing = {group.attr.qualified_name: group for group in core.groups}
+
+    def x_groups() -> List[Tuple[Optional[Group], bool]]:
+        if spec.x_group == GROUP_NONE:
+            return [(None, False)]
+        if x_attr.qualified_name in existing:
+            return [(existing[x_attr.qualified_name], False)]
+        if spec.x_group == GROUP_GROUPING:
+            return [(Group(kind="grouping", attr=x_attr.bare()), True)]
+        ctype = database.column_type(x_attr.table, x_attr.column)
+        if ctype == "T":
+            return [
+                (Group(kind="binning", attr=x_attr.bare(), bin_unit=unit), True)
+                for unit in config.temporal_units
+            ]
+        return [(Group(kind="binning", attr=x_attr.bare(), bin_unit="numeric"), True)]
+
+    variants: List[Tuple[Tuple[Group, ...], Tuple[Group, ...]]] = []
+    for x_group, x_added in x_groups():
+        groups: List[Group] = []
+        added: List[Group] = []
+        if x_group is not None:
+            groups.append(x_group)
+            if x_added:
+                added.append(x_group)
+        if color_attr is not None and spec.color_group == GROUP_GROUPING:
+            if color_attr.qualified_name in existing:
+                color_group = existing[color_attr.qualified_name]
+                groups.append(color_group)
+            else:
+                color_group = Group(kind="grouping", attr=color_attr.bare())
+                groups.append(color_group)
+                added.append(color_group)
+        # Existing grouping subtrees are invariant — re-attach any that the
+        # spec did not already place.  (QueryCore allows at most two; if
+        # re-attaching overflows or clashes, candidate construction skips
+        # this variant.)
+        present = {group.attr.qualified_name for group in groups}
+        for qualified, group in existing.items():
+            if qualified not in present:
+                groups.append(group)
+        if len(groups) > 2:
+            continue
+        variants.append((tuple(groups), tuple(added)))
+    return variants
+
+
+def _final_orders(
+    spec: ChartSpec,
+    order_kept: Optional[Order],
+    select: Tuple[Attribute, ...],
+    measure: Attribute,
+    config: TreeEditConfig,
+) -> List[Tuple[Optional[Order], Optional[Order]]]:
+    """(order, added_order) variants for the candidate."""
+    orderable = spec.vis_type in ORDERABLE_VIS_TYPES
+    variants: List[Tuple[Optional[Order], Optional[Order]]] = []
+    if order_kept is not None and orderable and _contains(select, order_kept.attr):
+        variants.append((order_kept, None))
+    else:
+        variants.append((None, None))
+    if (
+        config.add_sorted_variants
+        and orderable
+        and spec.needs_aggregate
+        and spec.vis_type in ("bar", "stacked bar")
+        and order_kept is None
+    ):
+        inserted = Order(direction="desc", attr=measure)
+        variants.append((inserted, inserted))
+    return variants
+
+
+def _kept_superlative(core: QueryCore, select: Tuple[Attribute, ...]):
+    if core.superlative is None:
+        return None
+    if _contains(select, core.superlative.attr):
+        return core.superlative
+    return None

@@ -1,0 +1,145 @@
+"""Table 1: rules for syntactically correct charts.
+
+Maps the column-type signature of a candidate attribute combination
+(C categorical, T temporal, Q quantitative) to the chart specs that are
+valid for it — which vis types, and which group/binning/aggregate
+operations must be inserted.
+
+One extension beyond the printed table: a single bare Q variable maps to
+a binned histogram (``bar``), which the paper's corpus includes ("bar
+(histogram)" in Section 3.2) but Table 1 leaves implicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+#: group operations a chart spec may require on an axis
+GROUP_NONE = "none"
+GROUP_GROUPING = "grouping"
+GROUP_BINNING = "binning"
+
+
+@dataclass(frozen=True)
+class ChartSpec:
+    """One way to visualize an attribute combination.
+
+    ``axes`` lists the roles in select order (x, y, optional color);
+    ``x_group`` / ``color_group`` say which group operation the x/color
+    attribute needs; ``needs_aggregate`` says whether the measure (y)
+    axis must carry an aggregate function.
+    """
+
+    vis_type: str
+    x_group: str
+    needs_aggregate: bool
+    color_group: str = GROUP_NONE
+    count_measure: bool = False
+
+    @property
+    def arity(self) -> int:
+        """Number of select attributes this chart type carries."""
+        return 3 if self.vis_type in ("stacked bar", "grouping line", "grouping scatter") else 2
+
+
+def chart_specs_for(signature: Sequence[str]) -> List[ChartSpec]:
+    """Valid chart specs for a type *signature* (tuple of C/T/Q).
+
+    The signature describes the *bare* attributes kept from the SQL
+    select list, in any order; callers are responsible for arranging
+    axes.  Returns an empty list for combinations Table 1 rejects
+    (e.g. two categorical variables on a line chart).
+    """
+    key = tuple(sorted(signature))
+    return list(_RULES.get(key, ()))
+
+
+_RULES = {
+    # --- one variable ---------------------------------------------------
+    ("C",): (
+        ChartSpec("bar", GROUP_GROUPING, True, count_measure=True),
+        ChartSpec("pie", GROUP_GROUPING, True, count_measure=True),
+    ),
+    ("T",): (
+        ChartSpec("bar", GROUP_BINNING, True, count_measure=True),
+        ChartSpec("pie", GROUP_BINNING, True, count_measure=True),
+        ChartSpec("line", GROUP_BINNING, True, count_measure=True),
+    ),
+    # Histogram extension: bin the quantitative axis, count per bin.
+    ("Q",): (
+        ChartSpec("bar", GROUP_BINNING, True, count_measure=True),
+    ),
+    # --- two variables --------------------------------------------------
+    # Group-free specs come first: when both the plain and the grouped
+    # chart are good, the simpler tree is the preferred candidate.
+    ("C", "Q"): (
+        ChartSpec("bar", GROUP_NONE, False),
+        ChartSpec("pie", GROUP_NONE, False),
+        ChartSpec("bar", GROUP_GROUPING, True),
+        ChartSpec("pie", GROUP_GROUPING, True),
+    ),
+    ("Q", "T"): (
+        ChartSpec("line", GROUP_NONE, False),
+        ChartSpec("bar", GROUP_BINNING, True),
+        ChartSpec("pie", GROUP_BINNING, True),
+        ChartSpec("line", GROUP_BINNING, True),
+    ),
+    ("Q", "Q"): (
+        ChartSpec("scatter", GROUP_NONE, False),
+    ),
+    # --- three variables ------------------------------------------------
+    ("C", "Q", "T"): (
+        ChartSpec("grouping line", GROUP_BINNING, True, color_group=GROUP_GROUPING),
+        ChartSpec("stacked bar", GROUP_BINNING, True, color_group=GROUP_GROUPING),
+    ),
+    ("C", "C", "Q"): (
+        ChartSpec("stacked bar", GROUP_GROUPING, True, color_group=GROUP_GROUPING),
+    ),
+    # Grouping scatter colors raw points by the categorical variable —
+    # the color channel is an encoding, not a GROUP BY aggregation.
+    ("C", "Q", "Q"): (
+        ChartSpec("grouping scatter", GROUP_NONE, False, color_group=GROUP_NONE),
+    ),
+}
+
+
+def arrange_axes(
+    attrs_with_types: Sequence[Tuple[object, str]], spec: ChartSpec
+) -> List[object]:
+    """Order attributes into (x, y[, color]) roles for *spec*.
+
+    Picks the x attribute by the type the spec's x-group operation makes
+    sense for (T for binning-by-time, C for grouping, Q otherwise), the
+    color attribute as the remaining categorical one for three-variable
+    charts, and the measure as what is left.
+    """
+    remaining = list(attrs_with_types)
+
+    def take(predicate) -> object:
+        for index, (attr, ctype) in enumerate(remaining):
+            if predicate(ctype):
+                remaining.pop(index)
+                return attr
+        attr, _ = remaining.pop(0)
+        return attr
+
+    if spec.arity == 3:
+        if spec.vis_type == "grouping scatter":
+            color = take(lambda t: t == "C")
+            x = take(lambda t: t == "Q")
+            y = take(lambda t: True)
+        else:
+            x_type = "T" if spec.x_group == GROUP_BINNING else "C"
+            x = take(lambda t: t == x_type)
+            color = take(lambda t: t == "C")
+            y = take(lambda t: True)
+        return [x, y, color]
+    if spec.x_group == GROUP_BINNING:
+        x = take(lambda t: t in ("T", "Q"))
+    elif spec.x_group == GROUP_GROUPING:
+        x = take(lambda t: t == "C")
+    else:
+        x = take(lambda t: t in ("C", "T"))
+    y = take(lambda t: True)
+    return [x, y]

@@ -1,0 +1,28 @@
+"""Evaluation: metrics, splits, model harness, and study simulations.
+
+* :mod:`splits` — the 80 / 4.5 / 15.5 train/val/test split (Section 4.2)
+* :mod:`metrics` — tree / result / component matching accuracy
+* :mod:`harness` — end-to-end seq2vis training + evaluation driver
+* :mod:`crowd` — the expert/crowd human-study simulation (Section 3.3)
+* :mod:`lowrated` — the low-rated-pair injection experiment (Section 4.5)
+"""
+
+from repro.eval.harness import EvaluationReport, evaluate_model, train_and_evaluate
+from repro.eval.metrics import (
+    PairOutcome,
+    component_match,
+    result_match,
+    tree_match,
+)
+from repro.eval.splits import split_pairs
+
+__all__ = [
+    "EvaluationReport",
+    "PairOutcome",
+    "component_match",
+    "evaluate_model",
+    "result_match",
+    "split_pairs",
+    "train_and_evaluate",
+    "tree_match",
+]

@@ -1,0 +1,127 @@
+"""Error analysis for seq2vis predictions.
+
+The paper's Table 4 discussion attributes most remaining errors to the
+axes (especially the aggregate on the y axis); this module makes that
+analysis a first-class tool: each wrong prediction is assigned its most
+specific error category, and the report aggregates category counts by
+hardness and vis type.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.eval.metrics import _masked  # shared canonicalization
+from repro.grammar.ast_nodes import VisQuery
+
+#: Error categories from most to least specific; a wrong prediction is
+#: labelled with the FIRST category that applies.
+ERROR_CATEGORIES = (
+    "unparseable",          # decoder output is not a valid vis tree
+    "wrong_vis_type",       # chart type differs
+    "wrong_tables",         # different table set (join errors)
+    "wrong_axis_columns",   # right type, different selected columns
+    "wrong_aggregate",      # same columns, different aggregate function
+    "wrong_group_or_bin",   # grouping/binning structure differs
+    "wrong_filter",         # filter predicates differ
+    "wrong_order_or_limit", # order/superlative differs
+    "other",                # anything else
+)
+
+
+@dataclass
+class ErrorRecord:
+    """One analysed prediction."""
+
+    category: Optional[str]  # None when the prediction is correct
+    vis_type: str
+    hardness: str
+
+
+@dataclass
+class ErrorReport:
+    """Aggregated error analysis."""
+
+    records: List[ErrorRecord] = field(default_factory=list)
+
+    @property
+    def n_errors(self) -> int:
+        return sum(1 for record in self.records if record.category is not None)
+
+    def category_counts(self) -> Counter:
+        """Counts per error category, most common first."""
+        return Counter(
+            record.category for record in self.records if record.category
+        )
+
+    def by_hardness(self) -> Dict[str, Counter]:
+        """Error-category counts per hardness tier."""
+        out: Dict[str, Counter] = defaultdict(Counter)
+        for record in self.records:
+            if record.category:
+                out[record.hardness][record.category] += 1
+        return dict(out)
+
+    def dominant_category(self) -> Optional[str]:
+        counts = self.category_counts()
+        if not counts:
+            return None
+        return counts.most_common(1)[0][0]
+
+
+def categorize_error(
+    predicted: Optional[VisQuery], gold: VisQuery
+) -> Optional[str]:
+    """The most specific error category for a prediction, or ``None``
+    when the (value-masked) trees match exactly."""
+    if predicted is None:
+        return "unparseable"
+    try:
+        pred = _masked(predicted)
+    except Exception:
+        return "unparseable"
+    gold_masked = _masked(gold)
+    if pred == gold_masked:
+        return None
+    if pred.vis_type != gold_masked.vis_type:
+        return "wrong_vis_type"
+    pred_core = pred.primary_core
+    gold_core = gold_masked.primary_core
+    if set(pred_core.tables) != set(gold_core.tables):
+        return "wrong_tables"
+    pred_columns = tuple(a.qualified_name for a in pred_core.select)
+    gold_columns = tuple(a.qualified_name for a in gold_core.select)
+    if pred_columns != gold_columns:
+        return "wrong_axis_columns"
+    pred_aggs = tuple(a.agg for a in pred_core.select)
+    gold_aggs = tuple(a.agg for a in gold_core.select)
+    if pred_aggs != gold_aggs:
+        return "wrong_aggregate"
+    if pred_core.groups != gold_core.groups:
+        return "wrong_group_or_bin"
+    if pred_core.filter != gold_core.filter:
+        return "wrong_filter"
+    if (
+        pred_core.order != gold_core.order
+        or pred_core.superlative != gold_core.superlative
+    ):
+        return "wrong_order_or_limit"
+    return "other"
+
+
+def analyse(
+    predictions: List[Tuple[Optional[VisQuery], VisQuery, str, str]],
+) -> ErrorReport:
+    """Analyse ``(predicted, gold, vis_type, hardness)`` tuples."""
+    report = ErrorReport()
+    for predicted, gold, vis_type, hardness in predictions:
+        report.records.append(
+            ErrorRecord(
+                category=categorize_error(predicted, gold),
+                vis_type=vis_type,
+                hardness=hardness,
+            )
+        )
+    return report

@@ -1,0 +1,132 @@
+"""Evaluation metrics (Section 4.2).
+
+* **Tree matching accuracy** — the predicted VIS AST exactly equals the
+  gold AST (compared in value-masked form, since seq2vis predicts the
+  tree shape and values are filled by a separate heuristic).
+* **Result matching accuracy** — the predicted query, with values
+  restored by the slot heuristic, *renders the same chart data* as the
+  gold query even if the trees differ.
+* **Component matching accuracy** — per-component comparison: the vis
+  type, the axes (Select), and the data operations (Where / Join /
+  Grouping / Binning / Order), mirroring Table 4's columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+from repro.core.hardness import Hardness
+from repro.grammar.ast_nodes import (
+    Group,
+    QueryCore,
+    SetQuery,
+    SQLQuery,
+    VisQuery,
+)
+from repro.grammar.serialize import from_tokens, to_tokens
+from repro.storage.schema import Database
+from repro.vis.data import render_data
+
+COMPONENTS = ("select", "where", "join", "grouping", "binning", "order")
+
+
+def _masked(query: VisQuery) -> VisQuery:
+    """Canonical value-masked form for shape comparison."""
+    rebuilt = from_tokens(to_tokens(query, mask_values=True))
+    assert isinstance(rebuilt, VisQuery)
+    return rebuilt
+
+
+def tree_match(predicted: Optional[VisQuery], gold: VisQuery) -> bool:
+    """Exact AST equality in value-masked form."""
+    if predicted is None:
+        return False
+    try:
+        return _masked(predicted) == _masked(gold)
+    except Exception:
+        return False
+
+
+def result_match(
+    predicted: Optional[VisQuery], gold: VisQuery, database: Database
+) -> bool:
+    """Same chart type and same rendered data (order-insensitive)."""
+    if predicted is None:
+        return False
+    try:
+        left = render_data(predicted, database).canonical()
+        right = render_data(gold, database).canonical()
+    except Exception:
+        return False
+    return left == right
+
+
+def component_match(
+    predicted: Optional[VisQuery], gold: VisQuery
+) -> Dict[str, bool]:
+    """Per-component equality flags (masked comparison).
+
+    Components follow Table 4: ``select`` covers the x/y/z axes,
+    ``where`` the filter predicates, ``join`` the referenced table set,
+    ``grouping``/``binning`` the group operations, ``order`` the
+    Order/Superlative subtrees.
+    """
+    if predicted is None:
+        return {name: False for name in COMPONENTS}
+    try:
+        pred = _masked(predicted)
+    except Exception:
+        return {name: False for name in COMPONENTS}
+    gold_masked = _masked(gold)
+    pred_cores = pred.cores
+    gold_cores = gold_masked.cores
+    if len(pred_cores) != len(gold_cores):
+        # Set-operation arity differs: compare primary cores only.
+        pred_cores = (pred.primary_core,)
+        gold_cores = (gold_masked.primary_core,)
+
+    def every(selector) -> bool:
+        return all(
+            selector(p, g) for p, g in zip(pred_cores, gold_cores)
+        )
+
+    return {
+        "select": every(lambda p, g: p.select == g.select),
+        "where": every(lambda p, g: p.filter == g.filter),
+        "join": every(lambda p, g: set(p.tables) == set(g.tables)),
+        "grouping": every(
+            lambda p, g: _groups_of(p, "grouping") == _groups_of(g, "grouping")
+        ),
+        "binning": every(
+            lambda p, g: _groups_of(p, "binning") == _groups_of(g, "binning")
+        ),
+        "order": every(
+            lambda p, g: p.order == g.order and p.superlative == g.superlative
+        ),
+    }
+
+
+def _groups_of(core: QueryCore, kind: str) -> frozenset:
+    return frozenset(group for group in core.groups if group.kind == kind)
+
+
+@dataclass
+class PairOutcome:
+    """Evaluation record for one test pair."""
+
+    vis_type: str
+    hardness: Hardness
+    tree: bool
+    result: bool
+    components: Dict[str, bool] = field(default_factory=dict)
+    predicted_type: Optional[str] = None
+    #: the parsed predicted tree (None when unparseable) and the gold
+    #: tree, kept for error analysis
+    predicted: Optional[VisQuery] = None
+    gold: Optional[VisQuery] = None
+
+    @property
+    def type_predicted_correctly(self) -> bool:
+        """True when the predicted chart type equals the gold type."""
+        return self.predicted_type == self.vis_type

@@ -1,0 +1,35 @@
+"""Dataset splitting (Section 4.2).
+
+The paper splits nvBench's (NL, VIS) pairs randomly into 80% train,
+4.5% validation, and 15.5% test.  The split is over *pairs*, so variants
+of the same VIS can land in different splits — matching the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+PAPER_RATIOS = (0.80, 0.045, 0.155)
+
+
+def split_pairs(
+    pairs: Sequence[T],
+    ratios: Tuple[float, float, float] = PAPER_RATIOS,
+    seed: int = 0,
+) -> Tuple[List[T], List[T], List[T]]:
+    """Shuffle and split *pairs* into (train, val, test)."""
+    if abs(sum(ratios) - 1.0) > 1e-9:
+        raise ValueError(f"split ratios must sum to 1, got {ratios}")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(pairs))
+    n_train = int(round(len(pairs) * ratios[0]))
+    n_val = int(round(len(pairs) * ratios[1]))
+    train_idx = order[:n_train]
+    val_idx = order[n_train : n_train + n_val]
+    test_idx = order[n_train + n_val :]
+    pick = lambda idx: [pairs[int(i)] for i in idx]  # noqa: E731
+    return pick(train_idx), pick(val_idx), pick(test_idx)

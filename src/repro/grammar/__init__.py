@@ -1,0 +1,69 @@
+"""Unified AST grammar bridging SQL and VIS queries (paper Figure 5).
+
+The grammar extends SemQL with a ``Visualize`` production and a ``binning``
+group operator so that one intermediate representation can express both the
+*what data* part (inherited from SQL) and the *how to visualize* part (added
+by the synthesizer).  Every other subsystem — the SQL parser, the relational
+executor, the tree-edit synthesizer, the VIS backends, and the seq2vis
+neural model — speaks this AST.
+"""
+
+from repro.grammar.ast_nodes import (
+    AGG_FUNCTIONS,
+    BIN_UNITS,
+    SET_OPERATORS,
+    VIS_TYPES,
+    Attribute,
+    Between,
+    Comparison,
+    Filter,
+    Group,
+    InSubquery,
+    Like,
+    LogicalPredicate,
+    Order,
+    Predicate,
+    QueryBody,
+    QueryCore,
+    SetQuery,
+    SQLQuery,
+    Superlative,
+    SubqueryComparison,
+    VisQuery,
+    walk,
+)
+from repro.grammar.errors import GrammarError, ParseError
+from repro.grammar.serialize import from_tokens, to_text, to_tokens
+from repro.grammar.validate import validate_query, vis_arity
+
+__all__ = [
+    "AGG_FUNCTIONS",
+    "BIN_UNITS",
+    "SET_OPERATORS",
+    "VIS_TYPES",
+    "Attribute",
+    "Between",
+    "Comparison",
+    "Filter",
+    "Group",
+    "GrammarError",
+    "InSubquery",
+    "Like",
+    "LogicalPredicate",
+    "Order",
+    "ParseError",
+    "Predicate",
+    "QueryBody",
+    "QueryCore",
+    "SetQuery",
+    "SQLQuery",
+    "Superlative",
+    "SubqueryComparison",
+    "VisQuery",
+    "from_tokens",
+    "to_text",
+    "to_tokens",
+    "validate_query",
+    "vis_arity",
+    "walk",
+]

@@ -1,0 +1,389 @@
+"""AST node classes for the unified SQL/VIS grammar (paper Figure 5).
+
+All nodes are immutable (frozen dataclasses built on tuples), which makes
+them hashable — the synthesizer relies on this to deduplicate candidate
+VIS trees, and the evaluation metrics rely on structural equality.
+
+The node hierarchy mirrors the productions of Figure 5:
+
+* ``SQLQuery``  — ``Root ::= Q``
+* ``VisQuery``  — ``Root ::= Visualize Q``
+* ``SetQuery``  — ``Q ::= intersect R R | union R R | except R R``
+* ``QueryCore`` — ``R`` (Select plus optional Group/Order/Superlative/Filter)
+* ``Attribute`` — ``A ::= agg C T | C T``
+* ``Group``     — ``grouping A | binning A``
+* predicates    — the ``Filter`` production
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Optional, Tuple, Union
+
+AGG_FUNCTIONS: Tuple[str, ...] = ("max", "min", "count", "sum", "avg")
+VIS_TYPES: Tuple[str, ...] = (
+    "bar",
+    "pie",
+    "line",
+    "scatter",
+    "stacked bar",
+    "grouping line",
+    "grouping scatter",
+)
+SET_OPERATORS: Tuple[str, ...] = ("intersect", "union", "except")
+COMPARISON_OPERATORS: Tuple[str, ...] = (">", "<", ">=", "<=", "!=", "=")
+#: Temporal bin units from Section 2.3, plus ``numeric`` for equal-width
+#: binning of quantitative columns (default ten bins).
+BIN_UNITS: Tuple[str, ...] = (
+    "minute",
+    "hour",
+    "weekday",
+    "month",
+    "quarter",
+    "year",
+    "numeric",
+)
+
+Value = Union[int, float, str]
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """An ``A`` node: a (possibly aggregated) column of a table.
+
+    ``column == "*"`` is only meaningful together with ``agg == "count"``
+    (``COUNT(*)``).
+    """
+
+    column: str
+    table: str
+    agg: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.agg is not None and self.agg not in AGG_FUNCTIONS:
+            raise ValueError(f"unknown aggregate function: {self.agg!r}")
+        if self.column == "*" and self.agg != "count":
+            raise ValueError("'*' is only valid inside count(*)")
+
+    @property
+    def is_aggregated(self) -> bool:
+        """True when an aggregate function wraps the column."""
+        return self.agg is not None
+
+    @property
+    def qualified_name(self) -> str:
+        """``table.column`` form without the aggregate."""
+        return f"{self.table}.{self.column}"
+
+    def bare(self) -> "Attribute":
+        """Return the same column reference without its aggregate."""
+        return replace(self, agg=None)
+
+    def __str__(self) -> str:
+        if self.agg is None:
+            return self.qualified_name
+        return f"{self.agg}({self.qualified_name})"
+
+
+class Predicate:
+    """Marker base class for the ``Filter`` production."""
+
+    def children(self) -> Iterator["Predicate"]:
+        """Child predicates (empty for leaf predicates)."""
+        return iter(())
+
+    def attributes(self) -> Iterator[Attribute]:
+        """Attributes referenced by this predicate subtree."""
+        return iter(())
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    """``op A V`` — compare an attribute against a literal value."""
+
+    op: str
+    attr: Attribute
+    value: Value
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISON_OPERATORS:
+            raise ValueError(f"unknown comparison operator: {self.op!r}")
+
+    def attributes(self) -> Iterator[Attribute]:
+        yield self.attr
+
+
+@dataclass(frozen=True)
+class SubqueryComparison(Predicate):
+    """``op A R`` — compare an attribute against a scalar subquery."""
+
+    op: str
+    attr: Attribute
+    query: "QueryCore"
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISON_OPERATORS:
+            raise ValueError(f"unknown comparison operator: {self.op!r}")
+
+    def attributes(self) -> Iterator[Attribute]:
+        yield self.attr
+
+
+@dataclass(frozen=True)
+class Between(Predicate):
+    """``between A V V``."""
+
+    attr: Attribute
+    low: Value
+    high: Value
+
+    def attributes(self) -> Iterator[Attribute]:
+        yield self.attr
+
+
+@dataclass(frozen=True)
+class Like(Predicate):
+    """``like A V`` / ``not like A V`` with a SQL LIKE pattern."""
+
+    attr: Attribute
+    pattern: str
+    negated: bool = False
+
+    def attributes(self) -> Iterator[Attribute]:
+        yield self.attr
+
+
+@dataclass(frozen=True)
+class InSubquery(Predicate):
+    """``in A R`` / ``not in A R``."""
+
+    attr: Attribute
+    query: "QueryCore"
+    negated: bool = False
+
+    def attributes(self) -> Iterator[Attribute]:
+        yield self.attr
+
+
+@dataclass(frozen=True)
+class LogicalPredicate(Predicate):
+    """``and Filter Filter | or Filter Filter``."""
+
+    op: str
+    left: Predicate
+    right: Predicate
+
+    def __post_init__(self) -> None:
+        if self.op not in ("and", "or"):
+            raise ValueError(f"unknown logical operator: {self.op!r}")
+
+    def children(self) -> Iterator[Predicate]:
+        yield self.left
+        yield self.right
+
+    def attributes(self) -> Iterator[Attribute]:
+        yield from self.left.attributes()
+        yield from self.right.attributes()
+
+
+@dataclass(frozen=True)
+class Filter:
+    """Filter subtree wrapping a predicate tree."""
+
+    root: Predicate
+
+    def attributes(self) -> Iterator[Attribute]:
+        return self.root.attributes()
+
+    def predicates(self) -> Iterator[Predicate]:
+        """Yield every predicate node in the tree (pre-order)."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children())
+
+
+@dataclass(frozen=True)
+class Order:
+    """``asc A | desc A``."""
+
+    direction: str
+    attr: Attribute
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("asc", "desc"):
+            raise ValueError(f"unknown order direction: {self.direction!r}")
+
+
+@dataclass(frozen=True)
+class Superlative:
+    """``most V A | least V A`` — ORDER BY attr DESC/ASC LIMIT k."""
+
+    kind: str
+    k: int
+    attr: Attribute
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("most", "least"):
+            raise ValueError(f"unknown superlative kind: {self.kind!r}")
+        if self.k < 1:
+            raise ValueError("superlative k must be positive")
+
+
+@dataclass(frozen=True)
+class Group:
+    """``grouping A | binning A``.
+
+    For ``binning``, ``bin_unit`` selects the bucketing policy: one of the
+    temporal units from Section 2.3 or ``"numeric"`` for equal-width bins
+    with ``bin_count`` buckets (paper default 10).
+    """
+
+    kind: str
+    attr: Attribute
+    bin_unit: Optional[str] = None
+    bin_count: int = 10
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("grouping", "binning"):
+            raise ValueError(f"unknown group kind: {self.kind!r}")
+        if self.kind == "binning":
+            if self.bin_unit not in BIN_UNITS:
+                raise ValueError(f"unknown bin unit: {self.bin_unit!r}")
+        elif self.bin_unit is not None:
+            raise ValueError("grouping does not take a bin unit")
+
+
+@dataclass(frozen=True)
+class QueryCore:
+    """The ``R`` production: Select plus optional clauses."""
+
+    select: Tuple[Attribute, ...]
+    filter: Optional[Filter] = None
+    groups: Tuple[Group, ...] = field(default_factory=tuple)
+    order: Optional[Order] = None
+    superlative: Optional[Superlative] = None
+
+    def __post_init__(self) -> None:
+        if not self.select:
+            raise ValueError("select list must not be empty")
+        if len(self.groups) > 2:
+            raise ValueError("at most two group operations are supported")
+
+    @property
+    def tables(self) -> Tuple[str, ...]:
+        """All tables referenced anywhere in this core, in first-use order."""
+        seen: dict = {}
+        for attr in self.all_attributes():
+            seen.setdefault(attr.table, None)
+        return tuple(seen)
+
+    def all_attributes(self) -> Iterator[Attribute]:
+        """Every attribute node in select/filter/groups/order/superlative."""
+        yield from self.select
+        if self.filter is not None:
+            yield from self.filter.attributes()
+        for group in self.groups:
+            yield group.attr
+        if self.order is not None:
+            yield self.order.attr
+        if self.superlative is not None:
+            yield self.superlative.attr
+
+    def subqueries(self) -> Iterator["QueryCore"]:
+        """Nested query cores appearing inside filter predicates."""
+        if self.filter is None:
+            return
+        for pred in self.filter.predicates():
+            if isinstance(pred, (SubqueryComparison, InSubquery)):
+                yield pred.query
+                yield from pred.query.subqueries()
+
+
+@dataclass(frozen=True)
+class SetQuery:
+    """``Q ::= intersect R R | union R R | except R R``."""
+
+    op: str
+    left: QueryCore
+    right: QueryCore
+
+    def __post_init__(self) -> None:
+        if self.op not in SET_OPERATORS:
+            raise ValueError(f"unknown set operator: {self.op!r}")
+
+
+QueryBody = Union[QueryCore, SetQuery]
+
+
+@dataclass(frozen=True)
+class SQLQuery:
+    """``Root ::= Q`` — a pure data query."""
+
+    body: QueryBody
+
+    @property
+    def cores(self) -> Tuple[QueryCore, ...]:
+        """The query's cores (two for set operations, else one)."""
+        return _cores_of(self.body)
+
+
+@dataclass(frozen=True)
+class VisQuery:
+    """``Root ::= Visualize Q`` — a visualization query."""
+
+    vis_type: str
+    body: QueryBody
+
+    def __post_init__(self) -> None:
+        if self.vis_type not in VIS_TYPES:
+            raise ValueError(f"unknown vis type: {self.vis_type!r}")
+
+    @property
+    def cores(self) -> Tuple[QueryCore, ...]:
+        """The query's cores (two for set operations, else one)."""
+        return _cores_of(self.body)
+
+    @property
+    def primary_core(self) -> QueryCore:
+        """The first (or only) core — carries the chart axes."""
+        return self.cores[0]
+
+
+def _cores_of(body: QueryBody) -> Tuple[QueryCore, ...]:
+    if isinstance(body, SetQuery):
+        return (body.left, body.right)
+    return (body,)
+
+
+def walk(query: Union[SQLQuery, VisQuery]) -> Iterator[object]:
+    """Yield every AST node of a query in pre-order.
+
+    The traversal covers set-operation branches, clause subtrees, and
+    predicate subqueries; it is the basis of the hardness classifier and
+    several structural tests.
+    """
+    yield query
+    for core in query.cores:
+        yield from _walk_core(core)
+
+
+def _walk_core(core: QueryCore) -> Iterator[object]:
+    yield core
+    yield from core.select
+    for group in core.groups:
+        yield group
+        yield group.attr
+    if core.order is not None:
+        yield core.order
+        yield core.order.attr
+    if core.superlative is not None:
+        yield core.superlative
+        yield core.superlative.attr
+    if core.filter is not None:
+        yield core.filter
+        for pred in core.filter.predicates():
+            yield pred
+            if isinstance(pred, (SubqueryComparison, InSubquery)):
+                yield from _walk_core(pred.query)

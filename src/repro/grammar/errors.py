@@ -1,0 +1,9 @@
+"""Exception types shared by the grammar subsystem."""
+
+
+class GrammarError(ValueError):
+    """Raised when an AST violates the structural rules of the grammar."""
+
+
+class ParseError(ValueError):
+    """Raised when a token sequence or SQL string cannot be parsed."""

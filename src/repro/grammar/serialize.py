@@ -1,0 +1,390 @@
+"""Linearize AST queries to token sequences and parse them back.
+
+The token sequence is the *surface language of the seq2vis model*: the
+decoder emits these tokens and the evaluation pipeline parses them back
+into trees.  The format is a canonical prefix notation, e.g.::
+
+    visualize pie select count ( flight.id ) , flight.origin
+    group grouping flight.origin
+
+Literal values are single tokens (numbers as written, strings quoted);
+``to_tokens(query, mask_values=True)`` replaces them with the ``<V>``
+placeholder because seq2vis predicts the tree shape and a separate slot
+filling heuristic restores values (Section 4.2 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.grammar.ast_nodes import (
+    SET_OPERATORS,
+    VIS_TYPES,
+    Attribute,
+    Between,
+    Comparison,
+    Filter,
+    Group,
+    InSubquery,
+    Like,
+    LogicalPredicate,
+    Order,
+    Predicate,
+    QueryBody,
+    QueryCore,
+    SetQuery,
+    SQLQuery,
+    Superlative,
+    SubqueryComparison,
+    Value,
+    VisQuery,
+)
+from repro.grammar.errors import ParseError
+
+#: Placeholder emitted in place of literal values when masking.
+VALUE_TOKEN = "<V>"
+
+_VIS_TYPE_TO_TOKEN = {name: name.replace(" ", "_") for name in VIS_TYPES}
+_TOKEN_TO_VIS_TYPE = {token: name for name, token in _VIS_TYPE_TO_TOKEN.items()}
+
+_COMPARISON_TOKENS = (">", "<", ">=", "<=", "!=", "=")
+_PREDICATE_HEADS = _COMPARISON_TOKENS + (
+    "and",
+    "or",
+    "between",
+    "like",
+    "not_like",
+    "in",
+    "not_in",
+)
+
+
+def to_tokens(
+    query: Union[SQLQuery, VisQuery], mask_values: bool = False
+) -> List[str]:
+    """Linearize *query* into its canonical token sequence."""
+    tokens: List[str] = []
+    if isinstance(query, VisQuery):
+        tokens.append("visualize")
+        tokens.append(_VIS_TYPE_TO_TOKEN[query.vis_type])
+        _emit_body(query.body, tokens, mask_values)
+    elif isinstance(query, SQLQuery):
+        _emit_body(query.body, tokens, mask_values)
+    else:
+        raise TypeError(f"expected SQLQuery or VisQuery, got {type(query)!r}")
+    return tokens
+
+
+def to_text(query: Union[SQLQuery, VisQuery], mask_values: bool = False) -> str:
+    """Space-joined form of :func:`to_tokens`, handy for logs and tests."""
+    return " ".join(to_tokens(query, mask_values=mask_values))
+
+
+def _emit_body(body: QueryBody, tokens: List[str], mask: bool) -> None:
+    if isinstance(body, SetQuery):
+        tokens.append(body.op)
+        _emit_core(body.left, tokens, mask)
+        _emit_core(body.right, tokens, mask)
+    else:
+        _emit_core(body, tokens, mask)
+
+
+def _emit_core(core: QueryCore, tokens: List[str], mask: bool) -> None:
+    tokens.append("select")
+    for index, attr in enumerate(core.select):
+        if index:
+            tokens.append(",")
+        _emit_attr(attr, tokens)
+    if core.groups:
+        tokens.append("group")
+        for group in core.groups:
+            _emit_group(group, tokens)
+    if core.order is not None:
+        tokens.append("order")
+        tokens.append(core.order.direction)
+        _emit_attr(core.order.attr, tokens)
+    if core.superlative is not None:
+        # The superlative k (LIMIT) is structural, never masked: seq2vis
+        # predicts it directly rather than via the value-slot heuristic.
+        tokens.append(core.superlative.kind)
+        tokens.append(str(core.superlative.k))
+        _emit_attr(core.superlative.attr, tokens)
+    if core.filter is not None:
+        tokens.append("filter")
+        _emit_predicate(core.filter.root, tokens, mask)
+
+
+def _emit_attr(attr: Attribute, tokens: List[str]) -> None:
+    if attr.agg is not None:
+        tokens.extend([attr.agg, "(", attr.qualified_name, ")"])
+    else:
+        tokens.append(attr.qualified_name)
+
+
+def _emit_group(group: Group, tokens: List[str]) -> None:
+    tokens.append(group.kind)
+    tokens.append(group.attr.qualified_name)
+    if group.kind == "binning":
+        tokens.extend(["by", group.bin_unit])
+        if group.bin_unit == "numeric":
+            tokens.extend(["bins", str(group.bin_count)])
+
+
+def _emit_predicate(pred: Predicate, tokens: List[str], mask: bool) -> None:
+    if isinstance(pred, LogicalPredicate):
+        tokens.append(pred.op)
+        _emit_predicate(pred.left, tokens, mask)
+        _emit_predicate(pred.right, tokens, mask)
+    elif isinstance(pred, Comparison):
+        tokens.append(pred.op)
+        _emit_attr(pred.attr, tokens)
+        tokens.append(_encode_value(pred.value, mask))
+    elif isinstance(pred, SubqueryComparison):
+        tokens.append(pred.op)
+        _emit_attr(pred.attr, tokens)
+        tokens.append("(")
+        _emit_core(pred.query, tokens, mask)
+        tokens.append(")")
+    elif isinstance(pred, Between):
+        tokens.append("between")
+        _emit_attr(pred.attr, tokens)
+        tokens.append(_encode_value(pred.low, mask))
+        tokens.append(_encode_value(pred.high, mask))
+    elif isinstance(pred, Like):
+        tokens.append("not_like" if pred.negated else "like")
+        _emit_attr(pred.attr, tokens)
+        tokens.append(_encode_value(pred.pattern, mask))
+    elif isinstance(pred, InSubquery):
+        tokens.append("not_in" if pred.negated else "in")
+        _emit_attr(pred.attr, tokens)
+        tokens.append("(")
+        _emit_core(pred.query, tokens, mask)
+        tokens.append(")")
+    else:
+        raise TypeError(f"unknown predicate node: {type(pred)!r}")
+
+
+def _encode_value(value: Value, mask: bool) -> str:
+    if mask:
+        return VALUE_TOKEN
+    if isinstance(value, bool):
+        raise TypeError("boolean literals are not part of the grammar")
+    if isinstance(value, (int, float)):
+        return repr(value)
+    escaped = str(value).replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def _decode_value(token: str) -> Value:
+    if token == VALUE_TOKEN:
+        return VALUE_TOKEN
+    if token.startswith('"'):
+        if not token.endswith('"') or len(token) < 2:
+            raise ParseError(f"unterminated string literal: {token!r}")
+        return token[1:-1].replace('\\"', '"')
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError as exc:
+        raise ParseError(f"invalid value literal: {token!r}") from exc
+
+
+class _Cursor:
+    """A peek/next cursor over a token sequence."""
+
+    def __init__(self, tokens: Sequence[str]):
+        self._tokens = list(tokens)
+        self._index = 0
+
+    def peek(self, ahead: int = 0) -> Optional[str]:
+        index = self._index + ahead
+        if index < len(self._tokens):
+            return self._tokens[index]
+        return None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of token sequence")
+        self._index += 1
+        return token
+
+    def expect(self, expected: str) -> str:
+        token = self.next()
+        if token != expected:
+            raise ParseError(f"expected {expected!r}, got {token!r}")
+        return token
+
+    @property
+    def exhausted(self) -> bool:
+        return self._index >= len(self._tokens)
+
+    @property
+    def position(self) -> int:
+        return self._index
+
+
+def from_tokens(tokens: Sequence[str]) -> Union[SQLQuery, VisQuery]:
+    """Parse a canonical token sequence back into an AST query.
+
+    Raises :class:`ParseError` on any malformed sequence — the evaluation
+    pipeline treats unparseable model output as a non-matching prediction.
+    """
+    cursor = _Cursor(tokens)
+    if cursor.peek() == "visualize":
+        cursor.next()
+        vis_token = cursor.next()
+        vis_type = _TOKEN_TO_VIS_TYPE.get(vis_token)
+        if vis_type is None:
+            raise ParseError(f"unknown vis type token: {vis_token!r}")
+        body = _parse_body(cursor)
+        query: Union[SQLQuery, VisQuery] = VisQuery(vis_type=vis_type, body=body)
+    else:
+        query = SQLQuery(body=_parse_body(cursor))
+    if not cursor.exhausted:
+        raise ParseError(
+            f"trailing tokens after query at position {cursor.position}"
+        )
+    return query
+
+
+def _parse_body(cursor: _Cursor) -> QueryBody:
+    head = cursor.peek()
+    if head in SET_OPERATORS:
+        cursor.next()
+        left = _parse_core(cursor)
+        right = _parse_core(cursor)
+        return SetQuery(op=head, left=left, right=right)
+    return _parse_core(cursor)
+
+
+def _parse_core(cursor: _Cursor) -> QueryCore:
+    cursor.expect("select")
+    select = [_parse_attr(cursor)]
+    while cursor.peek() == ",":
+        cursor.next()
+        select.append(_parse_attr(cursor))
+
+    groups: List[Group] = []
+    if cursor.peek() == "group":
+        cursor.next()
+        while cursor.peek() in ("grouping", "binning"):
+            groups.append(_parse_group(cursor))
+        if not groups:
+            raise ParseError("'group' keyword without group operations")
+
+    order = None
+    if cursor.peek() == "order":
+        cursor.next()
+        direction = cursor.next()
+        order = Order(direction=direction, attr=_parse_attr(cursor))
+
+    superlative = None
+    if cursor.peek() in ("most", "least"):
+        kind = cursor.next()
+        k_value = _decode_value(cursor.next())
+        if not isinstance(k_value, int):
+            raise ParseError(f"superlative k must be an integer, got {k_value!r}")
+        superlative = Superlative(kind=kind, k=k_value, attr=_parse_attr(cursor))
+
+    filter_ = None
+    if cursor.peek() == "filter":
+        cursor.next()
+        filter_ = Filter(root=_parse_predicate(cursor))
+
+    try:
+        return QueryCore(
+            select=tuple(select),
+            filter=filter_,
+            groups=tuple(groups),
+            order=order,
+            superlative=superlative,
+        )
+    except ValueError as exc:
+        raise ParseError(str(exc)) from exc
+
+
+def _parse_attr(cursor: _Cursor) -> Attribute:
+    token = cursor.next()
+    agg = None
+    if token in ("max", "min", "count", "sum", "avg"):
+        agg = token
+        cursor.expect("(")
+        token = cursor.next()
+        qualified = token
+        cursor.expect(")")
+    else:
+        qualified = token
+    table, sep, column = qualified.partition(".")
+    if not sep or not table or not column:
+        raise ParseError(f"expected table.column, got {qualified!r}")
+    try:
+        return Attribute(column=column, table=table, agg=agg)
+    except ValueError as exc:
+        raise ParseError(str(exc)) from exc
+
+
+def _parse_group(cursor: _Cursor) -> Group:
+    kind = cursor.next()
+    attr = _parse_qualified_attr(cursor)
+    bin_unit = None
+    bin_count = 10
+    if kind == "binning":
+        cursor.expect("by")
+        bin_unit = cursor.next()
+        if bin_unit == "numeric" and cursor.peek() == "bins":
+            cursor.next()
+            count_value = _decode_value(cursor.next())
+            if not isinstance(count_value, int):
+                raise ParseError("bin count must be an integer")
+            bin_count = count_value
+    try:
+        return Group(kind=kind, attr=attr, bin_unit=bin_unit, bin_count=bin_count)
+    except ValueError as exc:
+        raise ParseError(str(exc)) from exc
+
+
+def _parse_qualified_attr(cursor: _Cursor) -> Attribute:
+    qualified = cursor.next()
+    table, sep, column = qualified.partition(".")
+    if not sep or not table or not column:
+        raise ParseError(f"expected table.column, got {qualified!r}")
+    try:
+        return Attribute(column=column, table=table)
+    except ValueError as exc:
+        raise ParseError(str(exc)) from exc
+
+
+def _parse_predicate(cursor: _Cursor) -> Predicate:
+    head = cursor.next()
+    if head in ("and", "or"):
+        left = _parse_predicate(cursor)
+        right = _parse_predicate(cursor)
+        return LogicalPredicate(op=head, left=left, right=right)
+    if head in _COMPARISON_TOKENS:
+        attr = _parse_attr(cursor)
+        if cursor.peek() == "(":
+            cursor.next()
+            query = _parse_core(cursor)
+            cursor.expect(")")
+            return SubqueryComparison(op=head, attr=attr, query=query)
+        return Comparison(op=head, attr=attr, value=_decode_value(cursor.next()))
+    if head == "between":
+        attr = _parse_attr(cursor)
+        low = _decode_value(cursor.next())
+        high = _decode_value(cursor.next())
+        return Between(attr=attr, low=low, high=high)
+    if head in ("like", "not_like"):
+        attr = _parse_attr(cursor)
+        pattern = _decode_value(cursor.next())
+        return Like(attr=attr, pattern=str(pattern), negated=head == "not_like")
+    if head in ("in", "not_in"):
+        attr = _parse_attr(cursor)
+        cursor.expect("(")
+        query = _parse_core(cursor)
+        cursor.expect(")")
+        return InSubquery(attr=attr, query=query, negated=head == "not_in")
+    raise ParseError(f"unknown predicate head token: {head!r}")

@@ -1,0 +1,95 @@
+"""Structural validation of AST queries.
+
+This checks *grammar-level* well-formedness (select arity per vis type,
+group/aggregate consistency, set-operation shape).  Data-aware validity —
+whether a chart makes sense for the actual column types — lives in
+:mod:`repro.core.vis_rules` (the paper's Table 1).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.grammar.ast_nodes import (
+    QueryCore,
+    SetQuery,
+    SQLQuery,
+    VisQuery,
+)
+from repro.grammar.errors import GrammarError
+
+#: Number of selected attributes each vis type expects on its axes:
+#: two for (x, y) charts, three for charts with a color/series channel.
+_VIS_ARITY = {
+    "bar": 2,
+    "pie": 2,
+    "line": 2,
+    "scatter": 2,
+    "stacked bar": 3,
+    "grouping line": 3,
+    "grouping scatter": 3,
+}
+
+#: Vis types whose x- or y-axis may carry an Order subtree (Section 2.3).
+ORDERABLE_VIS_TYPES = frozenset({"bar", "stacked bar", "line", "grouping line"})
+
+
+def vis_arity(vis_type: str) -> int:
+    """Number of select attributes required by *vis_type*."""
+    try:
+        return _VIS_ARITY[vis_type]
+    except KeyError:
+        raise GrammarError(f"unknown vis type: {vis_type!r}") from None
+
+
+def validate_query(query: Union[SQLQuery, VisQuery]) -> None:
+    """Raise :class:`GrammarError` if *query* is structurally invalid."""
+    if isinstance(query, VisQuery):
+        for core in query.cores:
+            _validate_core(core)
+            _validate_vis_core(query.vis_type, core)
+    elif isinstance(query, SQLQuery):
+        for core in query.cores:
+            _validate_core(core)
+    else:
+        raise TypeError(f"expected SQLQuery or VisQuery, got {type(query)!r}")
+
+
+def _validate_core(core: QueryCore) -> None:
+    group_columns = {group.attr.qualified_name for group in core.groups}
+    if len(group_columns) != len(core.groups):
+        raise GrammarError("duplicate group column")
+    for group in core.groups:
+        if group.attr.is_aggregated:
+            raise GrammarError("group attribute must not be aggregated")
+    if core.groups:
+        # With grouping/binning present, non-grouped selected columns must
+        # be aggregated (standard GROUP BY semantics).
+        for attr in core.select:
+            if attr.is_aggregated:
+                continue
+            if attr.qualified_name not in group_columns:
+                raise GrammarError(
+                    f"bare select attribute {attr} not covered by grouping"
+                )
+    for sub in core.subqueries():
+        if len(sub.select) != 1:
+            raise GrammarError("subqueries must select exactly one attribute")
+        _validate_core(sub)
+
+
+def _validate_vis_core(vis_type: str, core: QueryCore) -> None:
+    expected = vis_arity(vis_type)
+    if len(core.select) != expected:
+        raise GrammarError(
+            f"{vis_type} chart needs {expected} select attributes, "
+            f"got {len(core.select)}"
+        )
+    if core.order is not None and vis_type not in ORDERABLE_VIS_TYPES:
+        raise GrammarError(f"{vis_type} charts do not support ordering")
+
+
+def validate_set_query(body: SetQuery) -> None:
+    """Both branches of a set operation must be union-compatible."""
+    if len(body.left.select) != len(body.right.select):
+        raise GrammarError("set-operation branches select different arities")

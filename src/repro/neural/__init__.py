@@ -1,0 +1,29 @@
+"""seq2vis: neural NL→VIS translation (paper Section 4), in pure numpy.
+
+No deep-learning framework is available offline, so this package carries
+its own substrate: a tape-based reverse-mode autograd engine
+(:mod:`autograd`), LSTM/embedding/linear layers (:mod:`layers`), Luong
+attention (:mod:`attention`), and Adam with gradient clipping
+(:mod:`optimizer`).  On top sit the three seq2vis variants the paper
+evaluates — basic seq2seq, +attention, +copying — plus the dataset
+encoding (NL ++ schema tokens → masked VIS tokens), a trainer with early
+stopping, greedy decoding, and the value-slot-filling heuristic.
+"""
+
+from repro.neural.autograd import Tensor
+from repro.neural.data import Seq2VisDataset, build_dataset
+from repro.neural.model import Seq2Vis
+from repro.neural.optimizer import Adam
+from repro.neural.slots import fill_value_slots
+from repro.neural.trainer import TrainConfig, train_model
+
+__all__ = [
+    "Adam",
+    "Seq2Vis",
+    "Seq2VisDataset",
+    "Tensor",
+    "TrainConfig",
+    "build_dataset",
+    "fill_value_slots",
+    "train_model",
+]

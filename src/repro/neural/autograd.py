@@ -1,0 +1,395 @@
+"""A small tape-based reverse-mode autograd engine on numpy arrays.
+
+Just enough surface for LSTM seq2seq models with attention and copying:
+dense algebra (matmul, add with broadcasting, elementwise mul), the
+gate nonlinearities, softmax/log, slicing and concatenation, embedding
+gather, batched attention primitives (stack / attention scores /
+weighted context), and a scatter op for copy distributions.
+
+Every op records a backward closure on the global tape implicitly via
+parent links; ``Tensor.backward()`` topologically sorts the graph and
+accumulates gradients.  Gradients are checked against finite differences
+in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class Tensor:
+    """A numpy array with gradient tracking."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "name")
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        parents: Tuple["Tensor", ...] = (),
+        backward: Optional[Callable[[np.ndarray], None]] = None,
+        name: str = "",
+    ):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = requires_grad or any(p.requires_grad for p in parents)
+        self._parents = parents
+        self._backward = backward
+        self.name = name
+
+    # ----- bookkeeping ---------------------------------------------------
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            # Copy so later in-place += never aliases an op's output.
+            self.grad = np.array(grad)
+        else:
+            self.grad += grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor (default seed: ones)."""
+        if grad is None:
+            grad = np.ones_like(self.data)
+        topo: List[Tensor] = []
+        visited = set()
+
+        def visit(node: Tensor) -> None:
+            if id(node) in visited or not node.requires_grad:
+                return
+            visited.add(id(node))
+            for parent in node._parents:
+                visit(parent)
+            topo.append(node)
+
+        visit(self)
+        self._accumulate(np.asarray(grad, dtype=np.float64))
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def __repr__(self) -> str:
+        return f"Tensor(shape={self.shape}, grad={self.requires_grad}, name={self.name!r})"
+
+    # ----- operators -------------------------------------------------------
+
+    def __add__(self, other: "Tensor") -> "Tensor":
+        return add(self, other)
+
+    def __mul__(self, other: "Tensor") -> "Tensor":
+        return mul(self, other)
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        return matmul(self, other)
+
+
+def parameter(array: np.ndarray, name: str = "") -> Tensor:
+    """A trainable leaf tensor."""
+    return Tensor(array, requires_grad=True, name=name)
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce *grad* back to *shape* after numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+# ----- arithmetic -----------------------------------------------------------
+
+
+def add(a: Tensor, b: Tensor) -> Tensor:
+    out = Tensor(a.data + b.data, parents=(a, b))
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(_unbroadcast(grad, a.shape))
+        if b.requires_grad:
+            b._accumulate(_unbroadcast(grad, b.shape))
+
+    out._backward = backward
+    return out
+
+
+def mul(a: Tensor, b: Tensor) -> Tensor:
+    out = Tensor(a.data * b.data, parents=(a, b))
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(_unbroadcast(grad * b.data, a.shape))
+        if b.requires_grad:
+            b._accumulate(_unbroadcast(grad * a.data, b.shape))
+
+    out._backward = backward
+    return out
+
+
+def scale(a: Tensor, factor: float) -> Tensor:
+    out = Tensor(a.data * factor, parents=(a,))
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad * factor)
+
+    out._backward = backward
+    return out
+
+
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    out = Tensor(a.data @ b.data, parents=(a, b))
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad @ b.data.T)
+        if b.requires_grad:
+            b._accumulate(a.data.T @ grad)
+
+    out._backward = backward
+    return out
+
+
+# ----- nonlinearities --------------------------------------------------------
+
+
+def sigmoid(a: Tensor) -> Tensor:
+    value = 1.0 / (1.0 + np.exp(-np.clip(a.data, -60, 60)))
+    out = Tensor(value, parents=(a,))
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad * value * (1.0 - value))
+
+    out._backward = backward
+    return out
+
+
+def tanh(a: Tensor) -> Tensor:
+    value = np.tanh(a.data)
+    out = Tensor(value, parents=(a,))
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad * (1.0 - value**2))
+
+    out._backward = backward
+    return out
+
+
+# ----- shaping ----------------------------------------------------------------
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 1) -> Tensor:
+    out = Tensor(np.concatenate([t.data for t in tensors], axis=axis), parents=tuple(tensors))
+    sizes = [t.data.shape[axis] for t in tensors]
+
+    def backward(grad: np.ndarray) -> None:
+        start = 0
+        for tensor, size in zip(tensors, sizes):
+            index = [slice(None)] * grad.ndim
+            index[axis] = slice(start, start + size)
+            if tensor.requires_grad:
+                tensor._accumulate(grad[tuple(index)])
+            start += size
+
+    out._backward = backward
+    return out
+
+
+def slice_cols(a: Tensor, start: int, stop: int) -> Tensor:
+    out = Tensor(a.data[:, start:stop], parents=(a,))
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            full = np.zeros_like(a.data)
+            full[:, start:stop] = grad
+            a._accumulate(full)
+
+    out._backward = backward
+    return out
+
+
+def stack_seq(tensors: Sequence[Tensor]) -> Tensor:
+    """Stack L tensors of shape (B, H) into (B, L, H)."""
+    out = Tensor(np.stack([t.data for t in tensors], axis=1), parents=tuple(tensors))
+
+    def backward(grad: np.ndarray) -> None:
+        for index, tensor in enumerate(tensors):
+            if tensor.requires_grad:
+                tensor._accumulate(grad[:, index, :])
+
+    out._backward = backward
+    return out
+
+
+# ----- embeddings --------------------------------------------------------------
+
+
+def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Gather rows: weight (V, D), indices (B,) → (B, D)."""
+    indices = np.asarray(indices, dtype=np.int64)
+    out = Tensor(weight.data[indices], parents=(weight,))
+
+    def backward(grad: np.ndarray) -> None:
+        if weight.requires_grad:
+            full = np.zeros_like(weight.data)
+            np.add.at(full, indices, grad)
+            weight._accumulate(full)
+
+    out._backward = backward
+    return out
+
+
+# ----- attention primitives -----------------------------------------------------
+
+
+def attention_scores(memory: Tensor, query: Tensor) -> Tensor:
+    """Dot scores: memory (B, L, H) · query (B, H) → (B, L)."""
+    value = np.einsum("blh,bh->bl", memory.data, query.data)
+    out = Tensor(value, parents=(memory, query))
+
+    def backward(grad: np.ndarray) -> None:
+        if memory.requires_grad:
+            memory._accumulate(np.einsum("bl,bh->blh", grad, query.data))
+        if query.requires_grad:
+            query._accumulate(np.einsum("bl,blh->bh", grad, memory.data))
+
+    out._backward = backward
+    return out
+
+
+def attention_context(weights: Tensor, memory: Tensor) -> Tensor:
+    """Weighted sum: weights (B, L) × memory (B, L, H) → (B, H)."""
+    value = np.einsum("bl,blh->bh", weights.data, memory.data)
+    out = Tensor(value, parents=(weights, memory))
+
+    def backward(grad: np.ndarray) -> None:
+        if weights.requires_grad:
+            weights._accumulate(np.einsum("bh,blh->bl", grad, memory.data))
+        if memory.requires_grad:
+            memory._accumulate(np.einsum("bl,bh->blh", weights.data, grad))
+
+    out._backward = backward
+    return out
+
+
+def masked_softmax(a: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+    """Softmax over the last axis; positions where ``mask == 0`` get
+    probability zero (mask is a constant, not differentiated)."""
+    logits = a.data.copy()
+    if mask is not None:
+        logits = np.where(mask > 0, logits, -1e30)
+    logits -= logits.max(axis=-1, keepdims=True)
+    exp = np.exp(logits)
+    value = exp / exp.sum(axis=-1, keepdims=True)
+    out = Tensor(value, parents=(a,))
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            dot = (grad * value).sum(axis=-1, keepdims=True)
+            a._accumulate(value * (grad - dot))
+
+    out._backward = backward
+    return out
+
+
+# ----- probabilities and loss ------------------------------------------------
+
+
+def scatter_probs(weights: Tensor, indices: np.ndarray, size: int) -> Tensor:
+    """Scatter-add attention weights onto vocabulary slots.
+
+    weights (B, L), indices (B, L) of vocab ids → (B, size).  The copy
+    mechanism uses this to turn attention over source tokens into a
+    distribution over the output vocabulary.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    batch, length = weights.data.shape
+    value = np.zeros((batch, size))
+    rows = np.repeat(np.arange(batch), length)
+    np.add.at(value, (rows, indices.reshape(-1)), weights.data.reshape(-1))
+    out = Tensor(value, parents=(weights,))
+
+    def backward(grad: np.ndarray) -> None:
+        if weights.requires_grad:
+            weights._accumulate(grad[rows, indices.reshape(-1)].reshape(batch, length))
+
+    out._backward = backward
+    return out
+
+
+def gather_cols(a: Tensor, indices: np.ndarray) -> Tensor:
+    """Pick one column per row: a (B, V), indices (B,) → (B,)."""
+    indices = np.asarray(indices, dtype=np.int64)
+    rows = np.arange(a.data.shape[0])
+    out = Tensor(a.data[rows, indices], parents=(a,))
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            full = np.zeros_like(a.data)
+            full[rows, indices] = grad
+            a._accumulate(full)
+
+    out._backward = backward
+    return out
+
+
+def log(a: Tensor, eps: float = 1e-12) -> Tensor:
+    value = np.log(a.data + eps)
+    out = Tensor(value, parents=(a,))
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad / (a.data + eps))
+
+    out._backward = backward
+    return out
+
+
+def masked_mean(a: Tensor, mask: np.ndarray) -> Tensor:
+    """Mean of the elements where ``mask == 1`` (mask is constant)."""
+    mask = np.asarray(mask, dtype=np.float64)
+    total = max(mask.sum(), 1.0)
+    out = Tensor((a.data * mask).sum() / total, parents=(a,))
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad * mask / total)
+
+    out._backward = backward
+    return out
+
+
+def cross_entropy_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Fused log-softmax + NLL per row: logits (B, V), targets (B,) → (B,)."""
+    targets = np.asarray(targets, dtype=np.int64)
+    shifted = logits.data - logits.data.max(axis=1, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    log_probs = shifted - logsumexp
+    rows = np.arange(logits.data.shape[0])
+    out = Tensor(-log_probs[rows, targets], parents=(logits,))
+
+    def backward(grad: np.ndarray) -> None:
+        if logits.requires_grad:
+            probs = np.exp(log_probs)
+            full = probs * grad[:, None]
+            full[rows, targets] -= grad
+            logits._accumulate(full)
+
+    out._backward = backward
+    return out

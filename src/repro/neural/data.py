@@ -1,0 +1,151 @@
+"""Dataset encoding for seq2vis.
+
+Each example's input sequence is the tokenized NL question concatenated
+with the database schema tokens (Figure 15: ``X = [q1..ql, a1..am]``);
+the target sequence is the canonical VIS token form with literal values
+masked (the value-slot heuristic fills them back after decoding).
+Schema tokens are the qualified ``table.column`` names, which also exist
+in the output vocabulary — that overlap is what the copy mechanism
+exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.synthesizer import SynthesizedPair
+from repro.grammar.serialize import to_tokens
+from repro.neural.model import Batch
+from repro.nlp.tokenize import tokenize_nl
+from repro.nlp.vocab import Vocabulary
+from repro.storage.schema import Database
+
+SEP_TOKEN = "<sep>"
+
+#: cap on schema tokens appended to the input
+MAX_SCHEMA_TOKENS = 48
+#: cap on NL tokens
+MAX_NL_TOKENS = 48
+
+
+@dataclass
+class Example:
+    """One encodable (NL, VIS) example with provenance."""
+
+    src_tokens: List[str]
+    tgt_tokens: List[str]
+    pair: SynthesizedPair
+
+
+@dataclass
+class Seq2VisDataset:
+    """Examples plus the vocabularies they are encoded with."""
+
+    examples: List[Example]
+    in_vocab: Vocabulary
+    out_vocab: Vocabulary
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+    def batches(
+        self, batch_size: int, rng: Optional[np.random.Generator] = None
+    ) -> List[Batch]:
+        """Padded minibatches.
+
+        When *rng* is given the examples are shuffled, then bucketed by
+        length so batches pad less (and the batch order is re-shuffled so
+        the model does not see a length curriculum).
+        """
+        order = np.arange(len(self.examples))
+        if rng is not None:
+            rng.shuffle(order)
+            order = sorted(
+                order,
+                key=lambda i: len(self.examples[int(i)].src_tokens)
+                + len(self.examples[int(i)].tgt_tokens),
+            )
+        chunks = [
+            [self.examples[int(i)] for i in order[start : start + batch_size]]
+            for start in range(0, len(order), batch_size)
+        ]
+        if rng is not None:
+            rng.shuffle(chunks)
+        return [self._encode_batch(chunk) for chunk in chunks if chunk]
+
+    def batch_of(self, examples: Sequence[Example]) -> Batch:
+        """Encode an explicit list of examples as one batch."""
+        return self._encode_batch(list(examples))
+
+    def _encode_batch(self, examples: List[Example]) -> Batch:
+        src_len = max(len(e.src_tokens) for e in examples)
+        tgt_len = max(len(e.tgt_tokens) for e in examples) + 1  # room for EOS
+        batch = len(examples)
+        src_ids = np.full((batch, src_len), self.in_vocab.pad_id, dtype=np.int64)
+        src_out_ids = np.full((batch, src_len), self.out_vocab.unk_id, dtype=np.int64)
+        src_mask = np.zeros((batch, src_len))
+        tgt_in = np.full((batch, tgt_len), self.out_vocab.pad_id, dtype=np.int64)
+        tgt_out = np.full((batch, tgt_len), self.out_vocab.pad_id, dtype=np.int64)
+        tgt_mask = np.zeros((batch, tgt_len))
+        for row, example in enumerate(examples):
+            src = self.in_vocab.encode(example.src_tokens)
+            src_ids[row, : len(src)] = src
+            src_mask[row, : len(src)] = 1.0
+            for col, token in enumerate(example.src_tokens):
+                src_out_ids[row, col] = self.out_vocab.id_of(token)
+            tgt = self.out_vocab.encode(
+                example.tgt_tokens, add_bos=True, add_eos=True
+            )
+            steps = len(tgt) - 1
+            tgt_in[row, :steps] = tgt[:-1]
+            tgt_out[row, :steps] = tgt[1:]
+            tgt_mask[row, :steps] = 1.0
+        return Batch(
+            src_ids=src_ids,
+            src_mask=src_mask,
+            src_out_ids=src_out_ids,
+            tgt_in=tgt_in,
+            tgt_out=tgt_out,
+            tgt_mask=tgt_mask,
+        )
+
+
+def schema_tokens(database: Database) -> List[str]:
+    """Qualified column-name tokens for the schema part of the input."""
+    tokens = [
+        f"{table_name}.{column.name}"
+        for table_name, column in database.iter_columns()
+    ]
+    return tokens[:MAX_SCHEMA_TOKENS]
+
+
+def encode_example(pair: SynthesizedPair, database: Database) -> Example:
+    """Build the (input tokens, masked output tokens) for one pair."""
+    nl_tokens = tokenize_nl(pair.nl)[:MAX_NL_TOKENS]
+    src = nl_tokens + [SEP_TOKEN] + schema_tokens(database)
+    tgt = to_tokens(pair.vis, mask_values=True)
+    return Example(src_tokens=src, tgt_tokens=tgt, pair=pair)
+
+
+def build_dataset(
+    pairs: Sequence[SynthesizedPair],
+    databases,
+    in_vocab: Optional[Vocabulary] = None,
+    out_vocab: Optional[Vocabulary] = None,
+    min_count: int = 1,
+) -> Seq2VisDataset:
+    """Encode *pairs*; vocabularies are built from these examples unless
+    given (evaluation sets must reuse the training vocabularies)."""
+    examples = [encode_example(pair, databases[pair.db_name]) for pair in pairs]
+    if in_vocab is None:
+        in_vocab = Vocabulary.build(
+            [e.src_tokens for e in examples], min_count=min_count
+        )
+    if out_vocab is None:
+        out_vocab = Vocabulary.build(
+            [e.tgt_tokens for e in examples], min_count=min_count
+        )
+    return Seq2VisDataset(examples=examples, in_vocab=in_vocab, out_vocab=out_vocab)

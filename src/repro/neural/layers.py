@@ -1,0 +1,168 @@
+"""Neural layers built on the autograd engine."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.neural import autograd as ag
+from repro.neural.autograd import Tensor, parameter
+
+
+class Module:
+    """Base class: tracks parameters for the optimizer."""
+
+    def parameters(self) -> List[Tensor]:
+        """All trainable tensors, recursively."""
+        params: List[Tensor] = []
+        for value in self.__dict__.values():
+            if isinstance(value, Tensor) and value.requires_grad:
+                params.append(value)
+            elif isinstance(value, Module):
+                params.extend(value.parameters())
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        params.extend(item.parameters())
+        return params
+
+    def zero_grad(self) -> None:
+        """Clear every parameter's gradient."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of all parameter arrays, keyed by position."""
+        return {
+            str(index): param.data.copy()
+            for index, param in enumerate(self.parameters())
+        }
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore arrays saved by :meth:`state_dict`."""
+        for index, param in enumerate(self.parameters()):
+            param.data = state[str(index)].copy()
+
+
+def _glorot(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=(fan_in, fan_out))
+
+
+class Embedding(Module):
+    """Token embedding table, optionally initialized from pre-trained
+    vectors (the paper initializes from corpus-trained GloVe)."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        dim: int,
+        rng: np.random.Generator,
+        pretrained: Optional[np.ndarray] = None,
+    ):
+        if pretrained is not None:
+            if pretrained.shape != (vocab_size, dim):
+                raise ValueError(
+                    f"pretrained shape {pretrained.shape} does not match "
+                    f"({vocab_size}, {dim})"
+                )
+            weight = pretrained.copy()
+        else:
+            weight = rng.normal(scale=0.1, size=(vocab_size, dim))
+        self.weight = parameter(weight, name="embedding")
+
+    def __call__(self, indices: np.ndarray) -> Tensor:
+        return ag.embedding(self.weight, indices)
+
+
+class Linear(Module):
+    """Affine layer with Glorot-initialized weights."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator, name: str = "linear"):
+        self.weight = parameter(_glorot(rng, in_dim, out_dim), name=f"{name}.w")
+        self.bias = parameter(np.zeros((1, out_dim)), name=f"{name}.b")
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return ag.add(ag.matmul(x, self.weight), self.bias)
+
+
+class LSTMCell(Module):
+    """A standard LSTM cell; the forget-gate bias starts at 1."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator, name: str = "lstm"):
+        self.hidden_dim = hidden_dim
+        self.w_x = parameter(_glorot(rng, input_dim, 4 * hidden_dim), name=f"{name}.wx")
+        self.w_h = parameter(_glorot(rng, hidden_dim, 4 * hidden_dim), name=f"{name}.wh")
+        bias = np.zeros((1, 4 * hidden_dim))
+        bias[:, hidden_dim : 2 * hidden_dim] = 1.0
+        self.bias = parameter(bias, name=f"{name}.b")
+
+    def __call__(
+        self, x: Tensor, state: Tuple[Tensor, Tensor]
+    ) -> Tuple[Tensor, Tensor]:
+        h_prev, c_prev = state
+        gates = ag.add(
+            ag.add(ag.matmul(x, self.w_x), ag.matmul(h_prev, self.w_h)), self.bias
+        )
+        H = self.hidden_dim
+        i = ag.sigmoid(ag.slice_cols(gates, 0, H))
+        f = ag.sigmoid(ag.slice_cols(gates, H, 2 * H))
+        g = ag.tanh(ag.slice_cols(gates, 2 * H, 3 * H))
+        o = ag.sigmoid(ag.slice_cols(gates, 3 * H, 4 * H))
+        c = ag.add(ag.mul(f, c_prev), ag.mul(i, g))
+        h = ag.mul(o, ag.tanh(c))
+        return h, c
+
+    def initial_state(self, batch: int) -> Tuple[Tensor, Tensor]:
+        """Zero (h, c) state for a batch."""
+        zeros = np.zeros((batch, self.hidden_dim))
+        return Tensor(zeros), Tensor(zeros.copy())
+
+
+class BiLSTMEncoder(Module):
+    """Bi-directional LSTM over an embedded sequence.
+
+    Returns per-position states (B, L, 2H) and a final state projected
+    to the decoder's dimensions.
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator):
+        self.forward_cell = LSTMCell(input_dim, hidden_dim, rng, name="enc.fwd")
+        self.backward_cell = LSTMCell(input_dim, hidden_dim, rng, name="enc.bwd")
+        self.hidden_dim = hidden_dim
+
+    def __call__(
+        self, embedded: List[Tensor], mask: np.ndarray
+    ) -> Tuple[Tensor, Tensor, Tensor]:
+        """``embedded`` is a list of L tensors (B, D); ``mask`` (B, L).
+
+        Padded positions keep the previous state (standard masked RNN).
+        """
+        batch = embedded[0].shape[0]
+        length = len(embedded)
+
+        def run(cell: LSTMCell, order: range) -> List[Tensor]:
+            h, c = cell.initial_state(batch)
+            outputs: List[Optional[Tensor]] = [None] * length
+            for position in order:
+                h_new, c_new = cell(embedded[position], (h, c))
+                keep = mask[:, position : position + 1]
+                if keep.all():
+                    # Fast path: length-bucketed batches rarely pad, so
+                    # most positions skip the mask blend entirely.
+                    h, c = h_new, c_new
+                else:
+                    keep_t = Tensor(keep)
+                    drop_t = Tensor(1.0 - keep)
+                    h = ag.add(ag.mul(h_new, keep_t), ag.mul(h, drop_t))
+                    c = ag.add(ag.mul(c_new, keep_t), ag.mul(c, drop_t))
+                outputs[position] = h
+            return outputs  # type: ignore[return-value]
+
+        fwd = run(self.forward_cell, range(length))
+        bwd = run(self.backward_cell, range(length - 1, -1, -1))
+        states = [ag.concat([fwd[i], bwd[i]], axis=1) for i in range(length)]
+        memory = ag.stack_seq(states)
+        final_h = ag.concat([fwd[-1], bwd[0]], axis=1)
+        return memory, final_h, states[-1]

@@ -1,0 +1,305 @@
+"""The seq2vis model: basic seq2seq, +attention, +copying (Section 4.1).
+
+The encoder is a bi-directional LSTM over the NL question concatenated
+with the database schema tokens (as in the paper's Figure 15); the
+decoder is a uni-directional LSTM that emits the canonical VIS token
+sequence.  Variants:
+
+* ``basic``      — plain encoder-decoder (final encoder state only);
+* ``attention``  — Luong-style dot attention over encoder states;
+* ``copy``       — attention plus a pointer/copy mechanism that mixes
+  the vocabulary distribution with attention mass scattered onto the
+  source tokens (how rare column names get produced).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.neural import autograd as ag
+from repro.neural.autograd import Tensor
+from repro.neural.layers import BiLSTMEncoder, Embedding, Linear, LSTMCell, Module
+
+VARIANTS = ("basic", "attention", "copy")
+
+
+@dataclass
+class Batch:
+    """One padded minibatch (see :mod:`repro.neural.data`)."""
+
+    src_ids: np.ndarray        # (B, L) input-vocab ids
+    src_mask: np.ndarray       # (B, L) 1 for real tokens
+    src_out_ids: np.ndarray    # (B, L) same tokens in output-vocab ids
+    tgt_in: np.ndarray         # (B, T) decoder inputs (BOS ...)
+    tgt_out: np.ndarray        # (B, T) decoder targets (... EOS)
+    tgt_mask: np.ndarray       # (B, T)
+
+
+class Seq2Vis(Module):
+    """Encoder-decoder translation from NL tokens to VIS tokens."""
+
+    def __init__(
+        self,
+        in_vocab_size: int,
+        out_vocab_size: int,
+        variant: str = "attention",
+        embed_dim: int = 64,
+        hidden_dim: int = 96,
+        seed: int = 0,
+        pretrained_in: Optional[np.ndarray] = None,
+    ):
+        if variant not in VARIANTS:
+            raise ValueError(f"unknown variant {variant!r}; pick from {VARIANTS}")
+        self.variant = variant
+        self.out_vocab_size = out_vocab_size
+        rng = np.random.default_rng(seed)
+        self.embed_in = Embedding(in_vocab_size, embed_dim, rng, pretrained=pretrained_in)
+        self.embed_out = Embedding(out_vocab_size, embed_dim, rng)
+        self.encoder = BiLSTMEncoder(embed_dim, hidden_dim, rng)
+        self.bridge = Linear(2 * hidden_dim, hidden_dim, rng, name="bridge")
+        self.bridge_c = Linear(2 * hidden_dim, hidden_dim, rng, name="bridge_c")
+        self.decoder = LSTMCell(embed_dim, hidden_dim, rng, name="dec")
+        self.hidden_dim = hidden_dim
+        if variant in ("attention", "copy"):
+            self.query_proj = Linear(hidden_dim, 2 * hidden_dim, rng, name="query")
+            self.combine = Linear(3 * hidden_dim, hidden_dim, rng, name="combine")
+        self.out_proj = Linear(hidden_dim, out_vocab_size, rng, name="out")
+        if variant == "copy":
+            self.gen_gate = Linear(3 * hidden_dim + embed_dim, 1, rng, name="pgen")
+
+    # ----- shared encoder ------------------------------------------------
+
+    def _encode(self, batch: Batch) -> Tuple[Tensor, Tensor, Tensor]:
+        length = batch.src_ids.shape[1]
+        embedded = [self.embed_in(batch.src_ids[:, i]) for i in range(length)]
+        memory, final_h, _ = self.encoder(embedded, batch.src_mask)
+        h0 = ag.tanh(self.bridge(final_h))
+        c0 = ag.tanh(self.bridge_c(final_h))
+        return memory, h0, c0
+
+    def _step(
+        self,
+        token_embed: Tensor,
+        state: Tuple[Tensor, Tensor],
+        memory: Tensor,
+        src_mask: np.ndarray,
+    ) -> Tuple[Tensor, Optional[Tensor], Optional[Tensor], Tuple[Tensor, Tensor]]:
+        """One decoder step → (pre-output, attention weights, context)."""
+        h, c = self.decoder(token_embed, state)
+        if self.variant == "basic":
+            return h, None, None, (h, c)
+        query = self.query_proj(h)
+        scores = ag.attention_scores(memory, query)
+        weights = ag.masked_softmax(scores, mask=src_mask)
+        context = ag.attention_context(weights, memory)
+        combined = ag.tanh(self.combine(ag.concat([h, context], axis=1)))
+        return combined, weights, context, (h, c)
+
+    # ----- training loss ---------------------------------------------------
+
+    def loss(self, batch: Batch) -> Tensor:
+        """Teacher-forced mean token loss over a batch."""
+        memory, h, c = self._encode(batch)
+        steps = batch.tgt_in.shape[1]
+        losses: List[Tensor] = []
+        for t in range(steps):
+            token_embed = self.embed_out(batch.tgt_in[:, t])
+            output, weights, context, (h, c) = self._step(
+                token_embed, (h, c), memory, batch.src_mask
+            )
+            targets = batch.tgt_out[:, t]
+            if self.variant == "copy":
+                step_loss = self._copy_loss(
+                    output, weights, context, token_embed, targets, batch
+                )
+            else:
+                logits = self.out_proj(output)
+                step_loss = ag.cross_entropy_logits(logits, targets)
+            losses.append(step_loss)
+        per_step = ag.stack_seq([_as_column(loss) for loss in losses])
+        flat = _flatten_steps(per_step)
+        return ag.masked_mean(flat, batch.tgt_mask.T.reshape(-1))
+
+    def _copy_loss(
+        self,
+        output: Tensor,
+        weights: Tensor,
+        context: Tensor,
+        token_embed: Tensor,
+        targets: np.ndarray,
+        batch: Batch,
+    ) -> Tensor:
+        probs = self._copy_probs(output, weights, context, token_embed, batch)
+        picked = ag.gather_cols(probs, targets)
+        negative = ag.scale(ag.log(picked), -1.0)
+        return negative
+
+    def _copy_probs(
+        self,
+        output: Tensor,
+        weights: Tensor,
+        context: Tensor,
+        token_embed: Tensor,
+        batch: Batch,
+    ) -> Tensor:
+        logits = self.out_proj(output)
+        vocab_dist = ag.masked_softmax(logits)
+        gate_input = ag.concat([output, context, token_embed], axis=1)
+        p_gen = ag.sigmoid(self.gen_gate(gate_input))
+        copy_dist = ag.scatter_probs(weights, batch.src_out_ids, self.out_vocab_size)
+        one_minus = ag.add(ag.scale(p_gen, -1.0), Tensor(np.ones_like(p_gen.data)))
+        return ag.add(ag.mul(vocab_dist, p_gen), ag.mul(copy_dist, one_minus))
+
+    # ----- decoding ----------------------------------------------------------
+
+    def greedy_decode(
+        self,
+        batch: Batch,
+        bos_id: int,
+        eos_id: int,
+        max_len: int = 60,
+    ) -> List[List[int]]:
+        """Greedy decoding; returns output-vocab id sequences sans EOS."""
+        memory, h, c = self._encode(batch)
+        batch_size = batch.src_ids.shape[0]
+        tokens = np.full(batch_size, bos_id, dtype=np.int64)
+        finished = np.zeros(batch_size, dtype=bool)
+        outputs: List[List[int]] = [[] for _ in range(batch_size)]
+        for _ in range(max_len):
+            token_embed = self.embed_out(tokens)
+            output, weights, context, (h, c) = self._step(
+                token_embed, (h, c), memory, batch.src_mask
+            )
+            if self.variant == "copy":
+                probs = self._copy_probs(output, weights, context, token_embed, batch)
+                next_tokens = probs.data.argmax(axis=1)
+            else:
+                logits = self.out_proj(output)
+                next_tokens = logits.data.argmax(axis=1)
+            for row in range(batch_size):
+                if not finished[row]:
+                    if next_tokens[row] == eos_id:
+                        finished[row] = True
+                    else:
+                        outputs[row].append(int(next_tokens[row]))
+            if finished.all():
+                break
+            tokens = next_tokens.astype(np.int64)
+        return outputs
+
+    def beam_decode(
+        self,
+        batch: Batch,
+        bos_id: int,
+        eos_id: int,
+        beam_width: int = 4,
+        max_len: int = 60,
+        length_penalty: float = 0.7,
+    ) -> List[List[int]]:
+        """Beam-search decoding (extension beyond the paper's greedy
+        decoder); one example at a time, scoring by length-normalized
+        log probability."""
+        results: List[List[int]] = []
+        for row in range(batch.src_ids.shape[0]):
+            single = Batch(
+                src_ids=batch.src_ids[row : row + 1],
+                src_mask=batch.src_mask[row : row + 1],
+                src_out_ids=batch.src_out_ids[row : row + 1],
+                tgt_in=batch.tgt_in[row : row + 1],
+                tgt_out=batch.tgt_out[row : row + 1],
+                tgt_mask=batch.tgt_mask[row : row + 1],
+            )
+            results.append(
+                self._beam_one(single, bos_id, eos_id, beam_width, max_len, length_penalty)
+            )
+        return results
+
+    def _beam_one(
+        self,
+        batch: Batch,
+        bos_id: int,
+        eos_id: int,
+        beam_width: int,
+        max_len: int,
+        length_penalty: float,
+    ) -> List[int]:
+        memory, h, c = self._encode(batch)
+        # Each hypothesis: (neg score, tokens, h, c, finished)
+        beams = [(0.0, [bos_id], h, c, False)]
+        for _ in range(max_len):
+            if all(done for _, _, _, _, done in beams):
+                break
+            candidates = []
+            for score, tokens, h_state, c_state, done in beams:
+                if done:
+                    candidates.append((score, tokens, h_state, c_state, True))
+                    continue
+                token_embed = self.embed_out(np.array([tokens[-1]]))
+                output, weights, context, (h_new, c_new) = self._step(
+                    token_embed, (h_state, c_state), memory, batch.src_mask
+                )
+                if self.variant == "copy":
+                    probs = self._copy_probs(
+                        output, weights, context, token_embed, batch
+                    ).data[0]
+                else:
+                    logits = self.out_proj(output).data[0]
+                    shifted = logits - logits.max()
+                    probs = np.exp(shifted) / np.exp(shifted).sum()
+                top = np.argsort(-probs)[:beam_width]
+                for token_id in top:
+                    log_p = float(np.log(max(probs[token_id], 1e-12)))
+                    candidates.append((
+                        score - log_p,
+                        tokens + [int(token_id)],
+                        h_new,
+                        c_new,
+                        int(token_id) == eos_id,
+                    ))
+            # Keep the best hypotheses by length-normalized score.
+            candidates.sort(
+                key=lambda item: item[0] / max(len(item[1]) - 1, 1) ** length_penalty
+            )
+            beams = candidates[:beam_width]
+        best = min(
+            beams,
+            key=lambda item: item[0] / max(len(item[1]) - 1, 1) ** length_penalty,
+        )
+        tokens = best[1][1:]
+        if tokens and tokens[-1] == eos_id:
+            tokens = tokens[:-1]
+        return tokens
+
+
+def _as_column(loss_vector: Tensor) -> Tensor:
+    """(B,) per-example step loss → (B, 1) so steps can be stacked."""
+    out = Tensor(loss_vector.data.reshape(-1, 1), parents=(loss_vector,))
+
+    def backward(grad: np.ndarray) -> None:
+        if loss_vector.requires_grad:
+            loss_vector._accumulate(grad.reshape(-1))
+
+    out._backward = backward
+    return out
+
+
+def _flatten_steps(stacked: Tensor) -> Tensor:
+    """(B, T, 1) stacked step losses → (T*B,) flat vector.
+
+    ``stack_seq`` lays the data out as (B, T, 1); transposing to (T, B)
+    before flattening matches the ``tgt_mask.T`` layout used in
+    :meth:`Seq2Vis.loss`.
+    """
+    data = stacked.data[:, :, 0].T.reshape(-1)
+    out = Tensor(data, parents=(stacked,))
+    batch, steps = stacked.data.shape[0], stacked.data.shape[1]
+
+    def backward(grad: np.ndarray) -> None:
+        if stacked.requires_grad:
+            stacked._accumulate(grad.reshape(steps, batch).T[:, :, None])
+
+    out._backward = backward
+    return out

@@ -1,0 +1,69 @@
+"""Adam optimizer with global-norm gradient clipping.
+
+The paper clips the gradient norm at 2.0; that is the default here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.neural.autograd import Tensor
+
+
+class Adam:
+    """Adam with bias correction and global-norm clipping."""
+
+    def __init__(
+        self,
+        params: Sequence[Tensor],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        clip_norm: float = 2.0,
+    ):
+        self.params: List[Tensor] = list(params)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.clip_norm = clip_norm
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._step = 0
+
+    def zero_grad(self) -> None:
+        """Clear all parameter gradients."""
+        for param in self.params:
+            param.zero_grad()
+
+    def clip_gradients(self) -> float:
+        """Scale all gradients so their global L2 norm is ≤ clip_norm;
+        returns the pre-clip norm."""
+        total = 0.0
+        for param in self.params:
+            if param.grad is not None:
+                total += float((param.grad**2).sum())
+        norm = float(np.sqrt(total))
+        if self.clip_norm and norm > self.clip_norm > 0:
+            factor = self.clip_norm / (norm + 1e-12)
+            for param in self.params:
+                if param.grad is not None:
+                    param.grad *= factor
+        return norm
+
+    def step(self) -> None:
+        """Apply one clipped Adam update."""
+        self._step += 1
+        self.clip_gradients()
+        bias1 = 1.0 - self.beta1**self._step
+        bias2 = 1.0 - self.beta2**self._step
+        for index, param in enumerate(self.params):
+            grad = param.grad
+            if grad is None:
+                continue
+            self._m[index] = self.beta1 * self._m[index] + (1 - self.beta1) * grad
+            self._v[index] = self.beta2 * self._v[index] + (1 - self.beta2) * grad**2
+            m_hat = self._m[index] / bias1
+            v_hat = self._v[index] / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,64 @@
+"""Save/load trained seq2vis models (numpy ``.npz`` archives).
+
+The archive stores the architecture hyperparameters, both vocabularies,
+and every parameter tensor, so a model can be reloaded for inference
+without the original training pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Tuple
+
+import numpy as np
+
+from repro.neural.model import Seq2Vis
+from repro.nlp.vocab import SPECIALS, Vocabulary
+
+
+def save_model(
+    model: Seq2Vis,
+    in_vocab: Vocabulary,
+    out_vocab: Vocabulary,
+    path: str,
+) -> None:
+    """Write *model* and its vocabularies to ``path`` (.npz)."""
+    meta = {
+        "variant": model.variant,
+        "embed_dim": int(model.embed_in.weight.data.shape[1]),
+        "hidden_dim": int(model.hidden_dim),
+        "in_vocab": in_vocab.tokens,
+        "out_vocab": out_vocab.tokens,
+    }
+    arrays = {
+        f"param_{index}": param.data
+        for index, param in enumerate(model.parameters())
+    }
+    np.savez(path, meta=json.dumps(meta), **arrays)
+
+
+def load_model(path: str) -> Tuple[Seq2Vis, Vocabulary, Vocabulary]:
+    """Load a model saved with :func:`save_model`."""
+    archive = np.load(path, allow_pickle=False)
+    meta = json.loads(str(archive["meta"]))
+    in_vocab = Vocabulary(t for t in meta["in_vocab"] if t not in SPECIALS)
+    out_vocab = Vocabulary(t for t in meta["out_vocab"] if t not in SPECIALS)
+    if in_vocab.tokens != meta["in_vocab"] or out_vocab.tokens != meta["out_vocab"]:
+        raise ValueError(f"vocabulary mismatch while loading {path!r}")
+    model = Seq2Vis(
+        in_vocab_size=len(in_vocab),
+        out_vocab_size=len(out_vocab),
+        variant=meta["variant"],
+        embed_dim=meta["embed_dim"],
+        hidden_dim=meta["hidden_dim"],
+    )
+    for index, param in enumerate(model.parameters()):
+        stored = archive[f"param_{index}"]
+        if stored.shape != param.data.shape:
+            raise ValueError(
+                f"parameter {index} shape mismatch: "
+                f"{stored.shape} vs {param.data.shape}"
+            )
+        param.data = stored.copy()
+    return model, in_vocab, out_vocab

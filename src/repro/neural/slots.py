@@ -1,0 +1,174 @@
+"""Value-slot filling (Section 4.2).
+
+seq2vis predicts the VIS tree with literal values masked as ``<V>``;
+this heuristic restores them from the NL question: numbers are pulled
+from the text in order of appearance, string comparisons are matched
+against the referenced column's actual values, and LIKE patterns are
+rebuilt from quoted or "contains"-style phrases.  The paper reports
+~92.3% accuracy for its equivalent heuristic.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import replace
+from typing import List, Optional, Union
+
+from repro.grammar.ast_nodes import (
+    Between,
+    Comparison,
+    Filter,
+    InSubquery,
+    Like,
+    LogicalPredicate,
+    Predicate,
+    QueryCore,
+    SetQuery,
+    SQLQuery,
+    SubqueryComparison,
+    VisQuery,
+)
+from repro.grammar.serialize import VALUE_TOKEN
+from repro.storage.schema import Database
+
+_NUMBER_RE = re.compile(r"-?\d+\.\d+|-?\d+")
+
+
+class _NumberPool:
+    """Numbers from the NL question, consumed in order of appearance."""
+
+    def __init__(self, nl: str):
+        self._values: List[Union[int, float]] = []
+        for token in _NUMBER_RE.findall(nl):
+            if "." in token:
+                self._values.append(float(token))
+            else:
+                self._values.append(int(token))
+        self._cursor = 0
+
+    def next(self) -> Optional[Union[int, float]]:
+        while self._cursor < len(self._values):
+            value = self._values[self._cursor]
+            self._cursor += 1
+            return value
+        return None
+
+
+def fill_value_slots(
+    query: Union[SQLQuery, VisQuery], nl: str, database: Database
+) -> Union[SQLQuery, VisQuery]:
+    """Return *query* with ``<V>`` slots replaced by values found in *nl*."""
+    numbers = _NumberPool(nl)
+    body = query.body
+    if isinstance(body, SetQuery):
+        new_body: Union[QueryCore, SetQuery] = SetQuery(
+            op=body.op,
+            left=_fill_core(body.left, nl, database, numbers),
+            right=_fill_core(body.right, nl, database, numbers),
+        )
+    else:
+        new_body = _fill_core(body, nl, database, numbers)
+    if isinstance(query, VisQuery):
+        return VisQuery(vis_type=query.vis_type, body=new_body)
+    return SQLQuery(body=new_body)
+
+
+def _fill_core(
+    core: QueryCore, nl: str, database: Database, numbers: _NumberPool
+) -> QueryCore:
+    if core.filter is None:
+        return core
+    new_root = _fill_predicate(core.filter.root, nl, database, numbers)
+    return replace(core, filter=Filter(root=new_root))
+
+
+def _fill_predicate(
+    pred: Predicate, nl: str, database: Database, numbers: _NumberPool
+) -> Predicate:
+    if isinstance(pred, LogicalPredicate):
+        return LogicalPredicate(
+            op=pred.op,
+            left=_fill_predicate(pred.left, nl, database, numbers),
+            right=_fill_predicate(pred.right, nl, database, numbers),
+        )
+    if isinstance(pred, Comparison):
+        if pred.value != VALUE_TOKEN:
+            return pred
+        return replace(pred, value=_resolve(pred, nl, database, numbers))
+    if isinstance(pred, Between):
+        low, high = pred.low, pred.high
+        if low == VALUE_TOKEN:
+            low = numbers.next()
+        if high == VALUE_TOKEN:
+            high = numbers.next()
+        if low is None or high is None:
+            return replace(pred, low=low if low is not None else 0, high=high or 0)
+        return replace(pred, low=low, high=high)
+    if isinstance(pred, Like):
+        if pred.pattern != VALUE_TOKEN:
+            return pred
+        return replace(pred, pattern=_resolve_like(pred, nl))
+    if isinstance(pred, (InSubquery, SubqueryComparison)):
+        return replace(
+            pred, query=_fill_core(pred.query, nl, database, numbers)
+        )
+    return pred
+
+
+def _column_type(pred, database: Database) -> str:
+    try:
+        return database.column_type(pred.attr.table, pred.attr.column)
+    except Exception:
+        return "C"
+
+
+def _resolve(pred: Comparison, nl: str, database: Database, numbers: _NumberPool):
+    ctype = "Q" if pred.attr.is_aggregated else _column_type(pred, database)
+    if ctype == "Q":
+        value = numbers.next()
+        return value if value is not None else 0
+    if ctype == "T":
+        match = re.search(r"\d{4}-\d{2}-\d{2}(?: \d{2}:\d{2})?|\b\d{4}\b", nl)
+        if match:
+            text = match.group()
+            return int(text) if re.fullmatch(r"\d{4}", text) else text
+        value = numbers.next()
+        return value if value is not None else ""
+    # Categorical: find the column value with the longest mention in NL.
+    candidate = _mentioned_value(pred, nl, database)
+    if candidate is not None:
+        return candidate
+    value = numbers.next()
+    return value if value is not None else ""
+
+
+def _mentioned_value(pred: Comparison, nl: str, database: Database):
+    lowered = nl.lower()
+    try:
+        table = database.table(pred.attr.table)
+        values = table.column_values(pred.attr.column)
+    except Exception:
+        return None
+    best = None
+    for value in values:
+        if value is None:
+            continue
+        text = str(value)
+        if text and text.lower() in lowered:
+            if best is None or len(text) > len(str(best)):
+                best = value
+    return best
+
+
+def _resolve_like(pred: Like, nl: str) -> str:
+    quoted = re.search(r"['\"]([^'\"]+)['\"]", nl)
+    if quoted:
+        return f"%{quoted.group(1)}%"
+    contains = re.search(
+        r"contain(?:s|ing)?(?: the)?(?: word| string| substring)?\s+(\w+)",
+        nl,
+        flags=re.IGNORECASE,
+    )
+    if contains:
+        return f"%{contains.group(1)}%"
+    return "%"

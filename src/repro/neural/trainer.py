@@ -1,0 +1,95 @@
+"""Training loop for seq2vis: minibatch Adam with early stopping on the
+validation loss (the paper uses patience 5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.neural.data import Seq2VisDataset
+from repro.neural.model import Seq2Vis
+from repro.neural.optimizer import Adam
+
+
+@dataclass
+class TrainConfig:
+    """Optimization hyperparameters (paper defaults where given)."""
+
+    epochs: int = 20
+    batch_size: int = 16
+    lr: float = 5e-3
+    clip_norm: float = 5.0
+    patience: int = 5
+    seed: int = 0
+    verbose: bool = False
+
+
+@dataclass
+class TrainResult:
+    """Loss curves and the best-validation epoch."""
+
+    train_losses: List[float] = field(default_factory=list)
+    val_losses: List[float] = field(default_factory=list)
+    best_epoch: int = -1
+
+
+def evaluate_loss(model: Seq2Vis, dataset: Seq2VisDataset, batch_size: int = 32) -> float:
+    """Mean loss over *dataset* (no gradient updates)."""
+    if not dataset.examples:
+        return 0.0
+    total = 0.0
+    count = 0
+    for batch in dataset.batches(batch_size):
+        loss = model.loss(batch)
+        weight = batch.tgt_mask.sum()
+        total += loss.item() * weight
+        count += weight
+    return total / max(count, 1)
+
+
+def train_model(
+    model: Seq2Vis,
+    train_set: Seq2VisDataset,
+    val_set: Optional[Seq2VisDataset] = None,
+    config: Optional[TrainConfig] = None,
+) -> TrainResult:
+    """Train *model*; restores the best-validation weights on return."""
+    config = config or TrainConfig()
+    rng = np.random.default_rng(config.seed)
+    optimizer = Adam(model.parameters(), lr=config.lr, clip_norm=config.clip_norm)
+    result = TrainResult()
+    best_val = float("inf")
+    best_state: Optional[Dict[str, np.ndarray]] = None
+    stale = 0
+    for epoch in range(config.epochs):
+        epoch_loss = 0.0
+        batches = train_set.batches(config.batch_size, rng)
+        for batch in batches:
+            optimizer.zero_grad()
+            loss = model.loss(batch)
+            loss.backward()
+            optimizer.step()
+            epoch_loss += loss.item()
+        epoch_loss /= max(len(batches), 1)
+        result.train_losses.append(epoch_loss)
+        if val_set is not None and val_set.examples:
+            val_loss = evaluate_loss(model, val_set, config.batch_size)
+            result.val_losses.append(val_loss)
+            if config.verbose:
+                print(f"epoch {epoch}: train={epoch_loss:.4f} val={val_loss:.4f}")
+            if val_loss < best_val - 1e-4:
+                best_val = val_loss
+                best_state = model.state_dict()
+                result.best_epoch = epoch
+                stale = 0
+            else:
+                stale += 1
+                if stale >= config.patience:
+                    break
+        elif config.verbose:
+            print(f"epoch {epoch}: train={epoch_loss:.4f}")
+    if best_state is not None:
+        model.load_state_dict(best_state)
+    return result

@@ -1,0 +1,19 @@
+"""NLP substrate: tokenization, vocabularies, BLEU, word embeddings.
+
+These utilities back three parts of the reproduction: the Table 3 BLEU
+diversity statistics, the GloVe-style embeddings that initialize seq2vis,
+and the NL tokenization shared by the synthesizer and the model.
+"""
+
+from repro.nlp.bleu import bleu_score, pairwise_bleu
+from repro.nlp.embeddings import train_embeddings
+from repro.nlp.tokenize import tokenize_nl
+from repro.nlp.vocab import Vocabulary
+
+__all__ = [
+    "Vocabulary",
+    "bleu_score",
+    "pairwise_bleu",
+    "tokenize_nl",
+    "train_embeddings",
+]

@@ -1,0 +1,67 @@
+"""BLEU score (Papineni et al., 2002).
+
+Used exactly as in the paper's Table 3: pairwise BLEU between the NL
+variants of one VIS query measures their *syntactic diversity* — lower
+is more diverse.  Implements modified n-gram precision with the standard
+brevity penalty and +1 smoothing for short sentences (the NL queries are
+one sentence long, so unsmoothed 4-gram precision would often be zero).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from itertools import combinations
+from typing import List, Sequence
+
+
+def _ngrams(tokens: Sequence[str], order: int) -> Counter:
+    return Counter(
+        tuple(tokens[i : i + order]) for i in range(len(tokens) - order + 1)
+    )
+
+
+def bleu_score(
+    candidate: Sequence[str],
+    reference: Sequence[str],
+    max_order: int = 4,
+    smooth: bool = True,
+) -> float:
+    """BLEU of *candidate* against a single *reference* token sequence."""
+    if not candidate or not reference:
+        return 0.0
+    log_precision_sum = 0.0
+    for order in range(1, max_order + 1):
+        cand = _ngrams(candidate, order)
+        ref = _ngrams(reference, order)
+        overlap = sum((cand & ref).values())
+        total = max(sum(cand.values()), 1)
+        if smooth:
+            precision = (overlap + 1.0) / (total + 1.0)
+        else:
+            if overlap == 0:
+                return 0.0
+            precision = overlap / total
+        log_precision_sum += math.log(precision)
+    geo_mean = math.exp(log_precision_sum / max_order)
+    ratio = len(candidate) / len(reference)
+    brevity = 1.0 if ratio >= 1.0 else math.exp(1.0 - 1.0 / ratio)
+    return brevity * geo_mean
+
+
+def pairwise_bleu(sentences: List[Sequence[str]], max_order: int = 4) -> float:
+    """Average BLEU over all ordered pairs of *sentences*.
+
+    This is the Table 3 diversity metric: values near 0 mean the NL
+    variants for one VIS share few n-grams (good diversity).  Returns 0.0
+    when fewer than two sentences are given.
+    """
+    if len(sentences) < 2:
+        return 0.0
+    total = 0.0
+    count = 0
+    for left, right in combinations(range(len(sentences)), 2):
+        total += bleu_score(sentences[left], sentences[right], max_order)
+        total += bleu_score(sentences[right], sentences[left], max_order)
+        count += 2
+    return total / count

@@ -1,0 +1,107 @@
+"""Corpus-trained word embeddings (the offline GloVe substitute).
+
+The paper trains a GloVe model over its own corpus to initialize seq2vis.
+GloVe factorizes a log co-occurrence matrix; the classic offline-friendly
+equivalent is truncated SVD over the PPMI (positive pointwise mutual
+information) co-occurrence matrix, which we implement here with numpy
+only.  Vectors are L2-normalized so dot products are cosine similarities.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.nlp.vocab import SPECIALS, Vocabulary
+
+
+def train_embeddings(
+    sentences: Sequence[Sequence[str]],
+    vocab: Vocabulary,
+    dim: int = 64,
+    window: int = 4,
+    seed: int = 0,
+) -> np.ndarray:
+    """Train embeddings for *vocab* from co-occurrences in *sentences*.
+
+    Returns an array of shape ``(len(vocab), dim)``.  Special tokens and
+    words absent from the corpus get small random vectors so downstream
+    layers never see all-zero rows.
+    """
+    if dim < 1:
+        raise ValueError("embedding dim must be positive")
+    size = len(vocab)
+    counts: Dict[tuple, float] = {}
+    word_totals = np.zeros(size)
+    for sentence in sentences:
+        ids = [vocab.id_of(token) for token in sentence]
+        for center_pos, center in enumerate(ids):
+            lo = max(0, center_pos - window)
+            hi = min(len(ids), center_pos + window + 1)
+            for context_pos in range(lo, hi):
+                if context_pos == center_pos:
+                    continue
+                context = ids[context_pos]
+                # Harmonic distance weighting, as in GloVe.
+                weight = 1.0 / abs(context_pos - center_pos)
+                counts[(center, context)] = counts.get((center, context), 0.0) + weight
+                word_totals[center] += weight
+
+    total = word_totals.sum()
+    rng = np.random.default_rng(seed)
+    vectors = rng.normal(scale=0.1, size=(size, dim))
+    if total <= 0 or not counts:
+        return _normalize(vectors)
+
+    rows: List[int] = []
+    cols: List[int] = []
+    values: List[float] = []
+    for (center, context), weight in counts.items():
+        denominator = word_totals[center] * word_totals[context]
+        if denominator <= 0:
+            continue
+        pmi = np.log((weight * total) / denominator)
+        if pmi > 0:
+            rows.append(center)
+            cols.append(context)
+            values.append(pmi)
+    if not values:
+        return _normalize(vectors)
+
+    ppmi = np.zeros((size, size))
+    ppmi[rows, cols] = values
+    # Truncated SVD of the PPMI matrix; scale by sqrt of singular values
+    # (the symmetric factorization, standard for PPMI-SVD embeddings).
+    u, s, _ = np.linalg.svd(ppmi, full_matrices=False)
+    rank = min(dim, len(s))
+    learned = u[:, :rank] * np.sqrt(s[:rank])
+    seen = word_totals > 0
+    vectors[seen, :rank] = learned[seen]
+    for special in SPECIALS:
+        index = vocab.id_of(special)
+        vectors[index] = rng.normal(scale=0.1, size=dim)
+    return _normalize(vectors)
+
+
+def _normalize(vectors: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    return vectors / norms
+
+
+def nearest_neighbors(
+    vectors: np.ndarray, vocab: Vocabulary, token: str, k: int = 5
+) -> List[str]:
+    """The *k* most cosine-similar vocabulary tokens to *token*."""
+    index = vocab.id_of(token)
+    sims = vectors @ vectors[index]
+    order = np.argsort(-sims)
+    out = []
+    for candidate in order:
+        if candidate == index:
+            continue
+        out.append(vocab.token_of(int(candidate)))
+        if len(out) == k:
+            break
+    return out

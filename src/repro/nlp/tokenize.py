@@ -1,0 +1,29 @@
+"""Natural-language tokenization.
+
+A regex word tokenizer: lowercases, splits punctuation, keeps numbers
+(including decimals) as single tokens, and keeps snake_case identifiers
+intact because Spider-style NL mentions column names verbatim.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+_WORD_RE = re.compile(r"\d+\.\d+|\w+|[^\w\s]")
+
+
+def tokenize_nl(text: str) -> List[str]:
+    """Tokenize an NL query into lowercase tokens."""
+    return _WORD_RE.findall(text.lower())
+
+
+def detokenize(tokens: List[str]) -> str:
+    """Join tokens back into readable text (punctuation hugs words)."""
+    out: List[str] = []
+    for token in tokens:
+        if out and re.fullmatch(r"[^\w\s]", token) and token not in "(\"'":
+            out[-1] += token
+        else:
+            out.append(token)
+    return " ".join(out)

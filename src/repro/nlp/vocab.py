@@ -1,0 +1,89 @@
+"""Token vocabularies with special symbols for the seq2vis model."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence
+
+PAD = "<pad>"
+UNK = "<unk>"
+BOS = "<s>"
+EOS = "</s>"
+
+SPECIALS = (PAD, UNK, BOS, EOS)
+
+
+class Vocabulary:
+    """A frozen token ↔ id mapping with pad/unk/bos/eos specials."""
+
+    def __init__(self, tokens: Iterable[str]):
+        self._itos: List[str] = list(SPECIALS)
+        seen = set(self._itos)
+        for token in tokens:
+            if token not in seen:
+                seen.add(token)
+                self._itos.append(token)
+        self._stoi: Dict[str, int] = {t: i for i, t in enumerate(self._itos)}
+
+    @classmethod
+    def build(
+        cls, sentences: Iterable[Sequence[str]], min_count: int = 1
+    ) -> "Vocabulary":
+        """Build from sentences, keeping tokens seen >= *min_count* times
+        in descending frequency order (ties broken alphabetically for
+        determinism)."""
+        counts = Counter(token for sentence in sentences for token in sentence)
+        kept = [t for t, c in counts.items() if c >= min_count]
+        kept.sort(key=lambda t: (-counts[t], t))
+        return cls(kept)
+
+    def __len__(self) -> int:
+        return len(self._itos)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._stoi
+
+    @property
+    def pad_id(self) -> int:
+        return self._stoi[PAD]
+
+    @property
+    def unk_id(self) -> int:
+        return self._stoi[UNK]
+
+    @property
+    def bos_id(self) -> int:
+        return self._stoi[BOS]
+
+    @property
+    def eos_id(self) -> int:
+        return self._stoi[EOS]
+
+    def id_of(self, token: str) -> int:
+        """Token id, or the unk id for unknown tokens."""
+        return self._stoi.get(token, self.unk_id)
+
+    def token_of(self, index: int) -> str:
+        """Token string for an id."""
+        return self._itos[index]
+
+    def encode(self, tokens: Sequence[str], add_bos: bool = False, add_eos: bool = False) -> List[int]:
+        """Token strings → ids, optionally wrapped in BOS/EOS."""
+        ids = [self.id_of(t) for t in tokens]
+        if add_bos:
+            ids.insert(0, self.bos_id)
+        if add_eos:
+            ids.append(self.eos_id)
+        return ids
+
+    def decode(self, ids: Sequence[int], strip_specials: bool = True) -> List[str]:
+        """Ids → token strings, dropping specials by default."""
+        tokens = [self.token_of(i) for i in ids]
+        if strip_specials:
+            tokens = [t for t in tokens if t not in SPECIALS]
+        return tokens
+
+    @property
+    def tokens(self) -> List[str]:
+        """All tokens in id order (a copy)."""
+        return list(self._itos)

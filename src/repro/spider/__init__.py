@@ -1,0 +1,31 @@
+"""Synthetic Spider-like NL2SQL benchmark substrate.
+
+The real Spider dataset (Yu et al., 2018) is not available offline, so
+this package generates a corpus with matched *structure*: cross-domain
+multi-table databases with typed columns and foreign keys, plus (NL, SQL)
+pairs spanning Spider's four hardness levels, where the NL text is
+clause-aligned with the SQL.  The nl2sql-to-nl2vis synthesizer only
+consumes this structure, so it exercises identical code paths.
+
+Also provides the miniature TPC-H/TPC-DS schemas used by the Figure 7
+filtering demonstration and the COVID-19 table used by the Figure 19
+case study.
+"""
+
+from repro.spider.corpus import NLSQLPair, SpiderCorpus, build_spider_corpus
+from repro.spider.covid import build_covid_database
+from repro.spider.datagen import build_database
+from repro.spider.tpc import build_tpcds_database, build_tpch_database
+from repro.spider.vocab import DOMAINS, DomainSpec
+
+__all__ = [
+    "DOMAINS",
+    "DomainSpec",
+    "NLSQLPair",
+    "SpiderCorpus",
+    "build_covid_database",
+    "build_database",
+    "build_spider_corpus",
+    "build_tpcds_database",
+    "build_tpch_database",
+]

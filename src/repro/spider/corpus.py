@@ -1,0 +1,202 @@
+"""Corpus container and builder for the synthetic Spider-like benchmark.
+
+``build_spider_corpus`` assembles databases across the 105-domain catalog
+(weighted so Sport/Customer/School/Shop/Student carry the most tables, as
+in Table 2) and samples (NL, SQL) pairs per database.  The corpus is
+JSON-serializable so a built benchmark can be saved and reloaded without
+regeneration.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.grammar.ast_nodes import SQLQuery
+from repro.spider.datagen import build_database
+from repro.spider.querygen import QueryGenerator
+from repro.spider.vocab import DOMAINS, DomainSpec
+from repro.sqlparse.parser import parse_sql
+from repro.storage.schema import Column, Database, ForeignKey, Table
+
+
+@dataclass
+class CorpusConfig:
+    """Knobs for corpus size; defaults approximate nvBench's inputs.
+
+    Tests and quick benches shrink ``num_databases`` and
+    ``pairs_per_database`` — every downstream component is size-agnostic.
+    """
+
+    num_databases: int = 153
+    pairs_per_database: int = 24
+    row_scale: float = 1.0
+    max_rows: int = 3000
+    seed: int = 7
+
+
+@dataclass
+class NLSQLPair:
+    """One benchmark example: an NL question and its SQL query."""
+
+    nl: str
+    sql: str
+    query: SQLQuery
+    db_name: str
+
+
+@dataclass
+class SpiderCorpus:
+    """Databases plus (NL, SQL) pairs."""
+
+    databases: Dict[str, Database] = field(default_factory=dict)
+    pairs: List[NLSQLPair] = field(default_factory=list)
+
+    @property
+    def domains(self) -> List[str]:
+        """Distinct domain names, sorted."""
+        return sorted({db.domain for db in self.databases.values()})
+
+    @property
+    def total_tables(self) -> int:
+        """Table count across all databases."""
+        return sum(len(db.tables) for db in self.databases.values())
+
+    def pairs_for(self, db_name: str) -> List[NLSQLPair]:
+        """All pairs over one database."""
+        return [pair for pair in self.pairs if pair.db_name == db_name]
+
+
+def _domain_schedule(num_databases: int, rng: np.random.Generator) -> List[DomainSpec]:
+    """Assign domains to database slots.
+
+    With enough slots every domain appears at least once and the heavy
+    domains get the extras; with fewer slots, the heaviest domains win.
+    """
+    by_weight = sorted(DOMAINS, key=lambda d: (-d.weight, d.name))
+    if num_databases <= len(DOMAINS):
+        return list(by_weight[:num_databases])
+    schedule = list(DOMAINS)
+    extras = num_databases - len(DOMAINS)
+    weights = np.array([d.weight for d in DOMAINS], dtype=float)
+    weights /= weights.sum()
+    picks = rng.choice(len(DOMAINS), size=extras, p=weights)
+    schedule.extend(DOMAINS[int(i)] for i in picks)
+    return schedule
+
+
+def build_spider_corpus(config: Optional[CorpusConfig] = None) -> SpiderCorpus:
+    """Build a full corpus per *config* (deterministic for a given seed)."""
+    config = config or CorpusConfig()
+    rng = np.random.default_rng(config.seed)
+    corpus = SpiderCorpus()
+    counters: Dict[str, int] = {}
+    for spec in _domain_schedule(config.num_databases, rng):
+        counters[spec.name] = counters.get(spec.name, 0) + 1
+        db_name = f"{spec.name}_{counters[spec.name]}"
+        database = build_database(
+            spec, db_name, rng, row_scale=config.row_scale, max_rows=config.max_rows
+        )
+        corpus.databases[db_name] = database
+        generator = QueryGenerator(database, rng)
+        made = 0
+        attempts = 0
+        while made < config.pairs_per_database and attempts < config.pairs_per_database * 6:
+            attempts += 1
+            generated = generator.generate()
+            if generated is None:
+                continue
+            corpus.pairs.append(
+                NLSQLPair(
+                    nl=generated.nl,
+                    sql=generated.sql,
+                    query=generated.query,
+                    db_name=db_name,
+                )
+            )
+            made += 1
+    return corpus
+
+
+# ----- JSON (de)serialization ---------------------------------------------
+
+
+def save_corpus(corpus: SpiderCorpus, path: str) -> None:
+    """Write *corpus* (schemas, rows, pairs) to a JSON file."""
+    payload = {
+        "databases": [
+            {
+                "name": db.name,
+                "domain": db.domain,
+                "tables": [
+                    {
+                        "name": table.name,
+                        "columns": [
+                            {"name": c.name, "ctype": c.ctype} for c in table.columns
+                        ],
+                        "rows": [list(row) for row in table.rows],
+                    }
+                    for table in db.tables.values()
+                ],
+                "foreign_keys": [
+                    {
+                        "table": fk.table,
+                        "column": fk.column,
+                        "ref_table": fk.ref_table,
+                        "ref_column": fk.ref_column,
+                    }
+                    for fk in db.foreign_keys
+                ],
+            }
+            for db in corpus.databases.values()
+        ],
+        "pairs": [
+            {"nl": pair.nl, "sql": pair.sql, "db_name": pair.db_name}
+            for pair in corpus.pairs
+        ],
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_corpus(path: str) -> SpiderCorpus:
+    """Load a corpus saved with :func:`save_corpus`; SQL is re-parsed
+    into ASTs against the loaded schemas."""
+    payload = json.loads(Path(path).read_text())
+    corpus = SpiderCorpus()
+    for db_payload in payload["databases"]:
+        database = Database(name=db_payload["name"], domain=db_payload["domain"])
+        for table_payload in db_payload["tables"]:
+            table = Table(
+                name=table_payload["name"],
+                columns=tuple(
+                    Column(name=c["name"], ctype=c["ctype"])
+                    for c in table_payload["columns"]
+                ),
+            )
+            table.extend([tuple(row) for row in table_payload["rows"]])
+            database.add_table(table)
+        database.foreign_keys = [
+            ForeignKey(
+                table=fk["table"],
+                column=fk["column"],
+                ref_table=fk["ref_table"],
+                ref_column=fk["ref_column"],
+            )
+            for fk in db_payload["foreign_keys"]
+        ]
+        corpus.databases[database.name] = database
+    for pair_payload in payload["pairs"]:
+        database = corpus.databases[pair_payload["db_name"]]
+        corpus.pairs.append(
+            NLSQLPair(
+                nl=pair_payload["nl"],
+                sql=pair_payload["sql"],
+                query=parse_sql(pair_payload["sql"], database),
+                db_name=pair_payload["db_name"],
+            )
+        )
+    return corpus

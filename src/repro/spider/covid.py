@@ -1,0 +1,64 @@
+"""Synthetic COVID-19 table for the Figure 19 case study.
+
+Same schema as the paper's case study — (Date, Country, Confirmed,
+Active Cases, Recovered, Deaths, Daily Cases) — populated with a smooth
+synthetic epidemic curve per country so trend charts look plausible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.storage.schema import Column, Database, Table
+
+COUNTRIES = (
+    "United States",
+    "India",
+    "Brazil",
+    "Russia",
+    "France",
+    "Italy",
+    "Spain",
+    "Germany",
+)
+
+
+def build_covid_database(seed: int = 19, days: int = 240) -> Database:
+    """Build the COVID-19 database starting at 2020-01-22."""
+    rng = np.random.default_rng(seed)
+    db = Database(name="covid_19", domain="health")
+    table = Table(
+        "covid_19",
+        (
+            Column("record_id", "C"),
+            Column("date", "T"),
+            Column("country", "C"),
+            Column("confirmed", "Q"),
+            Column("active_cases", "Q"),
+            Column("recovered", "Q"),
+            Column("deaths", "Q"),
+            Column("daily_cases", "Q"),
+        ),
+    )
+    start = np.datetime64("2020-01-22")
+    record = 0
+    for country_index, country in enumerate(COUNTRIES):
+        # A logistic growth curve with country-specific scale and onset.
+        scale = float(rng.uniform(2e5, 4e6))
+        onset = float(rng.uniform(30, 80))
+        rate = float(rng.uniform(0.06, 0.12))
+        confirmed_prev = 0
+        for day in range(days):
+            confirmed = int(scale / (1.0 + np.exp(-rate * (day - onset))))
+            daily = max(confirmed - confirmed_prev, 0)
+            confirmed_prev = confirmed
+            deaths = int(confirmed * float(rng.uniform(0.015, 0.03)))
+            recovered = int(confirmed * float(rng.uniform(0.5, 0.8)))
+            active = max(confirmed - deaths - recovered, 0)
+            date = str(start + np.timedelta64(day, "D"))
+            table.insert(
+                (record, date, country, confirmed, active, recovered, deaths, daily)
+            )
+            record += 1
+    db.add_table(table)
+    return db

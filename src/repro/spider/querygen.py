@@ -1,0 +1,556 @@
+"""Generate (NL, SQL) pairs over a synthetic database.
+
+Each pair is built the way Spider questions read: the SQL AST is sampled
+feature-by-feature (projection, filters, grouping, ordering, limits,
+joins, set operations, nested subqueries) and the NL question is composed
+*clause-aligned* from several phrasings per clause, so the text mentions
+exactly the columns, comparisons, and values the SQL uses — which is the
+property the nl2sql-to-nl2vis NL-edit step depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.grammar.ast_nodes import (
+    Attribute,
+    Between,
+    Comparison,
+    Filter,
+    Group,
+    InSubquery,
+    Like,
+    LogicalPredicate,
+    Order,
+    Predicate,
+    QueryCore,
+    SetQuery,
+    SQLQuery,
+    Superlative,
+    SubqueryComparison,
+)
+from repro.sqlparse.printer import to_sql
+from repro.storage.schema import Column, Database, Table
+
+
+@dataclass
+class GeneratedQuery:
+    """A sampled SQL query with its aligned NL question."""
+
+    nl: str
+    sql: str
+    query: SQLQuery
+
+
+def _phrase(name: str) -> str:
+    return name.replace("_", " ")
+
+
+def _plural(name: str) -> str:
+    """English-ish plural of a table noun for NL text."""
+    word = _phrase(name)
+    if word.endswith(("s", "x", "z", "ch", "sh")):
+        return word + "es"
+    if word.endswith("y") and len(word) > 1 and word[-2] not in "aeiou":
+        return word[:-1] + "ies"
+    return word + "s"
+
+
+_AGG_WORDS = {
+    "avg": "average",
+    "sum": "total",
+    "max": "maximum",
+    "min": "minimum",
+    "count": "number",
+}
+
+
+def _attr_phrase(attr: Attribute) -> str:
+    """A readable NL phrase for an attribute, aggregate-aware."""
+    if attr.agg == "count":
+        if attr.column == "*":
+            return "number of records"
+        return f"number of {_phrase(attr.column)}"
+    if attr.agg is not None:
+        return f"{_AGG_WORDS[attr.agg]} {_phrase(attr.column)}"
+    return _phrase(attr.column)
+
+
+class QueryGenerator:
+    """Samples (NL, SQL) pairs for one database."""
+
+    def __init__(self, database: Database, rng: np.random.Generator):
+        self.database = database
+        self.rng = rng
+
+    # ----- public entry -------------------------------------------------
+
+    def generate(self) -> Optional[GeneratedQuery]:
+        """Sample one pair; returns ``None`` when the database has no
+        suitable tables (caller retries)."""
+        roll = self.rng.random()
+        if roll < 0.07:
+            made = self._make_set_query()
+        else:
+            made = self._make_plain_query()
+        if made is None:
+            return None
+        nl, query = made
+        return GeneratedQuery(nl=nl, sql=to_sql(query, self.database), query=query)
+
+    # ----- core sampling ------------------------------------------------
+
+    def _usable_tables(self, min_columns: int = 2) -> List[Table]:
+        return [
+            table
+            for table in self.database.tables.values()
+            if len(table.columns) >= min_columns and table.row_count >= 2
+        ]
+
+    def _make_plain_query(self) -> Optional[Tuple[str, SQLQuery]]:
+        tables = self._usable_tables()
+        if not tables:
+            return None
+        if self.rng.random() < 0.22:
+            simple = self._make_simple_lookup(tables)
+            if simple is not None:
+                return simple
+        table = tables[int(self.rng.integers(len(tables)))]
+        join_table = self._maybe_join_table(table)
+        nl, core = self._make_core(table, join_table)
+        if core is None:
+            return None
+        return nl, SQLQuery(body=core)
+
+    def _make_simple_lookup(
+        self, tables: List[Table]
+    ) -> Optional[Tuple[str, SQLQuery]]:
+        """Spider-style trivial question: two bare columns, no clauses.
+
+        Prefers a small table with an entity-label column plus a numeric
+        one — these are the questions that become nvBench's "easy" tier.
+        """
+        rng = self.rng
+        candidates = []
+        for table in tables:
+            if table.row_count > 40:
+                continue
+            labels = [
+                c for c in table.columns
+                if c.ctype == "C" and not c.name.endswith("_id")
+            ]
+            others = [
+                c for c in table.columns
+                if c.ctype in ("Q", "T") and not c.name.endswith("_id")
+            ]
+            if labels and others:
+                candidates.append((table, labels, others))
+        if not candidates:
+            return None
+        table, labels, others = candidates[int(rng.integers(len(candidates)))]
+        label = labels[int(rng.integers(len(labels)))]
+        other = others[int(rng.integers(len(others)))]
+        select = (
+            Attribute(column=label.name, table=table.name),
+            Attribute(column=other.name, table=table.name),
+        )
+        table_plural = _plural(table.name)
+        nl = str(
+            rng.choice(
+                [
+                    f"What are the {_phrase(label.name)} and "
+                    f"{_phrase(other.name)} of all {table_plural}?",
+                    f"Show the {_phrase(other.name)} of each "
+                    f"{_phrase(table.name)} by {_phrase(label.name)}.",
+                    f"List every {_phrase(table.name)} with its "
+                    f"{_phrase(label.name)} and {_phrase(other.name)}.",
+                ]
+            )
+        )
+        return nl, SQLQuery(body=QueryCore(select=select))
+
+    def _make_set_query(self) -> Optional[Tuple[str, SQLQuery]]:
+        tables = self._usable_tables()
+        candidates = [t for t in tables if self._filterable_columns(t)]
+        if not candidates:
+            return None
+        table = candidates[int(self.rng.integers(len(candidates)))]
+        # Prefer a (label, measure) projection so the set result itself is
+        # chartable; fall back to a single attribute.
+        labels = [
+            c for c in table.columns
+            if c.ctype == "C" and not c.name.endswith("_id")
+        ]
+        measures = [c for c in table.columns if c.ctype == "Q"]
+        if labels and measures and self.rng.random() < 0.75:
+            label = labels[int(self.rng.integers(len(labels)))]
+            measure = measures[int(self.rng.integers(len(measures)))]
+            select = (
+                Attribute(column=label.name, table=table.name),
+                Attribute(column=measure.name, table=table.name),
+            )
+            column_phrase = f"{_phrase(label.name)} and {_phrase(measure.name)}"
+        else:
+            attr = self._pick_attributes(table, 1)[0]
+            select = (attr,)
+            column_phrase = _phrase(attr.column)
+        left_pred, left_nl = self._make_predicate(table)
+        right_pred, right_nl = self._make_predicate(table)
+        if left_pred is None or right_pred is None:
+            return None
+        left = QueryCore(select=select, filter=Filter(left_pred))
+        right = QueryCore(select=select, filter=Filter(right_pred))
+        op = str(self.rng.choice(["intersect", "union", "except"]))
+        table_plural = _plural(table.name)
+        table_phrase = _phrase(table.name)
+        if op == "intersect":
+            nl = (
+                f"Find the {column_phrase} of {table_plural} that {left_nl} "
+                f"and also {right_nl}."
+            )
+        elif op == "union":
+            nl = (
+                f"List the {column_phrase} of {table_plural} that {left_nl} "
+                f"or that {right_nl}."
+            )
+        else:
+            nl = (
+                f"Show the {column_phrase} of {table_plural} that {left_nl} "
+                f"but not those that {right_nl}."
+            )
+        return nl, SQLQuery(body=SetQuery(op=op, left=left, right=right))
+
+    def _maybe_join_table(self, table: Table) -> Optional[Table]:
+        if self.rng.random() > 0.18:
+            return None
+        partners = []
+        for fk in self.database.foreign_keys:
+            if fk.table == table.name:
+                partners.append(fk.ref_table)
+            elif fk.ref_table == table.name:
+                partners.append(fk.table)
+        partners = [
+            p
+            for p in dict.fromkeys(partners)
+            if len(self.database.table(p).columns) >= 2
+        ]
+        if not partners:
+            return None
+        return self.database.table(str(self.rng.choice(partners)))
+
+    def _make_core(
+        self, table: Table, join_table: Optional[Table]
+    ) -> Tuple[str, Optional[QueryCore]]:
+        rng = self.rng
+        grouped = rng.random() < 0.26
+        if grouped:
+            nl, core = self._make_grouped_core(table, join_table)
+        else:
+            nl, core = self._make_projection_core(table, join_table)
+        if core is None:
+            return "", None
+
+        clauses = [nl]
+        # A HAVING condition may already live in the grouped core's
+        # filter; a sampled WHERE predicate is AND-ed with it.
+        filter_ = core.filter
+        if rng.random() < 0.28:
+            pred, pred_nl = self._make_predicate(table, allow_nested=True)
+            if pred is not None:
+                if filter_ is not None:
+                    filter_ = Filter(
+                        root=LogicalPredicate("and", left=pred, right=filter_.root)
+                    )
+                else:
+                    filter_ = Filter(root=pred)
+                clauses.append(f"whose {pred_nl}" if rng.random() < 0.5 else f"that {pred_nl}")
+
+        order = None
+        superlative = None
+        sortable = list(core.select)
+        if rng.random() < 0.20 and sortable:
+            attr = sortable[int(rng.integers(len(sortable)))]
+            attr_phrase = _attr_phrase(attr)
+            direction = str(rng.choice(["asc", "desc"]))
+            word = "ascending" if direction == "asc" else "descending"
+            if rng.random() < 0.35:
+                k = int(rng.integers(1, 6))
+                superlative = Superlative(
+                    kind="most" if direction == "desc" else "least", k=k, attr=attr
+                )
+                extreme = "most" if direction == "desc" else "least"
+                clauses.append(f"and give the top {k} with the {extreme} {attr_phrase}")
+            else:
+                order = Order(direction=direction, attr=attr)
+                clauses.append(
+                    str(
+                        rng.choice(
+                            [
+                                f"sorted by {attr_phrase} in {word} order",
+                                f"ordered by {attr_phrase} {word}",
+                                f"and list them by {attr_phrase} in {word} order",
+                            ]
+                        )
+                    )
+                )
+
+        core = QueryCore(
+            select=core.select,
+            filter=filter_,
+            groups=core.groups,
+            order=order,
+            superlative=superlative,
+        )
+        sentence = " ".join(clauses).strip()
+        if not sentence.endswith((".", "?")):
+            sentence += "?" if sentence.lower().startswith(("what", "how", "which")) else "."
+        return sentence, core
+
+    def _make_projection_core(
+        self, table: Table, join_table: Optional[Table]
+    ) -> Tuple[str, Optional[QueryCore]]:
+        rng = self.rng
+        n_attrs = int(rng.choice([1, 2, 3, 4], p=[0.28, 0.42, 0.22, 0.08]))
+        attrs = self._pick_attributes(table, n_attrs)
+        table_plural = _plural(table.name)
+        table_phrase = _phrase(table.name)
+        if join_table is not None:
+            join_attrs = self._pick_attributes(join_table, 1)
+            attrs = attrs + join_attrs
+            phrase_join = (
+                f" together with the {_phrase(join_attrs[0].column)} of the "
+                f"corresponding {_phrase(join_table.name)}"
+            )
+        else:
+            phrase_join = ""
+        listing = self._column_listing(attrs)
+        opener = str(
+            rng.choice(
+                [
+                    f"Show the {listing} of all {table_plural}{phrase_join}",
+                    f"What are the {listing} of each {table_phrase}{phrase_join}",
+                    f"List the {listing} for every {table_phrase}{phrase_join}",
+                    f"Find the {listing} of {table_plural}{phrase_join}",
+                    f"Return the {listing} of the {table_plural}{phrase_join}",
+                ]
+            )
+        )
+        return opener, QueryCore(select=tuple(attrs))
+
+    def _make_grouped_core(
+        self, table: Table, join_table: Optional[Table]
+    ) -> Tuple[str, Optional[QueryCore]]:
+        rng = self.rng
+        group_cols = [c for c in table.columns if c.ctype == "C" and not c.name.endswith("_id")]
+        if not group_cols:
+            group_cols = [c for c in table.columns if c.ctype == "C"]
+        if not group_cols:
+            return "", None
+        group_col = group_cols[int(rng.integers(len(group_cols)))]
+        group_attr = Attribute(column=group_col.name, table=table.name)
+        table_plural = _plural(table.name)
+        table_phrase = _phrase(table.name)
+        group_phrase = _phrase(group_col.name)
+
+        quantitative = [
+            c for c in table.columns if c.ctype == "Q" and c.name != group_col.name
+        ]
+        use_count = not quantitative or rng.random() < 0.45
+        if use_count:
+            measure = Attribute(column="*", table=table.name, agg="count")
+            opener = str(
+                rng.choice(
+                    [
+                        f"How many {table_plural} are there for each {group_phrase}",
+                        f"Count the number of {table_plural} in each {group_phrase}",
+                        f"Find the number of {table_plural} per {group_phrase}",
+                    ]
+                )
+            )
+        else:
+            target = quantitative[int(rng.integers(len(quantitative)))]
+            agg = str(rng.choice(["avg", "sum", "max", "min"]))
+            measure = Attribute(column=target.name, table=table.name, agg=agg)
+            agg_word = {"avg": "average", "sum": "total", "max": "maximum", "min": "minimum"}[agg]
+            opener = str(
+                rng.choice(
+                    [
+                        f"What is the {agg_word} {_phrase(target.name)} of "
+                        f"{table_plural} for each {group_phrase}",
+                        f"Show the {agg_word} {_phrase(target.name)} per "
+                        f"{group_phrase} of {table_plural}",
+                        f"Find the {agg_word} {_phrase(target.name)} for the "
+                        f"{table_plural} in each {group_phrase}",
+                    ]
+                )
+            )
+        having = None
+        if rng.random() < 0.18:
+            # A Spider-style HAVING condition on the grouped measure.
+            if measure.agg == "count":
+                threshold: object = int(rng.integers(2, 5))
+            else:
+                values = [
+                    v for v in table.column_values(measure.column)
+                    if isinstance(v, (int, float))
+                ]
+                if values:
+                    threshold = values[int(rng.integers(len(values)))]
+                else:
+                    threshold = 1
+            having = Filter(Comparison(op=">=", attr=measure, value=threshold))
+            opener += (
+                f", keeping only the {group_phrase} groups whose "
+                f"{_attr_phrase(measure)} is at least {threshold}"
+            )
+        core = QueryCore(
+            select=(group_attr, measure),
+            groups=(Group(kind="grouping", attr=group_attr),),
+            filter=having,
+        )
+        return opener, core
+
+    # ----- attribute and predicate sampling ------------------------------
+
+    def _pick_attributes(self, table: Table, count: int) -> List[Attribute]:
+        pool = [c for c in table.columns if not c.name.endswith("_id")]
+        if not pool:
+            pool = list(table.columns)
+        count = min(count, len(pool))
+        picked = self.rng.choice(len(pool), size=count, replace=False)
+        return [
+            Attribute(column=pool[i].name, table=table.name)
+            for i in sorted(picked.tolist())
+        ]
+
+    def _column_listing(self, attrs: Sequence[Attribute]) -> str:
+        names = [_phrase(a.column) for a in attrs]
+        if len(names) == 1:
+            return names[0]
+        return ", ".join(names[:-1]) + " and " + names[-1]
+
+    def _filterable_columns(self, table: Table) -> List[Column]:
+        return [
+            c
+            for c in table.columns
+            if not c.name.endswith("_id") and table.row_count >= 2
+        ]
+
+    def _make_predicate(
+        self, table: Table, allow_nested: bool = False
+    ) -> Tuple[Optional[Predicate], str]:
+        rng = self.rng
+        columns = self._filterable_columns(table)
+        if not columns:
+            return None, ""
+        if allow_nested and rng.random() < 0.15:
+            nested = self._make_nested_predicate(table)
+            if nested is not None:
+                return nested
+        first = self._make_simple_predicate(table, columns)
+        if first is None:
+            return None, ""
+        pred, nl = first
+        if rng.random() < 0.22:
+            second = self._make_simple_predicate(table, columns)
+            if second is not None and second[0] != pred:
+                op = str(rng.choice(["and", "or"], p=[0.7, 0.3]))
+                pred = LogicalPredicate(op=op, left=pred, right=second[0])
+                nl = f"{nl} {op} {second[1]}"
+        return pred, nl
+
+    def _make_simple_predicate(
+        self, table: Table, columns: List[Column]
+    ) -> Optional[Tuple[Predicate, str]]:
+        rng = self.rng
+        column = columns[int(rng.integers(len(columns)))]
+        attr = Attribute(column=column.name, table=table.name)
+        values = [v for v in table.column_values(column.name) if v is not None]
+        if not values:
+            return None
+        value = values[int(rng.integers(len(values)))]
+        column_phrase = _phrase(column.name)
+        if column.ctype == "Q":
+            op = str(rng.choice([">", "<", ">=", "<=", "=", "between"]))
+            if op == "between":
+                other = values[int(rng.integers(len(values)))]
+                low, high = sorted([value, other])
+                return (
+                    Between(attr=attr, low=low, high=high),
+                    f"{column_phrase} is between {low} and {high}",
+                )
+            words = {
+                ">": "is greater than",
+                "<": "is less than",
+                ">=": "is at least",
+                "<=": "is at most",
+                "=": "equals",
+            }
+            return (
+                Comparison(op=op, attr=attr, value=value),
+                f"{column_phrase} {words[op]} {value}",
+            )
+        if column.ctype == "T":
+            op = str(rng.choice([">", "<", "="]))
+            words = {">": "is after", "<": "is before", "=": "is on"}
+            return (
+                Comparison(op=op, attr=attr, value=value),
+                f"{column_phrase} {words[op]} {value}",
+            )
+        roll = rng.random()
+        if roll < 0.15 and isinstance(value, str) and len(value) >= 3:
+            piece = value.split()[0]
+            return (
+                Like(attr=attr, pattern=f"%{piece}%"),
+                f"{column_phrase} contains the word {piece}",
+            )
+        op = "=" if roll < 0.85 else "!="
+        verb = "is" if op == "=" else "is not"
+        return (
+            Comparison(op=op, attr=attr, value=value),
+            f"{column_phrase} {verb} {value}",
+        )
+
+    def _make_nested_predicate(
+        self, table: Table
+    ) -> Optional[Tuple[Predicate, str]]:
+        rng = self.rng
+        quantitative = [
+            c for c in table.columns if c.ctype == "Q" and not c.name.endswith("_id")
+        ]
+        if quantitative and rng.random() < 0.6:
+            column = quantitative[int(rng.integers(len(quantitative)))]
+            attr = Attribute(column=column.name, table=table.name)
+            sub = QueryCore(
+                select=(Attribute(column=column.name, table=table.name, agg="avg"),)
+            )
+            op = str(rng.choice([">", "<"]))
+            word = "above" if op == ">" else "below"
+            return (
+                SubqueryComparison(op=op, attr=attr, query=sub),
+                f"{_phrase(column.name)} is {word} the average {_phrase(column.name)}",
+            )
+        # [NOT] IN over a filtered subquery on the same table.
+        columns = self._filterable_columns(table)
+        if not columns:
+            return None
+        column = columns[int(rng.integers(len(columns)))]
+        attr = Attribute(column=column.name, table=table.name)
+        simple = self._make_simple_predicate(table, columns)
+        if simple is None:
+            return None
+        pred, pred_nl = simple
+        sub = QueryCore(select=(attr,), filter=Filter(root=pred))
+        negated = bool(rng.random() < 0.4)
+        if negated:
+            return (
+                InSubquery(attr=attr, query=sub, negated=True),
+                f"{_phrase(column.name)} never appears among those whose {pred_nl}",
+            )
+        return (
+            InSubquery(attr=attr, query=sub, negated=False),
+            f"{_phrase(column.name)} appears among those whose {pred_nl}",
+        )

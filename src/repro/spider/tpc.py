@@ -1,0 +1,134 @@
+"""Miniature TPC-H and TPC-DS databases (Figure 7 demonstration).
+
+The paper runs its transformation and filtering machinery over TPC-H and
+TPC-DS to show which chart classes the DeepEye-style filter rejects:
+pie charts with too many slices (TPC-H Q20-style) and single-value bar
+charts (TPC-DS Q9-style) are bad; year-trend bars (Q8) and two-variable
+scatters (Q7) are good.  These miniatures carry just the tables and
+columns those four demonstrations touch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.storage.schema import Column, Database, ForeignKey, Table
+
+
+def build_tpch_database(seed: int = 42, scale: int = 200) -> Database:
+    """A small TPC-H: supplier, part, partsupp, orders, lineitem, nation."""
+    rng = np.random.default_rng(seed)
+    db = Database(name="tpch", domain="tpc")
+
+    nation = Table(
+        "nation", (Column("n_nationkey", "C"), Column("n_name", "C"))
+    )
+    nations = [
+        "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+        "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+        "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA",
+        "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+        "UNITED STATES",
+    ]
+    nation.extend([(i, name) for i, name in enumerate(nations)])
+    db.add_table(nation)
+
+    supplier = Table(
+        "supplier",
+        (
+            Column("s_suppkey", "C"),
+            Column("s_name", "C"),
+            Column("s_nationkey", "C"),
+            Column("s_acctbal", "Q"),
+        ),
+    )
+    # Many distinct suppliers: the Q20-style pie over supplier names has
+    # far too many slices, which is exactly what the filter must reject.
+    for key in range(scale):
+        supplier.insert(
+            (
+                key,
+                f"Supplier#{key:05d}",
+                int(rng.integers(len(nations))),
+                round(float(rng.normal(4500, 2000)), 2),
+            )
+        )
+    db.add_table(supplier)
+
+    orders = Table(
+        "orders",
+        (
+            Column("o_orderkey", "C"),
+            Column("o_orderdate", "T"),
+            Column("o_totalprice", "Q"),
+            Column("o_suppkey", "C"),
+        ),
+    )
+    for key in range(scale * 4):
+        year = int(rng.integers(1992, 1999))
+        month = int(rng.integers(1, 13))
+        day = int(rng.integers(1, 29))
+        orders.insert(
+            (
+                key,
+                f"{year:04d}-{month:02d}-{day:02d}",
+                round(float(rng.lognormal(9.5, 0.6)), 2),
+                int(rng.integers(scale)),
+            )
+        )
+    db.add_table(orders)
+    db.foreign_keys.append(ForeignKey("supplier", "s_nationkey", "nation", "n_nationkey"))
+    db.foreign_keys.append(ForeignKey("orders", "o_suppkey", "supplier", "s_suppkey"))
+    return db
+
+
+def build_tpcds_database(seed: int = 43, scale: int = 300) -> Database:
+    """A small TPC-DS: store_sales with item and store dimensions."""
+    rng = np.random.default_rng(seed)
+    db = Database(name="tpcds", domain="tpc")
+
+    item = Table(
+        "item",
+        (
+            Column("i_item_sk", "C"),
+            Column("i_category", "C"),
+            Column("i_current_price", "Q"),
+        ),
+    )
+    categories = ("Books", "Electronics", "Home", "Jewelry", "Music", "Shoes", "Sports")
+    for key in range(60):
+        item.insert(
+            (
+                key,
+                categories[int(rng.integers(len(categories)))],
+                round(float(rng.lognormal(3.0, 0.5)), 2),
+            )
+        )
+    db.add_table(item)
+
+    store_sales = Table(
+        "store_sales",
+        (
+            Column("ss_ticket", "C"),
+            Column("ss_item_sk", "C"),
+            Column("ss_quantity", "Q"),
+            Column("ss_net_paid", "Q"),
+            Column("ss_sold_date", "T"),
+        ),
+    )
+    for key in range(scale * 4):
+        year = int(rng.integers(1998, 2003))
+        month = int(rng.integers(1, 13))
+        quantity = int(rng.integers(1, 40))
+        store_sales.insert(
+            (
+                key,
+                int(rng.integers(60)),
+                quantity,
+                round(quantity * float(rng.lognormal(3.0, 0.5)), 2),
+                f"{year:04d}-{month:02d}-{int(rng.integers(1, 29)):02d}",
+            )
+        )
+    db.add_table(store_sales)
+    db.foreign_keys.append(ForeignKey("store_sales", "ss_item_sk", "item", "i_item_sk"))
+    return db

@@ -1,0 +1,281 @@
+"""Domain catalog for the synthetic Spider-like corpus.
+
+Spider covers 138 domains; nvBench retains 105 after pruning, with the
+top-5 by table count being Sport, Customer, School, Shop, and Student
+(paper Table 2).  This catalog defines 105 domains, each as a set of
+entity tables drawn from a small library of *archetypes*; the top-5 carry
+a weight that gives them more databases, matching the paper's skew.
+
+Archetypes bundle plausible attribute pools per entity kind:
+
+* ``PERSON``  — people with demographics and money-like columns
+* ``ORG``     — organizations with founding dates and size metrics
+* ``EVENT``   — dated occurrences with scores/attendance
+* ``ITEM``    — catalog objects with prices and categories
+* ``PLACE``   — locations with capacities and areas
+* ``TXN``     — transactions linking entities with amounts and dates
+* ``MEDIA``   — titles with ratings and release dates
+* ``RECORD``  — measurements/logs with values and timestamps
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+#: attribute pool entries: (column name, column type, value generator kind)
+#: generator kinds are interpreted by :mod:`repro.spider.datagen`.
+ARCHETYPES: Dict[str, List[Tuple[str, str, str]]] = {
+    "PERSON": [
+        ("name", "C", "person_name"),
+        ("age", "Q", "age"),
+        ("salary", "Q", "money"),
+        ("city", "C", "city"),
+        ("gender", "C", "gender"),
+        ("rank", "Q", "small_int"),
+        ("join_date", "T", "date"),
+        ("email", "C", "email"),
+        ("height", "Q", "height"),
+        ("years_experience", "Q", "small_int"),
+    ],
+    "ORG": [
+        ("name", "C", "org_name"),
+        ("founded_year", "T", "year"),
+        ("city", "C", "city"),
+        ("budget", "Q", "big_money"),
+        ("num_employees", "Q", "count_mid"),
+        ("category", "C", "org_category"),
+        ("revenue", "Q", "big_money"),
+        ("rating", "Q", "rating"),
+    ],
+    "EVENT": [
+        ("name", "C", "event_name"),
+        ("event_date", "T", "date"),
+        ("score", "Q", "score"),
+        ("attendance", "Q", "count_big"),
+        ("location", "C", "city"),
+        ("result", "C", "result"),
+        ("duration", "Q", "duration"),
+        ("season", "T", "year"),
+    ],
+    "ITEM": [
+        ("name", "C", "item_name"),
+        ("price", "Q", "money"),
+        ("category", "C", "item_category"),
+        ("stock", "Q", "count_mid"),
+        ("release_date", "T", "date"),
+        ("weight", "Q", "weight"),
+        ("rating", "Q", "rating"),
+        ("manufacturer", "C", "org_name"),
+    ],
+    "PLACE": [
+        ("name", "C", "place_name"),
+        ("city", "C", "city"),
+        ("capacity", "Q", "count_big"),
+        ("area", "Q", "area"),
+        ("opened_year", "T", "year"),
+        ("kind", "C", "place_kind"),
+        ("latitude", "Q", "latitude"),
+    ],
+    "TXN": [
+        ("amount", "Q", "money"),
+        ("txn_date", "T", "datetime"),
+        ("status", "C", "status"),
+        ("quantity", "Q", "small_int"),
+        ("method", "C", "pay_method"),
+        ("discount", "Q", "rate"),
+    ],
+    "MEDIA": [
+        ("title", "C", "title"),
+        ("release_date", "T", "date"),
+        ("rating", "Q", "rating"),
+        ("duration", "Q", "duration"),
+        ("genre", "C", "genre"),
+        ("language", "C", "language"),
+        ("views", "Q", "count_big"),
+    ],
+    "RECORD": [
+        ("value", "Q", "measure"),
+        ("recorded_at", "T", "datetime"),
+        ("level", "C", "level"),
+        ("source", "C", "org_name"),
+        ("reading", "Q", "measure"),
+    ],
+}
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """One domain: its name, entity tables, and a sampling weight.
+
+    ``tables`` maps a table noun to its archetype; the generator adds a
+    primary key, samples a subset of the archetype's attribute pool, and
+    wires child tables to parents with foreign keys.
+    """
+
+    name: str
+    tables: Tuple[Tuple[str, str], ...]
+    weight: int = 1
+
+
+def _domain(name: str, tables: Sequence[Tuple[str, str]], weight: int = 1) -> DomainSpec:
+    return DomainSpec(name=name, tables=tuple(tables), weight=weight)
+
+
+DOMAINS: Tuple[DomainSpec, ...] = (
+    # --- top-5 heavy domains (paper Table 2) ---------------------------
+    _domain("sport", [("team", "ORG"), ("player", "PERSON"), ("match", "EVENT"), ("stadium", "PLACE"), ("coach", "PERSON")], weight=8),
+    _domain("customer", [("customer", "PERSON"), ("account", "TXN"), ("purchase", "TXN"), ("complaint", "RECORD")], weight=7),
+    _domain("school", [("school", "ORG"), ("teacher", "PERSON"), ("class", "EVENT"), ("campus", "PLACE")], weight=6),
+    _domain("shop", [("shop", "ORG"), ("product", "ITEM"), ("sale", "TXN"), ("supplier", "ORG")], weight=5),
+    _domain("student", [("student", "PERSON"), ("course", "ITEM"), ("enrollment", "TXN"), ("dorm", "PLACE")], weight=4),
+    # --- remaining 100 domains -----------------------------------------
+    _domain("college", [("faculty", "PERSON"), ("department", "ORG"), ("lecture", "EVENT")]),
+    _domain("hospital", [("doctor", "PERSON"), ("patient", "PERSON"), ("appointment", "EVENT"), ("ward", "PLACE")]),
+    _domain("flight", [("flight", "EVENT"), ("airport", "PLACE"), ("airline", "ORG"), ("booking", "TXN")]),
+    _domain("club", [("club", "ORG"), ("member", "PERSON"), ("activity", "EVENT")]),
+    _domain("tv_show", [("show", "MEDIA"), ("episode", "MEDIA"), ("channel", "ORG")]),
+    _domain("government", [("agency", "ORG"), ("official", "PERSON"), ("policy", "RECORD")]),
+    _domain("movie", [("movie", "MEDIA"), ("director", "PERSON"), ("cinema", "PLACE")]),
+    _domain("music", [("album", "MEDIA"), ("artist", "PERSON"), ("concert", "EVENT")]),
+    _domain("restaurant", [("restaurant", "ORG"), ("dish", "ITEM"), ("reservation", "TXN")]),
+    _domain("library", [("book", "MEDIA"), ("borrower", "PERSON"), ("loan", "TXN")]),
+    _domain("bank", [("branch", "ORG"), ("client", "PERSON"), ("transaction", "TXN")]),
+    _domain("insurance", [("policyholder", "PERSON"), ("claim", "TXN"), ("agent", "PERSON")]),
+    _domain("real_estate", [("property", "PLACE"), ("agent", "PERSON"), ("viewing", "EVENT")]),
+    _domain("airline_ops", [("aircraft", "ITEM"), ("pilot", "PERSON"), ("route", "RECORD")]),
+    _domain("railway", [("train", "ITEM"), ("station", "PLACE"), ("trip", "EVENT")]),
+    _domain("shipping", [("vessel", "ITEM"), ("port", "PLACE"), ("voyage", "EVENT")]),
+    _domain("logistics", [("warehouse", "PLACE"), ("shipment", "TXN"), ("carrier", "ORG")]),
+    _domain("ecommerce", [("seller", "ORG"), ("listing", "ITEM"), ("purchase", "TXN")]),
+    _domain("hotel", [("hotel", "ORG"), ("room", "PLACE"), ("stay", "TXN")]),
+    _domain("museum", [("museum", "ORG"), ("exhibit", "ITEM"), ("visitor", "PERSON")]),
+    _domain("theater", [("theater", "PLACE"), ("play", "MEDIA"), ("performance", "EVENT")]),
+    _domain("festival", [("festival", "EVENT"), ("performer", "PERSON"), ("venue", "PLACE")]),
+    _domain("conference", [("conference", "EVENT"), ("speaker", "PERSON"), ("session", "EVENT")]),
+    _domain("journal", [("journal", "MEDIA"), ("author", "PERSON"), ("article", "MEDIA")]),
+    _domain("news", [("newspaper", "MEDIA"), ("reporter", "PERSON"), ("story", "MEDIA")]),
+    _domain("radio", [("program", "MEDIA"), ("host", "PERSON"), ("broadcast", "EVENT")]),
+    _domain("podcast", [("podcast", "MEDIA"), ("guest", "PERSON"), ("episode_log", "RECORD")]),
+    _domain("gaming", [("game", "MEDIA"), ("studio", "ORG"), ("tournament", "EVENT")]),
+    _domain("esports", [("squad", "ORG"), ("gamer", "PERSON"), ("league_match", "EVENT")]),
+    _domain("olympics", [("athlete", "PERSON"), ("country", "ORG"), ("final", "EVENT")]),
+    _domain("swimming", [("swimmer", "PERSON"), ("pool", "PLACE"), ("heat", "EVENT")]),
+    _domain("cycling", [("cyclist", "PERSON"), ("race", "EVENT"), ("sponsor", "ORG")]),
+    _domain("racing", [("driver", "PERSON"), ("circuit", "PLACE"), ("grand_prix", "EVENT")]),
+    _domain("tennis", [("tennis_player", "PERSON"), ("open", "EVENT"), ("court", "PLACE")]),
+    _domain("golf", [("golfer", "PERSON"), ("course_site", "PLACE"), ("round", "EVENT")]),
+    _domain("chess", [("grandmaster", "PERSON"), ("chess_game", "EVENT"), ("federation", "ORG")]),
+    _domain("wrestling", [("wrestler", "PERSON"), ("bout", "EVENT"), ("promotion", "ORG")]),
+    _domain("boxing", [("boxer", "PERSON"), ("fight", "EVENT"), ("gym", "PLACE")]),
+    _domain("climbing", [("climber", "PERSON"), ("summit", "PLACE"), ("expedition", "EVENT")]),
+    _domain("farming", [("farm", "ORG"), ("crop", "ITEM"), ("harvest", "RECORD")]),
+    _domain("vineyard", [("winery", "ORG"), ("wine", "ITEM"), ("tasting", "EVENT")]),
+    _domain("brewery", [("brewery", "ORG"), ("beer", "ITEM"), ("batch", "RECORD")]),
+    _domain("bakery", [("bakery", "ORG"), ("pastry", "ITEM"), ("daily_sale", "TXN")]),
+    _domain("coffee", [("cafe", "ORG"), ("blend", "ITEM"), ("cup_sale", "TXN")]),
+    _domain("fishing", [("boat", "ITEM"), ("catch", "RECORD"), ("harbor", "PLACE")]),
+    _domain("forestry", [("forest", "PLACE"), ("ranger", "PERSON"), ("survey", "RECORD")]),
+    _domain("mining", [("mine", "PLACE"), ("mineral", "ITEM"), ("extraction", "RECORD")]),
+    _domain("energy", [("plant", "PLACE"), ("generator", "ITEM"), ("output", "RECORD")]),
+    _domain("solar", [("array", "ITEM"), ("site", "PLACE"), ("production", "RECORD")]),
+    _domain("weather", [("observation_station", "PLACE"), ("forecast", "RECORD"), ("storm", "EVENT")]),
+    _domain("climate", [("region", "PLACE"), ("measurement", "RECORD"), ("research_body", "ORG")]),
+    _domain("astronomy", [("telescope", "ITEM"), ("observation", "RECORD"), ("observatory", "PLACE")]),
+    _domain("space", [("mission", "EVENT"), ("astronaut", "PERSON"), ("launch_site", "PLACE")]),
+    _domain("aviation", [("helicopter", "ITEM"), ("hangar", "PLACE"), ("maintenance", "RECORD")]),
+    _domain("automotive", [("car_model", "ITEM"), ("maker", "ORG"), ("test_drive", "EVENT")]),
+    _domain("motorcycle", [("bike", "ITEM"), ("dealer", "ORG"), ("service_visit", "TXN")]),
+    _domain("trucking", [("truck", "ITEM"), ("depot", "PLACE"), ("haul", "TXN")]),
+    _domain("transit", [("bus", "ITEM"), ("stop", "PLACE"), ("ride", "TXN")]),
+    _domain("parking", [("garage", "PLACE"), ("permit", "TXN"), ("attendant", "PERSON")]),
+    _domain("construction", [("contractor", "ORG"), ("project_site", "PLACE"), ("inspection", "RECORD")]),
+    _domain("architecture", [("firm", "ORG"), ("building", "PLACE"), ("blueprint", "RECORD")]),
+    _domain("engineering", [("engineer", "PERSON"), ("prototype", "ITEM"), ("trial", "EVENT")]),
+    _domain("manufacturing", [("factory", "PLACE"), ("component", "ITEM"), ("production_run", "RECORD")]),
+    _domain("textile", [("mill", "ORG"), ("fabric", "ITEM"), ("dye_lot", "RECORD")]),
+    _domain("fashion", [("designer", "PERSON"), ("garment", "ITEM"), ("runway_show", "EVENT")]),
+    _domain("jewelry", [("jeweler", "ORG"), ("gem", "ITEM"), ("appraisal", "RECORD")]),
+    _domain("furniture", [("workshop", "ORG"), ("piece", "ITEM"), ("delivery", "TXN")]),
+    _domain("electronics", [("brand", "ORG"), ("device", "ITEM"), ("repair", "TXN")]),
+    _domain("software", [("vendor", "ORG"), ("application", "ITEM"), ("release", "EVENT")]),
+    _domain("startup", [("venture", "ORG"), ("founder", "PERSON"), ("funding_round", "TXN")]),
+    _domain("hr", [("employee", "PERSON"), ("position", "ITEM"), ("review_cycle", "EVENT")]),
+    _domain("recruiting", [("candidate", "PERSON"), ("opening", "ITEM"), ("interview", "EVENT")]),
+    _domain("payroll", [("staff_member", "PERSON"), ("payment", "TXN"), ("bonus", "TXN")]),
+    _domain("legal", [("lawyer", "PERSON"), ("case", "RECORD"), ("hearing", "EVENT")]),
+    _domain("court", [("judge", "PERSON"), ("trial_event", "EVENT"), ("district", "PLACE")]),
+    _domain("police", [("officer", "PERSON"), ("incident", "EVENT"), ("precinct", "PLACE")]),
+    _domain("fire_department", [("firefighter", "PERSON"), ("callout", "EVENT"), ("fire_station", "PLACE")]),
+    _domain("charity", [("nonprofit", "ORG"), ("donor", "PERSON"), ("donation", "TXN")]),
+    _domain("volunteering", [("volunteer", "PERSON"), ("drive", "EVENT"), ("chapter", "ORG")]),
+    _domain("election", [("voting_candidate", "PERSON"), ("constituency", "PLACE"), ("poll", "RECORD")]),
+    _domain("census", [("household", "RECORD"), ("tract", "PLACE"), ("enumerator", "PERSON")]),
+    _domain("tourism", [("tour", "EVENT"), ("guide", "PERSON"), ("landmark", "PLACE")]),
+    _domain("cruise", [("ship", "ITEM"), ("itinerary", "RECORD"), ("passenger", "PERSON")]),
+    _domain("camping", [("campground", "PLACE"), ("site_booking", "TXN"), ("trail", "PLACE")]),
+    _domain("zoo", [("zoo", "ORG"), ("animal", "ITEM"), ("feeding", "RECORD")]),
+    _domain("aquarium", [("tank", "PLACE"), ("species", "ITEM"), ("caretaker", "PERSON")]),
+    _domain("veterinary", [("vet", "PERSON"), ("pet", "ITEM"), ("visit", "TXN")]),
+    _domain("pharmacy", [("pharmacy", "ORG"), ("drug", "ITEM"), ("prescription", "TXN")]),
+    _domain("dental", [("dentist", "PERSON"), ("procedure", "ITEM"), ("dental_visit", "TXN")]),
+    _domain("fitness", [("gym_club", "ORG"), ("trainer", "PERSON"), ("workout", "EVENT")]),
+    _domain("yoga", [("studio_org", "ORG"), ("instructor", "PERSON"), ("yoga_class", "EVENT")]),
+    _domain("spa", [("spa", "ORG"), ("treatment", "ITEM"), ("spa_booking", "TXN")]),
+    _domain("salon", [("salon", "ORG"), ("stylist", "PERSON"), ("salon_appointment", "TXN")]),
+    _domain("wedding", [("planner", "ORG"), ("ceremony", "EVENT"), ("venue_hall", "PLACE")]),
+    _domain("photography", [("photographer", "PERSON"), ("shoot", "EVENT"), ("print_order", "TXN")]),
+    _domain("art", [("gallery", "ORG"), ("artwork", "ITEM"), ("auction", "EVENT")]),
+    _domain("crafts", [("artisan", "PERSON"), ("craft_item", "ITEM"), ("fair", "EVENT")]),
+    _domain("gardening", [("nursery", "ORG"), ("seedling", "ITEM"), ("planting", "RECORD")]),
+    _domain("social_media", [("account_profile", "PERSON"), ("post", "MEDIA"), ("follow_event", "RECORD")]),
+    _domain("telecom", [("carrier_org", "ORG"), ("plan", "ITEM"), ("call_record", "RECORD")]),
+)
+
+#: Quick lookup by domain name.
+DOMAIN_INDEX: Dict[str, DomainSpec] = {spec.name: spec for spec in DOMAINS}
+
+assert len(DOMAINS) == 105, f"expected 105 domains, have {len(DOMAINS)}"
+
+#: Value pools used by the column value generators.
+FIRST_NAMES = (
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+    "Linda", "David", "Elizabeth", "William", "Susan", "Richard", "Jessica",
+    "Joseph", "Sarah", "Thomas", "Karen", "Wei", "Li", "Ana", "Luis",
+    "Yuki", "Omar", "Fatima", "Ivan", "Elena", "Noah", "Ava", "Lucas",
+)
+LAST_NAMES = (
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Rodriguez", "Martinez", "Chen", "Wang", "Kim", "Singh",
+    "Patel", "Nguyen", "Kumar", "Ali", "Ivanov", "Sato", "Silva", "Costa",
+)
+CITIES = (
+    "New York", "Los Angeles", "Chicago", "Houston", "Phoenix", "Boston",
+    "Seattle", "Denver", "Atlanta", "Miami", "London", "Paris", "Berlin",
+    "Tokyo", "Beijing", "Sydney", "Toronto", "Dubai", "Madrid", "Rome",
+)
+ORG_WORDS = (
+    "United", "Global", "Prime", "Summit", "Apex", "Horizon", "Pioneer",
+    "Sterling", "Beacon", "Crescent", "Vertex", "Atlas", "Nova", "Zenith",
+)
+ORG_SUFFIXES = ("Group", "Corp", "Partners", "Holdings", "Labs", "Works", "Union")
+ITEM_ADJECTIVES = (
+    "Classic", "Deluxe", "Compact", "Ultra", "Eco", "Smart", "Pro",
+    "Mini", "Max", "Prime", "Swift", "Solid",
+)
+ITEM_NOUNS = (
+    "Widget", "Module", "Kit", "Pack", "Set", "Unit", "Series", "Edition",
+    "Bundle", "Model",
+)
+GENRES = ("drama", "comedy", "action", "documentary", "thriller", "romance", "sci-fi")
+LANGUAGES = ("English", "Spanish", "French", "Mandarin", "Hindi", "Arabic", "Japanese")
+STATUSES = ("pending", "completed", "cancelled", "refunded", "shipped")
+PAY_METHODS = ("credit card", "cash", "wire", "voucher", "mobile")
+LEVELS = ("low", "medium", "high", "critical")
+RESULTS = ("win", "loss", "draw")
+GENDERS = ("male", "female")
+PLACE_KINDS = ("indoor", "outdoor", "mixed")
+ORG_CATEGORIES = ("public", "private", "nonprofit", "cooperative")
+ITEM_CATEGORIES = (
+    "standard", "premium", "budget", "limited", "seasonal", "clearance",
+)

@@ -1,0 +1,12 @@
+"""SQL front-end for the unified AST.
+
+The synthesizer consumes (NL, SQL) pairs; this package turns the SQL text
+into the Figure 5 AST (``parse_sql``) and prints ASTs back to executable
+SQL (``to_sql``) so users can round-trip queries against external engines.
+"""
+
+from repro.sqlparse.lexer import tokenize_sql
+from repro.sqlparse.parser import parse_sql
+from repro.sqlparse.printer import to_sql
+
+__all__ = ["parse_sql", "to_sql", "tokenize_sql"]

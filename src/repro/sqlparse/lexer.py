@@ -1,0 +1,102 @@
+"""A small SQL lexer.
+
+Produces a flat list of :class:`SqlToken`.  Keywords are case-insensitive
+and normalized to uppercase; identifiers keep their original case; string
+literals lose their quotes but remember they were strings.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List
+
+from repro.grammar.errors import ParseError
+
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "DISTINCT",
+        "FROM",
+        "JOIN",
+        "INNER",
+        "LEFT",
+        "ON",
+        "AS",
+        "WHERE",
+        "GROUP",
+        "ORDER",
+        "BY",
+        "HAVING",
+        "ASC",
+        "DESC",
+        "LIMIT",
+        "AND",
+        "OR",
+        "NOT",
+        "IN",
+        "LIKE",
+        "BETWEEN",
+        "INTERSECT",
+        "UNION",
+        "EXCEPT",
+        "MAX",
+        "MIN",
+        "COUNT",
+        "SUM",
+        "AVG",
+    }
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>'(?:[^']|'')*'|"(?:[^"]|"")*")
+  | (?P<number>-?\d+\.\d+|-?\d+)
+  | (?P<op><=|>=|!=|<>|=|<|>)
+  | (?P<punct>[(),.*;])
+  | (?P<word>[A-Za-z_][A-Za-z_0-9]*)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class SqlToken:
+    """One lexical token: ``kind`` is keyword/name/number/string/op/punct."""
+
+    kind: str
+    text: str
+
+
+def tokenize_sql(sql: str) -> List[SqlToken]:
+    """Tokenize *sql*; raises :class:`ParseError` on illegal characters."""
+    tokens: List[SqlToken] = []
+    position = 0
+    while position < len(sql):
+        match = _TOKEN_RE.match(sql, position)
+        if match is None:
+            raise ParseError(
+                f"illegal SQL character {sql[position]!r} at offset {position}"
+            )
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        text = match.group()
+        if match.lastgroup == "word":
+            upper = text.upper()
+            if upper in KEYWORDS:
+                tokens.append(SqlToken("keyword", upper))
+            else:
+                tokens.append(SqlToken("name", text))
+        elif match.lastgroup == "string":
+            quote = text[0]
+            body = text[1:-1].replace(quote * 2, quote)
+            tokens.append(SqlToken("string", body))
+        elif match.lastgroup == "number":
+            tokens.append(SqlToken("number", text))
+        elif match.lastgroup == "op":
+            tokens.append(SqlToken("op", "!=" if text == "<>" else text))
+        else:
+            tokens.append(SqlToken("punct", text))
+    return tokens

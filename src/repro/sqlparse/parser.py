@@ -1,0 +1,372 @@
+"""Parse SQL text into the unified AST (Figure 5 scope).
+
+Supported surface: ``SELECT`` projections with the five aggregates,
+``FROM`` with ``JOIN ... ON`` chains or comma lists, ``WHERE`` predicates
+(comparisons against literals or scalar subqueries, ``BETWEEN``,
+``[NOT] LIKE``, ``[NOT] IN (subquery)``, ``AND``/``OR`` with the usual
+precedence and parentheses), ``GROUP BY``, ``HAVING`` (merged into the
+AST Filter), ``ORDER BY``, ``LIMIT`` (mapped to the Superlative
+production when an ORDER BY accompanies it, per SemQL), and the three set
+operations.
+
+A :class:`~repro.storage.schema.Database` may be supplied to resolve
+unqualified column names and table aliases; without one, every column
+must be written ``table.column``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.grammar.ast_nodes import (
+    Attribute,
+    Between,
+    Comparison,
+    Filter,
+    Group,
+    InSubquery,
+    Like,
+    LogicalPredicate,
+    Order,
+    Predicate,
+    QueryCore,
+    SetQuery,
+    SQLQuery,
+    Superlative,
+    SubqueryComparison,
+    Value,
+)
+from repro.grammar.errors import ParseError
+from repro.sqlparse.lexer import SqlToken, tokenize_sql
+from repro.storage.schema import Database
+
+_AGGS = ("MAX", "MIN", "COUNT", "SUM", "AVG")
+
+
+def parse_sql(sql: str, database: Optional[Database] = None) -> SQLQuery:
+    """Parse *sql* into an :class:`SQLQuery` AST."""
+    tokens = tokenize_sql(sql)
+    parser = _SqlParser(tokens, database)
+    return parser.parse_query()
+
+
+class _SqlParser:
+    def __init__(self, tokens: List[SqlToken], database: Optional[Database]):
+        self._tokens = tokens
+        self._index = 0
+        self._database = database
+
+    # ----- token helpers ---------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> Optional[SqlToken]:
+        index = self._index + ahead
+        if index < len(self._tokens):
+            return self._tokens[index]
+        return None
+
+    def _next(self) -> SqlToken:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of SQL input")
+        self._index += 1
+        return token
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[SqlToken]:
+        token = self._peek()
+        if token is None or token.kind != kind:
+            return None
+        if text is not None and token.text != text:
+            return None
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> SqlToken:
+        token = self._accept(kind, text)
+        if token is None:
+            actual = self._peek()
+            raise ParseError(
+                f"expected {text or kind}, got "
+                f"{actual.text if actual else 'end of input'!r}"
+            )
+        return token
+
+    def _at_keyword(self, *names: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == "keyword" and token.text in names
+
+    # ----- grammar ----------------------------------------------------
+
+    def parse_query(self) -> SQLQuery:
+        """Parse a full query (core or set operation)."""
+        left = self._parse_core()
+        if self._at_keyword("INTERSECT", "UNION", "EXCEPT"):
+            op = self._next().text.lower()
+            right = self._parse_core()
+            body: Union[QueryCore, SetQuery] = SetQuery(op=op, left=left, right=right)
+        else:
+            body = left
+        self._accept("punct", ";")
+        if self._peek() is not None:
+            raise ParseError(f"trailing input after query: {self._peek().text!r}")
+        return SQLQuery(body=body)
+
+    def _parse_core(self) -> QueryCore:
+        self._expect("keyword", "SELECT")
+        self._accept("keyword", "DISTINCT")
+        select_raw = [self._parse_select_item()]
+        while self._accept("punct", ","):
+            select_raw.append(self._parse_select_item())
+
+        tables, aliases = self._parse_from()
+        resolver = _Resolver(self._database, tables, aliases)
+        select = tuple(resolver.attr(agg, name) for agg, name in select_raw)
+
+        predicates: List[Predicate] = []
+        if self._accept("keyword", "WHERE"):
+            predicates.append(self._parse_predicate(resolver))
+
+        groups: Tuple[Group, ...] = ()
+        if self._accept("keyword", "GROUP"):
+            self._expect("keyword", "BY")
+            group_attrs = [resolver.attr(None, self._parse_column_name())]
+            while self._accept("punct", ","):
+                group_attrs.append(resolver.attr(None, self._parse_column_name()))
+            groups = tuple(Group(kind="grouping", attr=attr) for attr in group_attrs)
+
+        if self._accept("keyword", "HAVING"):
+            predicates.append(self._parse_predicate(resolver))
+
+        order = None
+        superlative = None
+        if self._accept("keyword", "ORDER"):
+            self._expect("keyword", "BY")
+            agg, name = self._parse_select_item()
+            attr = resolver.attr(agg, name)
+            direction = "asc"
+            if self._accept("keyword", "DESC"):
+                direction = "desc"
+            else:
+                self._accept("keyword", "ASC")
+            if self._accept("keyword", "LIMIT"):
+                k_token = self._expect("number")
+                superlative = Superlative(
+                    kind="most" if direction == "desc" else "least",
+                    k=int(k_token.text),
+                    attr=attr,
+                )
+            else:
+                order = Order(direction=direction, attr=attr)
+        elif self._accept("keyword", "LIMIT"):
+            # LIMIT without ORDER BY: treated as "most k of the first
+            # select attribute" — rare in Spider, kept for robustness.
+            k_token = self._expect("number")
+            superlative = Superlative(kind="most", k=int(k_token.text), attr=select[0])
+
+        filter_ = None
+        if predicates:
+            joined = predicates[0]
+            for pred in predicates[1:]:
+                joined = LogicalPredicate(op="and", left=joined, right=pred)
+            filter_ = Filter(root=joined)
+
+        try:
+            return QueryCore(
+                select=select,
+                filter=filter_,
+                groups=groups,
+                order=order,
+                superlative=superlative,
+            )
+        except ValueError as exc:
+            raise ParseError(str(exc)) from exc
+
+    def _parse_select_item(self) -> Tuple[Optional[str], str]:
+        """Return ``(agg_or_None, column_name)`` where the name may be
+        ``*``, ``col``, or ``table.col``."""
+        token = self._peek()
+        if token is not None and token.kind == "keyword" and token.text in _AGGS:
+            agg = self._next().text.lower()
+            self._expect("punct", "(")
+            self._accept("keyword", "DISTINCT")
+            name = self._parse_column_name()
+            self._expect("punct", ")")
+            return agg, name
+        return None, self._parse_column_name()
+
+    def _parse_column_name(self) -> str:
+        if self._accept("punct", "*"):
+            return "*"
+        first = self._expect("name").text
+        if self._accept("punct", "."):
+            if self._accept("punct", "*"):
+                return f"{first}.*"
+            second = self._expect("name").text
+            return f"{first}.{second}"
+        return first
+
+    def _parse_from(self) -> Tuple[List[str], Dict[str, str]]:
+        self._expect("keyword", "FROM")
+        tables: List[str] = []
+        aliases: Dict[str, str] = {}
+
+        def one_table() -> None:
+            name = self._expect("name").text
+            tables.append(name)
+            alias = None
+            if self._accept("keyword", "AS"):
+                alias = self._expect("name").text
+            else:
+                nxt = self._peek()
+                if nxt is not None and nxt.kind == "name":
+                    alias = self._next().text
+            if alias is not None:
+                aliases[alias] = name
+
+        one_table()
+        while True:
+            if self._accept("punct", ","):
+                one_table()
+                continue
+            joined = False
+            if self._at_keyword("INNER", "LEFT"):
+                self._next()
+                joined = True
+            if self._accept("keyword", "JOIN"):
+                one_table()
+                if self._accept("keyword", "ON"):
+                    # Join conditions are implicit in the AST (schema FKs);
+                    # consume and discard "a.x = b.y [AND ...]" chains.
+                    self._parse_column_name()
+                    self._expect("op", "=")
+                    self._parse_column_name()
+                    while self._accept("keyword", "AND") and self._looks_like_join_cond():
+                        self._parse_column_name()
+                        self._expect("op", "=")
+                        self._parse_column_name()
+                continue
+            if joined:
+                raise ParseError("expected JOIN after INNER/LEFT")
+            break
+        return tables, aliases
+
+    def _looks_like_join_cond(self) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == "name"
+
+    # ----- predicates --------------------------------------------------
+
+    def _parse_predicate(self, resolver: "_Resolver") -> Predicate:
+        return self._parse_or(resolver)
+
+    def _parse_or(self, resolver: "_Resolver") -> Predicate:
+        left = self._parse_and(resolver)
+        while self._accept("keyword", "OR"):
+            right = self._parse_and(resolver)
+            left = LogicalPredicate(op="or", left=left, right=right)
+        return left
+
+    def _parse_and(self, resolver: "_Resolver") -> Predicate:
+        left = self._parse_atom(resolver)
+        while self._accept("keyword", "AND"):
+            right = self._parse_atom(resolver)
+            left = LogicalPredicate(op="and", left=left, right=right)
+        return left
+
+    def _parse_atom(self, resolver: "_Resolver") -> Predicate:
+        if self._accept("punct", "("):
+            inner = self._parse_or(resolver)
+            self._expect("punct", ")")
+            return inner
+        agg, name = self._parse_select_item()
+        attr = resolver.attr(agg, name)
+
+        negated = bool(self._accept("keyword", "NOT"))
+        if self._accept("keyword", "LIKE"):
+            pattern = self._expect("string").text
+            return Like(attr=attr, pattern=pattern, negated=negated)
+        if self._accept("keyword", "IN"):
+            self._expect("punct", "(")
+            sub = self._parse_subquery()
+            self._expect("punct", ")")
+            return InSubquery(attr=attr, query=sub, negated=negated)
+        if negated:
+            raise ParseError("expected LIKE or IN after NOT")
+        if self._accept("keyword", "BETWEEN"):
+            low = self._parse_value()
+            self._expect("keyword", "AND")
+            high = self._parse_value()
+            return Between(attr=attr, low=low, high=high)
+
+        op_token = self._expect("op")
+        if self._accept("punct", "("):
+            sub = self._parse_subquery()
+            self._expect("punct", ")")
+            return SubqueryComparison(op=op_token.text, attr=attr, query=sub)
+        return Comparison(op=op_token.text, attr=attr, value=self._parse_value())
+
+    def _parse_subquery(self) -> QueryCore:
+        core = self._parse_core()
+        if len(core.select) != 1:
+            raise ParseError("subqueries must select exactly one attribute")
+        return core
+
+    def _parse_value(self) -> Value:
+        token = self._next()
+        if token.kind == "number":
+            if "." in token.text:
+                return float(token.text)
+            return int(token.text)
+        if token.kind == "string":
+            return token.text
+        if token.kind == "name":
+            # Bare words as values (Spider NL-ish SQL sometimes omits
+            # quotes); treated as string literals.
+            return token.text
+        raise ParseError(f"expected a literal value, got {token.text!r}")
+
+
+class _Resolver:
+    """Resolve column references to fully qualified attributes."""
+
+    def __init__(
+        self,
+        database: Optional[Database],
+        tables: List[str],
+        aliases: Dict[str, str],
+    ):
+        self._database = database
+        self._tables = tables
+        self._aliases = aliases
+
+    def attr(self, agg: Optional[str], name: str) -> Attribute:
+        if name == "*":
+            if agg != "count":
+                raise ParseError("bare '*' is only supported inside COUNT(*)")
+            return Attribute(column="*", table=self._tables[0], agg=agg)
+        table, sep, column = name.partition(".")
+        if sep:
+            table = self._aliases.get(table, table)
+            if column == "*":
+                if agg != "count":
+                    raise ParseError("'table.*' requires COUNT")
+                return Attribute(column="*", table=table, agg=agg)
+            return Attribute(column=column, table=table, agg=agg)
+        return Attribute(column=name, table=self._owning_table(name), agg=agg)
+
+    def _owning_table(self, column: str) -> str:
+        if self._database is None:
+            if len(self._tables) == 1:
+                return self._tables[0]
+            raise ParseError(
+                f"cannot resolve unqualified column {column!r} without a schema"
+            )
+        owners = []
+        for table_name in self._tables:
+            table = self._database.tables.get(self._aliases.get(table_name, table_name))
+            if table is not None and column in table.column_names:
+                owners.append(table.name)
+        if not owners:
+            raise ParseError(f"column {column!r} not found in FROM tables")
+        if len(set(owners)) > 1:
+            raise ParseError(f"ambiguous column {column!r}: owned by {owners}")
+        return owners[0]

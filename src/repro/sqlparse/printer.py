@@ -1,0 +1,152 @@
+"""Print the unified AST back to SQL text.
+
+Joins are reconstructed from the database's foreign keys when a schema is
+provided (``FROM a JOIN b ON a.x = b.y``); otherwise multi-table queries
+fall back to a comma list.  ``binning`` groups have no SQL equivalent and
+print as plain ``GROUP BY`` on the binned column — printing a VIS tree's
+query body yields the SQL that retrieves its source data.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.grammar.ast_nodes import (
+    Attribute,
+    Between,
+    Comparison,
+    InSubquery,
+    Like,
+    LogicalPredicate,
+    Predicate,
+    QueryCore,
+    SetQuery,
+    SQLQuery,
+    SubqueryComparison,
+    Value,
+    VisQuery,
+)
+from repro.storage.schema import Database
+
+
+def to_sql(
+    query: Union[SQLQuery, VisQuery], database: Optional[Database] = None
+) -> str:
+    """Render *query*'s data part as SQL text."""
+    body = query.body
+    if isinstance(body, SetQuery):
+        left = _core_sql(body.left, database)
+        right = _core_sql(body.right, database)
+        return f"{left} {body.op.upper()} {right}"
+    return _core_sql(body, database)
+
+
+def _core_sql(core: QueryCore, database: Optional[Database]) -> str:
+    parts = ["SELECT " + ", ".join(_attr_sql(attr) for attr in core.select)]
+    parts.append("FROM " + _from_sql(core, database))
+
+    where, having = _partition_filter(core)
+    if where:
+        parts.append("WHERE " + " AND ".join(_pred_sql(p, database) for p in where))
+    if core.groups:
+        columns = ", ".join(group.attr.qualified_name for group in core.groups)
+        parts.append("GROUP BY " + columns)
+    if having:
+        parts.append("HAVING " + " AND ".join(_pred_sql(p, database) for p in having))
+    if core.order is not None:
+        parts.append(
+            f"ORDER BY {_attr_sql(core.order.attr)} {core.order.direction.upper()}"
+        )
+    if core.superlative is not None:
+        sup = core.superlative
+        direction = "DESC" if sup.kind == "most" else "ASC"
+        parts.append(f"ORDER BY {_attr_sql(sup.attr)} {direction} LIMIT {sup.k}")
+    return " ".join(parts)
+
+
+def _from_sql(core: QueryCore, database: Optional[Database]) -> str:
+    tables = list(core.tables)
+    if len(tables) == 1 or database is None:
+        return ", ".join(tables)
+    path = database.join_path(tables)
+    joined = [tables[0]]
+    clause = tables[0]
+    pending = list(path)
+    while pending:
+        progressed = False
+        for fk in list(pending):
+            if fk.table in joined and fk.ref_table not in joined:
+                new, on = fk.ref_table, f"{fk.table}.{fk.column} = {fk.ref_table}.{fk.ref_column}"
+            elif fk.ref_table in joined and fk.table not in joined:
+                new, on = fk.table, f"{fk.table}.{fk.column} = {fk.ref_table}.{fk.ref_column}"
+            else:
+                continue
+            clause += f" JOIN {new} ON {on}"
+            joined.append(new)
+            pending.remove(fk)
+            progressed = True
+        if not progressed:
+            # Disconnected FK path: fall back to a comma list for the rest.
+            rest = [t for t in tables if t not in joined]
+            return ", ".join([clause] + rest)
+    rest = [t for t in tables if t not in joined]
+    if rest:
+        return ", ".join([clause] + rest)
+    return clause
+
+
+def _partition_filter(core: QueryCore):
+    if core.filter is None:
+        return [], []
+    conjuncts = _and_chain(core.filter.root)
+    where = [p for p in conjuncts if not _mentions_aggregate(p)]
+    having = [p for p in conjuncts if _mentions_aggregate(p)]
+    return where, having
+
+
+def _and_chain(pred: Predicate) -> List[Predicate]:
+    if isinstance(pred, LogicalPredicate) and pred.op == "and":
+        return _and_chain(pred.left) + _and_chain(pred.right)
+    return [pred]
+
+
+def _mentions_aggregate(pred: Predicate) -> bool:
+    return any(attr.is_aggregated for attr in pred.attributes())
+
+
+def _attr_sql(attr: Attribute) -> str:
+    if attr.agg is not None:
+        return f"{attr.agg.upper()}({attr.qualified_name})"
+    return attr.qualified_name
+
+
+def _pred_sql(pred: Predicate, database: Optional[Database]) -> str:
+    if isinstance(pred, LogicalPredicate):
+        left = _pred_sql(pred.left, database)
+        right = _pred_sql(pred.right, database)
+        if pred.op == "or":
+            return f"({left} OR {right})"
+        return f"{left} AND {right}"
+    if isinstance(pred, Comparison):
+        return f"{_attr_sql(pred.attr)} {pred.op} {_value_sql(pred.value)}"
+    if isinstance(pred, SubqueryComparison):
+        return f"{_attr_sql(pred.attr)} {pred.op} ({_core_sql(pred.query, database)})"
+    if isinstance(pred, Between):
+        return (
+            f"{_attr_sql(pred.attr)} BETWEEN "
+            f"{_value_sql(pred.low)} AND {_value_sql(pred.high)}"
+        )
+    if isinstance(pred, Like):
+        keyword = "NOT LIKE" if pred.negated else "LIKE"
+        return f"{_attr_sql(pred.attr)} {keyword} {_value_sql(pred.pattern)}"
+    if isinstance(pred, InSubquery):
+        keyword = "NOT IN" if pred.negated else "IN"
+        return f"{_attr_sql(pred.attr)} {keyword} ({_core_sql(pred.query, database)})"
+    raise TypeError(f"unknown predicate node: {type(pred)!r}")
+
+
+def _value_sql(value: Value) -> str:
+    if isinstance(value, (int, float)):
+        return repr(value)
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"

@@ -1,0 +1,32 @@
+"""Dataset statistics (paper Section 3.2).
+
+* :mod:`dataset_stats` — Table 2 (coverage, columns/rows, type mix) and
+  the Figure 8 column/row histograms.
+* :mod:`distributions` — Figure 9: goodness-of-fit of quantitative
+  columns against six reference distributions, skewness tiers, and
+  outlier percentages (1.5×IQR rule).
+* :mod:`nl_stats` — Table 3: per-vis-type pair counts, NL lengths, and
+  pairwise BLEU diversity.
+"""
+
+from repro.stats.dataset_stats import (
+    column_count_histogram,
+    dataset_summary,
+    row_count_histogram,
+)
+from repro.stats.distributions import (
+    fit_distribution,
+    outlier_fraction,
+    skewness_class,
+)
+from repro.stats.nl_stats import nl_vis_table
+
+__all__ = [
+    "column_count_histogram",
+    "dataset_summary",
+    "fit_distribution",
+    "nl_vis_table",
+    "outlier_fraction",
+    "row_count_histogram",
+    "skewness_class",
+]

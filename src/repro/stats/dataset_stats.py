@@ -1,0 +1,104 @@
+"""Table 2 and Figure 8: benchmark dataset statistics."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.spider.corpus import SpiderCorpus
+
+
+@dataclass
+class DatasetSummary:
+    """The numbers Table 2 reports."""
+
+    n_databases: int
+    n_tables: int
+    n_domains: int
+    top_domains: List[Tuple[str, int]]
+    n_columns: int
+    avg_columns: float
+    max_columns: int
+    min_columns: int
+    n_rows: int
+    avg_rows: float
+    max_rows: int
+    min_rows: int
+    column_type_counts: Dict[str, int]
+
+    def column_type_fractions(self) -> Dict[str, float]:
+        """C/T/Q shares of all columns."""
+        total = max(sum(self.column_type_counts.values()), 1)
+        return {k: v / total for k, v in self.column_type_counts.items()}
+
+
+def dataset_summary(corpus: SpiderCorpus, top_k: int = 5) -> DatasetSummary:
+    """Compute the Table 2 statistics for *corpus*."""
+    tables = [
+        (db.domain, table)
+        for db in corpus.databases.values()
+        for table in db.tables.values()
+    ]
+    domain_tables = Counter(domain for domain, _ in tables)
+    column_counts = [len(table.columns) for _, table in tables]
+    row_counts = [table.row_count for _, table in tables]
+    type_counts: Counter = Counter()
+    for _, table in tables:
+        for column in table.columns:
+            type_counts[column.ctype] += 1
+    return DatasetSummary(
+        n_databases=len(corpus.databases),
+        n_tables=len(tables),
+        n_domains=len({db.domain for db in corpus.databases.values()}),
+        top_domains=domain_tables.most_common(top_k),
+        n_columns=sum(column_counts),
+        avg_columns=sum(column_counts) / max(len(column_counts), 1),
+        max_columns=max(column_counts, default=0),
+        min_columns=min(column_counts, default=0),
+        n_rows=sum(row_counts),
+        avg_rows=sum(row_counts) / max(len(row_counts), 1),
+        max_rows=max(row_counts, default=0),
+        min_rows=min(row_counts, default=0),
+        column_type_counts=dict(type_counts),
+    )
+
+
+#: Figure 8(a) bucket edges for #columns per table.
+COLUMN_BUCKETS = ((2, 3), (4, 5), (6, 7), (8, 10), (11, 10_000))
+#: Figure 8(b) bucket edges for #rows per table.
+ROW_BUCKETS = ((1, 5), (6, 20), (21, 100), (101, 500), (501, 2000), (2001, 10**9))
+
+
+def _label(low: int, high: int) -> str:
+    return f"{low}-{high}" if high < 10_000 else f"{low}+"
+
+
+def _bucketize(values: Iterable[int], buckets) -> Dict[str, int]:
+    out: Dict[str, int] = {_label(low, high): 0 for low, high in buckets}
+    for value in values:
+        for low, high in buckets:
+            if low <= value <= high:
+                out[_label(low, high)] += 1
+                break
+    return out
+
+
+def column_count_histogram(corpus: SpiderCorpus) -> Dict[str, int]:
+    """Figure 8(a): distribution of per-table column counts."""
+    counts = [
+        len(table.columns)
+        for db in corpus.databases.values()
+        for table in db.tables.values()
+    ]
+    return _bucketize(counts, COLUMN_BUCKETS)
+
+
+def row_count_histogram(corpus: SpiderCorpus) -> Dict[str, int]:
+    """Figure 8(b): distribution of per-table row counts."""
+    counts = [
+        table.row_count
+        for db in corpus.databases.values()
+        for table in db.tables.values()
+    ]
+    return _bucketize(counts, ROW_BUCKETS)

@@ -1,0 +1,137 @@
+"""Figure 9: statistical profile of quantitative columns.
+
+* goodness-of-fit of each Q column against the six reference families
+  the paper tests — normal, log-normal, exponential, power-law, uniform,
+  chi-square — via Kolmogorov-Smirnov tests with fitted parameters;
+* skewness tiers (|skew| < 0.5 symmetric, < 1 moderately skewed, else
+  highly skewed — the standard rule of thumb the paper follows);
+* outlier fractions under the 1.5×IQR rule.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+from scipy import stats
+
+from repro.spider.corpus import SpiderCorpus
+
+DISTRIBUTIONS = ("normal", "lognormal", "exponential", "powerlaw", "uniform", "chi2")
+
+#: Columns with fewer samples than this are not classified.
+MIN_SAMPLES = 8
+#: KS-test acceptance threshold.
+P_THRESHOLD = 0.05
+
+
+def fit_distribution(values: Sequence[float]) -> Optional[str]:
+    """Best-fitting reference family for *values* (``None`` if no family
+    passes the KS test — the paper's "not following any" bucket)."""
+    data = np.asarray([v for v in values if v is not None], dtype=float)
+    if len(data) < MIN_SAMPLES or np.std(data) == 0:
+        return None
+    candidates = []
+    loc, scale = float(np.mean(data)), float(np.std(data, ddof=1))
+    candidates.append(("normal", stats.kstest(data, "norm", args=(loc, scale))))
+    if (data > 0).all():
+        log_data = np.log(data)
+        mu, sigma = float(np.mean(log_data)), float(np.std(log_data, ddof=1))
+        if sigma > 0:
+            candidates.append(
+                ("lognormal", stats.kstest(data, "lognorm", args=(sigma, 0, np.exp(mu))))
+            )
+        shifted = data - data.min()
+        mean_shift = shifted.mean()
+        if mean_shift > 0:
+            candidates.append(
+                ("exponential", stats.kstest(data, "expon", args=(data.min(), mean_shift)))
+            )
+        if (data >= 1).all():
+            # Pareto MLE for the shape parameter.
+            minimum = data.min()
+            alpha = len(data) / np.log(data / minimum).sum()
+            candidates.append(
+                ("powerlaw", stats.kstest(data, "pareto", args=(alpha, 0, minimum)))
+            )
+        chi_df = max(mean_shift, 1.0)
+        candidates.append(("chi2", stats.kstest(data, "chi2", args=(chi_df,))))
+    span = data.max() - data.min()
+    if span > 0:
+        candidates.append(
+            ("uniform", stats.kstest(data, "uniform", args=(data.min(), span)))
+        )
+    passing = [
+        (result.pvalue, name)
+        for name, result in candidates
+        if result.pvalue >= P_THRESHOLD
+    ]
+    if not passing:
+        return None
+    return max(passing)[1]
+
+
+def skewness_class(values: Sequence[float]) -> Optional[str]:
+    """'symmetric' / 'moderate' / 'high' per the |skew| rule of thumb."""
+    data = np.asarray([v for v in values if v is not None], dtype=float)
+    if len(data) < MIN_SAMPLES or np.std(data) == 0:
+        return None
+    skew = abs(float(stats.skew(data)))
+    if skew < 0.5:
+        return "symmetric"
+    if skew < 1.0:
+        return "moderate"
+    return "high"
+
+
+def outlier_fraction(values: Sequence[float]) -> Optional[float]:
+    """Fraction of points beyond 1.5×IQR from the quartiles."""
+    data = np.asarray([v for v in values if v is not None], dtype=float)
+    if len(data) < MIN_SAMPLES:
+        return None
+    q1, q3 = np.percentile(data, [25, 75])
+    iqr = q3 - q1
+    low, high = q1 - 1.5 * iqr, q3 + 1.5 * iqr
+    return float(((data < low) | (data > high)).mean())
+
+
+def quantitative_columns(corpus: SpiderCorpus) -> List[List[float]]:
+    """All Q-column value vectors in the corpus."""
+    out = []
+    for db in corpus.databases.values():
+        for table in db.tables.values():
+            for column in table.columns:
+                if column.ctype == "Q":
+                    out.append(
+                        [
+                            v
+                            for v in table.column_values(column.name)
+                            if isinstance(v, (int, float))
+                        ]
+                    )
+    return out
+
+
+def corpus_distribution_profile(corpus: SpiderCorpus) -> Dict[str, Counter]:
+    """Figure 9 (a)-(c) aggregated over every quantitative column."""
+    fits: Counter = Counter()
+    skews: Counter = Counter()
+    outliers: Counter = Counter()
+    for values in quantitative_columns(corpus):
+        fit = fit_distribution(values)
+        fits[fit if fit is not None else "none"] += 1
+        skew = skewness_class(values)
+        if skew is not None:
+            skews[skew] += 1
+        fraction = outlier_fraction(values)
+        if fraction is not None:
+            if fraction == 0:
+                outliers["0%"] += 1
+            elif fraction <= 0.01:
+                outliers["0-1%"] += 1
+            elif fraction <= 0.10:
+                outliers["1-10%"] += 1
+            else:
+                outliers[">10%"] += 1
+    return {"fits": fits, "skewness": skews, "outliers": outliers}

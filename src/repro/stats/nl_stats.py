@@ -1,0 +1,70 @@
+"""Table 3: NL/VIS pair statistics per vis type.
+
+For each vis type: #vis, #(NL, VIS) pairs, pairs-per-vis, average /
+max / min NL word counts, and average pairwise BLEU across the NL
+variants of each vis (the diversity metric — lower is more diverse).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.nvbench import NVBench
+from repro.nlp.bleu import pairwise_bleu
+from repro.nlp.tokenize import tokenize_nl
+
+
+@dataclass
+class TypeRow:
+    """One row of Table 3."""
+
+    vis_type: str
+    n_vis: int
+    n_pairs: int
+    pairs_per_vis: float
+    avg_words: float
+    max_words: int
+    min_words: int
+    avg_bleu: float
+
+
+def nl_vis_table(bench: NVBench) -> List[TypeRow]:
+    """Compute Table 3 rows, plus an 'all' summary row at the end."""
+    by_vis: Dict[tuple, List[str]] = defaultdict(list)
+    for pair in bench.pairs:
+        by_vis[(pair.db_name, pair.vis)].append(pair.nl)
+
+    by_type: Dict[str, List[List[str]]] = defaultdict(list)
+    for (_, vis), nls in by_vis.items():
+        by_type[vis.vis_type].append(nls)
+
+    rows: List[TypeRow] = []
+    for vis_type in sorted(by_type, key=lambda t: -sum(len(v) for v in by_type[t])):
+        groups = by_type[vis_type]
+        rows.append(_row(vis_type, groups))
+    all_groups = [group for groups in by_type.values() for group in groups]
+    rows.append(_row("all", all_groups))
+    return rows
+
+
+def _row(vis_type: str, groups: List[List[str]]) -> TypeRow:
+    n_vis = len(groups)
+    all_nls = [nl for group in groups for nl in group]
+    word_counts = [len(tokenize_nl(nl)) for nl in all_nls]
+    bleus = [
+        pairwise_bleu([tokenize_nl(nl) for nl in group])
+        for group in groups
+        if len(group) >= 2
+    ]
+    return TypeRow(
+        vis_type=vis_type,
+        n_vis=n_vis,
+        n_pairs=len(all_nls),
+        pairs_per_vis=len(all_nls) / max(n_vis, 1),
+        avg_words=sum(word_counts) / max(len(word_counts), 1),
+        max_words=max(word_counts, default=0),
+        min_words=min(word_counts, default=0),
+        avg_bleu=sum(bleus) / max(len(bleus), 1),
+    )

@@ -1,0 +1,27 @@
+"""In-memory relational substrate.
+
+nvBench needs a database engine twice: the synthesizer executes candidate
+VIS queries to extract the data features the DeepEye-style filter scores,
+and the evaluation pipeline executes predicted vs gold queries to compute
+*result matching accuracy*.  This package provides a small but complete
+engine over the grammar of Figure 5: schemas with categorical/temporal/
+quantitative column types, foreign-key joins, filters (including nested
+subqueries), grouping and binning, aggregation, ordering, superlatives
+(LIMIT), and set operations.
+"""
+
+from repro.storage.schema import Column, Database, ForeignKey, Table
+from repro.storage.executor import ExecutionError, Executor, ResultTable
+from repro.storage.temporal import bin_temporal, parse_temporal
+
+__all__ = [
+    "Column",
+    "Database",
+    "ExecutionError",
+    "Executor",
+    "ForeignKey",
+    "ResultTable",
+    "Table",
+    "bin_temporal",
+    "parse_temporal",
+]

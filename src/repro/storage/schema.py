@@ -1,0 +1,234 @@
+"""Schema objects: columns with C/T/Q types, tables, and databases.
+
+The paper classifies every column as categorical (C), temporal (T), or
+quantitative (Q) — Table 2 reports the type mix and the Table 1 chart
+rules key off these types, so the type is a first-class schema property
+here rather than something inferred at query time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+COLUMN_TYPES: Tuple[str, ...] = ("C", "T", "Q")
+
+
+class SchemaError(ValueError):
+    """Raised for malformed schemas or unknown table/column lookups."""
+
+
+@dataclass(frozen=True)
+class Column:
+    """A typed column: ``ctype`` is C (categorical), T (temporal), or
+    Q (quantitative)."""
+
+    name: str
+    ctype: str
+
+    def __post_init__(self) -> None:
+        if self.ctype not in COLUMN_TYPES:
+            raise SchemaError(f"unknown column type: {self.ctype!r}")
+
+
+@dataclass
+class Table:
+    """A named table with typed columns and row storage.
+
+    Rows are tuples aligned with ``columns``; temporal values are ISO
+    strings (``YYYY-MM-DD`` or ``YYYY-MM-DD HH:MM``), which keeps the
+    corpus JSON-serializable.
+    """
+
+    name: str
+    columns: Tuple[Column, ...]
+    rows: List[tuple] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [column.name for column in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in table {self.name!r}")
+        self._index = {column.name: i for i, column in enumerate(self.columns)}
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        """Column names in schema order."""
+        return tuple(column.name for column in self.columns)
+
+    def column(self, name: str) -> Column:
+        """Look up a column by name."""
+        try:
+            return self.columns[self._index[name]]
+        except KeyError:
+            raise SchemaError(
+                f"table {self.name!r} has no column {name!r}"
+            ) from None
+
+    def column_index(self, name: str) -> int:
+        """Positional index of a column."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(
+                f"table {self.name!r} has no column {name!r}"
+            ) from None
+
+    def column_values(self, name: str) -> List[object]:
+        """All cell values of one column."""
+        index = self.column_index(name)
+        return [row[index] for row in self.rows]
+
+    def insert(self, row: Sequence[object]) -> None:
+        """Append one row (arity-checked)."""
+        if len(row) != len(self.columns):
+            raise SchemaError(
+                f"row arity {len(row)} does not match table {self.name!r} "
+                f"with {len(self.columns)} columns"
+            )
+        self.rows.append(tuple(row))
+
+    def extend(self, rows: Sequence[Sequence[object]]) -> None:
+        """Append many rows."""
+        for row in rows:
+            self.insert(row)
+
+    @property
+    def row_count(self) -> int:
+        """Number of stored rows."""
+        return len(self.rows)
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """``table.column`` references ``ref_table.ref_column``."""
+
+    table: str
+    column: str
+    ref_table: str
+    ref_column: str
+
+
+@dataclass
+class Database:
+    """A named collection of tables plus foreign keys and a domain label."""
+
+    name: str
+    tables: Dict[str, Table] = field(default_factory=dict)
+    foreign_keys: List[ForeignKey] = field(default_factory=list)
+    domain: str = "general"
+
+    def add_table(self, table: Table) -> None:
+        """Register a table (names must be unique)."""
+        if table.name in self.tables:
+            raise SchemaError(f"duplicate table name: {table.name!r}")
+        self.tables[table.name] = table
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name."""
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise SchemaError(
+                f"database {self.name!r} has no table {name!r}"
+            ) from None
+
+    def column(self, table: str, column: str) -> Column:
+        """Look up a column by table and name."""
+        return self.table(table).column(column)
+
+    def column_type(self, table: str, column: str) -> str:
+        """C/T/Q type of a column ('*' counts as quantitative)."""
+        if column == "*":
+            return "Q"
+        return self.column(table, column).ctype
+
+    def iter_columns(self) -> Iterator[Tuple[str, Column]]:
+        """Yield ``(table_name, column)`` for every column in the DB."""
+        for table in self.tables.values():
+            for column in table.columns:
+                yield table.name, column
+
+    def join_edges(self, left: str, right: str) -> List[ForeignKey]:
+        """Foreign keys directly connecting two tables (either direction)."""
+        edges = []
+        for fk in self.foreign_keys:
+            if {fk.table, fk.ref_table} == {left, right}:
+                edges.append(fk)
+        return edges
+
+    def join_path(self, tables: Sequence[str]) -> List[ForeignKey]:
+        """A set of foreign keys spanning *tables*, found by BFS over the
+        FK graph; raises :class:`SchemaError` if the tables are not
+        connected."""
+        needed = list(dict.fromkeys(tables))
+        for name in needed:
+            self.table(name)
+        if len(needed) <= 1:
+            return []
+        adjacency: Dict[str, List[ForeignKey]] = {}
+        for fk in self.foreign_keys:
+            adjacency.setdefault(fk.table, []).append(fk)
+            adjacency.setdefault(fk.ref_table, []).append(fk)
+        reached = {needed[0]}
+        path: List[ForeignKey] = []
+        frontier = [needed[0]]
+        while frontier:
+            current = frontier.pop()
+            for fk in adjacency.get(current, []):
+                other = fk.ref_table if fk.table == current else fk.table
+                if other not in reached:
+                    reached.add(other)
+                    path.append(fk)
+                    frontier.append(other)
+        missing = [name for name in needed if name not in reached]
+        if missing:
+            raise SchemaError(
+                f"tables {missing} are not FK-reachable from {needed[0]!r}"
+            )
+        return _prune_path(path, set(needed))
+
+    @property
+    def total_rows(self) -> int:
+        """Sum of row counts across tables."""
+        return sum(table.row_count for table in self.tables.values())
+
+    @property
+    def total_columns(self) -> int:
+        """Sum of column counts across tables."""
+        return sum(len(table.columns) for table in self.tables.values())
+
+
+def _prune_path(path: List[ForeignKey], needed: set) -> List[ForeignKey]:
+    """Drop FK edges whose removal keeps all needed tables connected."""
+    pruned = list(path)
+    changed = True
+    while changed:
+        changed = False
+        for fk in list(pruned):
+            rest = [edge for edge in pruned if edge is not fk]
+            if _connects(rest, needed):
+                pruned = rest
+                changed = True
+                break
+    return pruned
+
+
+def _connects(edges: List[ForeignKey], needed: set) -> bool:
+    if len(needed) <= 1:
+        return True
+    nodes = set(needed)
+    for edge in edges:
+        nodes.add(edge.table)
+        nodes.add(edge.ref_table)
+    parent = {node: node for node in nodes}
+
+    def find(node: str) -> str:
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    for edge in edges:
+        parent[find(edge.table)] = find(edge.ref_table)
+    roots = {find(node) for node in needed}
+    return len(roots) == 1

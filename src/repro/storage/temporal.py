@@ -1,0 +1,88 @@
+"""Temporal value parsing and calendar binning.
+
+Temporal cell values are ISO strings; this module parses them and
+implements the binning policy of Section 2.3: temporal columns bin by
+minute, hour, day of the week, month, quarter, or year.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+from typing import Optional
+
+_FORMATS = (
+    "%Y-%m-%d %H:%M:%S",
+    "%Y-%m-%d %H:%M",
+    "%Y-%m-%dT%H:%M:%S",
+    "%Y-%m-%d",
+    "%Y-%m",
+    "%Y",
+)
+
+_WEEKDAYS = (
+    "Monday",
+    "Tuesday",
+    "Wednesday",
+    "Thursday",
+    "Friday",
+    "Saturday",
+    "Sunday",
+)
+
+
+def parse_temporal(value: object) -> Optional[datetime]:
+    """Parse a temporal cell into a ``datetime``; ``None`` if unparseable.
+
+    Accepts ISO-ish strings at several granularities and bare integers
+    (interpreted as years, a common pattern in Spider tables).
+    """
+    if value is None:
+        return None
+    if isinstance(value, datetime):
+        return value
+    if isinstance(value, int) and 1000 <= value <= 9999:
+        return datetime(value, 1, 1)
+    if isinstance(value, float) and value.is_integer() and 1000 <= value <= 9999:
+        return datetime(int(value), 1, 1)
+    text = str(value).strip()
+    for fmt in _FORMATS:
+        try:
+            return datetime.strptime(text, fmt)
+        except ValueError:
+            continue
+    return None
+
+
+def bin_temporal(value: object, unit: str) -> Optional[str]:
+    """Map a temporal cell to its bin label for *unit*.
+
+    Labels sort chronologically for trend units (year, quarter, month)
+    and are calendar parts for cyclic units (weekday, hour, minute).
+    Returns ``None`` for unparseable values (the row is dropped, matching
+    SQL NULL-group semantics).
+    """
+    moment = parse_temporal(value)
+    if moment is None:
+        return None
+    if unit == "year":
+        return f"{moment.year:04d}"
+    if unit == "quarter":
+        quarter = (moment.month - 1) // 3 + 1
+        return f"{moment.year:04d}-Q{quarter}"
+    if unit == "month":
+        return f"{moment.year:04d}-{moment.month:02d}"
+    if unit == "weekday":
+        return _WEEKDAYS[moment.weekday()]
+    if unit == "hour":
+        return f"{moment.hour:02d}:00"
+    if unit == "minute":
+        return f"{moment.hour:02d}:{moment.minute:02d}"
+    raise ValueError(f"unknown temporal bin unit: {unit!r}")
+
+
+def weekday_sort_key(label: str) -> int:
+    """Sort key placing weekday labels in calendar order."""
+    try:
+        return _WEEKDAYS.index(label)
+    except ValueError:
+        return len(_WEEKDAYS)

@@ -1,0 +1,26 @@
+"""VIS backends: from VIS trees to renderable specifications.
+
+Section 2.6 of the paper hard-codes the mapping from a vis tree to each
+target language (~240 LoC for Vega-Lite, ~320 for ECharts).  This package
+does the same: :func:`to_vega_lite` and :func:`to_echarts` execute the
+tree's data part against a database and emit a complete, renderable spec
+in the respective JSON dialect; :func:`render_data` exposes the
+intermediate chart data (used by the result-matching metric).
+"""
+
+from repro.vis.ascii_chart import to_ascii
+from repro.vis.data import VisData, render_data
+from repro.vis.echarts import to_echarts
+from repro.vis.ggplot import to_ggplot
+from repro.vis.plotly_backend import to_plotly
+from repro.vis.vega_lite import to_vega_lite
+
+__all__ = [
+    "VisData",
+    "render_data",
+    "to_ascii",
+    "to_echarts",
+    "to_ggplot",
+    "to_plotly",
+    "to_vega_lite",
+]

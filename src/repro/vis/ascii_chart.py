@@ -1,0 +1,97 @@
+"""VIS tree → ASCII chart for terminals.
+
+Not one of the paper's targets, but the natural backend for a CLI-first
+reproduction: examples and the ``translate`` command can show the chart
+without a browser.  Bars render as scaled rows of ``█``; lines and
+scatters as a dot grid; pies as a proportion table.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.grammar.ast_nodes import VisQuery
+from repro.storage.schema import Database
+from repro.vis.data import VisData, render_data
+
+BAR_CHAR = "█"
+DOT_CHAR = "*"
+
+
+def to_ascii(vis: VisQuery, database: Database, width: int = 50, height: int = 12) -> str:
+    """Render *vis* as monospaced text, ``width`` cells at most."""
+    data = render_data(vis, database)
+    if vis.vis_type in ("bar", "stacked bar"):
+        return _bars(data, width)
+    if vis.vis_type == "pie":
+        return _pie(data, width)
+    return _grid(data, width, height)
+
+
+def _numeric(value: object) -> float:
+    return float(value) if isinstance(value, (int, float)) else 0.0
+
+
+def _bars(data: VisData, width: int) -> str:
+    if data.has_color:
+        # Stacked bars: sum the series per x for the bar length and list
+        # the per-series breakdown after the bar.
+        xs, table = data.pivot()
+        totals = {
+            x: sum(_numeric(column[i]) for column in table.values())
+            for i, x in enumerate(xs)
+        }
+        rows = [(x, totals[x]) for x in xs]
+    else:
+        rows = [(row[0], _numeric(row[1])) for row in data.rows]
+    if not rows:
+        return "(empty chart)"
+    peak = max((value for _, value in rows), default=0.0) or 1.0
+    label_width = min(max(len(str(label)) for label, _ in rows), 24)
+    lines = [f"{data.y_name} by {data.x_name}"]
+    for label, value in rows:
+        bar = BAR_CHAR * max(int(value / peak * width), 0)
+        lines.append(f"{str(label)[:label_width]:>{label_width}} | {bar} {value:g}")
+    return "\n".join(lines)
+
+
+def _pie(data: VisData, width: int) -> str:
+    total = sum(_numeric(row[1]) for row in data.rows) or 1.0
+    lines = [f"{data.y_name} by {data.x_name} (proportions)"]
+    for row in data.rows:
+        value = _numeric(row[1])
+        share = value / total
+        bar = BAR_CHAR * max(int(share * width), 0)
+        lines.append(f"{str(row[0])[:20]:>20} | {bar} {share:.1%}")
+    return "\n".join(lines)
+
+
+def _grid(data: VisData, width: int, height: int) -> str:
+    points = [
+        (_numeric(_order_index(data, row[0])), _numeric(row[1]))
+        for row in data.rows
+    ]
+    if not points:
+        return "(empty chart)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = int((y - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][col] = DOT_CHAR
+    lines = [f"{data.y_name} vs {data.x_name}"]
+    lines.extend("|" + "".join(line) for line in grid)
+    lines.append("+" + "-" * width)
+    return "\n".join(lines)
+
+
+def _order_index(data: VisData, x_value: object) -> float:
+    """Numeric position of an x value (index for categorical axes)."""
+    if isinstance(x_value, (int, float)):
+        return float(x_value)
+    return float(data.x_values().index(x_value))

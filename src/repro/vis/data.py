@@ -1,0 +1,102 @@
+"""Chart-level data extraction shared by the VIS backends.
+
+A :class:`VisData` is the rendered form of a VIS tree: named axes with
+channel types (nominal/temporal/quantitative, following the Vega-Lite
+vocabulary) plus the executed rows in select order.  Two VIS queries are
+*result-equivalent* (the paper's result matching metric) when their
+``VisData.canonical()`` forms match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.grammar.ast_nodes import Attribute, VisQuery
+from repro.storage.executor import Executor
+from repro.storage.schema import Database
+
+
+@dataclass
+class VisData:
+    """Executed chart data with axis metadata."""
+
+    vis_type: str
+    x_name: str
+    y_name: str
+    x_channel: str
+    y_channel: str
+    rows: List[tuple]
+    color_name: Optional[str] = None
+    color_channel: Optional[str] = None
+
+    @property
+    def has_color(self) -> bool:
+        """True for three-channel charts (stacked/grouping types)."""
+        return self.color_name is not None
+
+    def series_names(self) -> List[str]:
+        """Distinct color/series values, in first-appearance order."""
+        if not self.has_color:
+            return []
+        return list(dict.fromkeys(str(row[2]) for row in self.rows))
+
+    def x_values(self) -> List[object]:
+        """Distinct x values in first-appearance order."""
+        return list(dict.fromkeys(row[0] for row in self.rows))
+
+    def pivot(self) -> Tuple[List[object], dict]:
+        """Pivot 3-column data into {series: [y per x]}, filling gaps
+        with ``None`` — the layout stacked/grouped charts need."""
+        xs = self.x_values()
+        index = {x: i for i, x in enumerate(xs)}
+        table: dict = {}
+        for row in self.rows:
+            series = str(row[2]) if self.has_color else self.y_name
+            column = table.setdefault(series, [None] * len(xs))
+            column[index[row[0]]] = row[1]
+        return xs, table
+
+    def canonical(self) -> tuple:
+        """Row-order-insensitive form for result matching."""
+        return (
+            self.vis_type,
+            tuple(sorted((tuple(str(v) for v in row) for row in self.rows))),
+        )
+
+
+def _channel(attr: Attribute, database: Database) -> str:
+    if attr.is_aggregated:
+        return "quantitative"
+    ctype = database.column_type(attr.table, attr.column)
+    return {"C": "nominal", "T": "temporal", "Q": "quantitative"}[ctype]
+
+
+def render_data(vis: VisQuery, database: Database) -> VisData:
+    """Execute *vis* and package the chart data.
+
+    Binned temporal axes come back as bin labels (strings), so their
+    channel is reported as nominal-ordinal rather than temporal.
+    """
+    result = Executor(database).execute(vis)
+    core = vis.primary_core
+    select = core.select
+    x_attr, y_attr = select[0], select[1]
+    binned_columns = {
+        group.attr.qualified_name for group in core.groups if group.kind == "binning"
+    }
+    x_channel = _channel(x_attr, database)
+    if x_attr.qualified_name in binned_columns:
+        x_channel = "ordinal"
+    data = VisData(
+        vis_type=vis.vis_type,
+        x_name=str(x_attr),
+        y_name=str(y_attr),
+        x_channel=x_channel,
+        y_channel=_channel(y_attr, database),
+        rows=list(result.rows),
+    )
+    if len(select) > 2:
+        data.color_name = str(select[2])
+        data.color_channel = _channel(select[2], database)
+    return data

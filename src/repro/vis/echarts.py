@@ -1,0 +1,85 @@
+"""VIS tree → ECharts option object.
+
+ECharts wants pivoted series rather than long-form rows, so 3-variable
+charts (stacked bar, grouping line/scatter) are pivoted into one series
+per color value; pies become the ``{name, value}`` list ECharts expects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.grammar.ast_nodes import VisQuery
+from repro.storage.schema import Database
+from repro.vis.data import render_data
+
+
+def to_echarts(vis: VisQuery, database: Database) -> Dict:
+    """Compile *vis* to a renderable ECharts option dict."""
+    data = render_data(vis, database)
+
+    if vis.vis_type == "pie":
+        return {
+            "title": {"text": f"{data.y_name} by {data.x_name}"},
+            "tooltip": {"trigger": "item"},
+            "series": [
+                {
+                    "type": "pie",
+                    "radius": "60%",
+                    "data": [
+                        {"name": str(row[0]), "value": row[1]} for row in data.rows
+                    ],
+                }
+            ],
+        }
+
+    if vis.vis_type == "scatter":
+        return {
+            "xAxis": {"type": "value", "name": data.x_name},
+            "yAxis": {"type": "value", "name": data.y_name},
+            "series": [
+                {"type": "scatter", "data": [[row[0], row[1]] for row in data.rows]}
+            ],
+        }
+
+    if vis.vis_type == "grouping scatter":
+        xs, table = data.pivot()
+        series = []
+        by_series: Dict[str, List] = {}
+        for row in data.rows:
+            by_series.setdefault(str(row[2]), []).append([row[0], row[1]])
+        for name, points in by_series.items():
+            series.append({"type": "scatter", "name": name, "data": points})
+        return {
+            "xAxis": {"type": "value", "name": data.x_name},
+            "yAxis": {"type": "value", "name": data.y_name},
+            "legend": {"data": list(by_series)},
+            "series": series,
+        }
+
+    # Category-axis charts: bar, stacked bar, line, grouping line.
+    chart_kind = "bar" if vis.vis_type in ("bar", "stacked bar") else "line"
+    if data.has_color:
+        xs, table = data.pivot()
+        series = [
+            {
+                "type": chart_kind,
+                "name": name,
+                "data": values,
+                **({"stack": "total"} if vis.vis_type == "stacked bar" else {}),
+            }
+            for name, values in table.items()
+        ]
+        legend = list(table)
+    else:
+        xs = [row[0] for row in data.rows]
+        series = [{"type": chart_kind, "data": [row[1] for row in data.rows]}]
+        legend = []
+    option: Dict = {
+        "xAxis": {"type": "category", "data": [str(x) for x in xs], "name": data.x_name},
+        "yAxis": {"type": "value", "name": data.y_name},
+        "series": series,
+    }
+    if legend:
+        option["legend"] = {"data": legend}
+    return option

@@ -1,0 +1,86 @@
+"""VIS tree → ggplot2 (R) source code.
+
+Section 2.6 of the paper plans support for more vis languages beyond
+Vega-Lite and ECharts, pointing at ggplot2 translators.  This backend
+emits a complete, runnable R script: a ``data.frame`` literal holding the
+executed chart data plus the ``ggplot`` grammar-of-graphics pipeline for
+the chart type.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.grammar.ast_nodes import VisQuery
+from repro.storage.schema import Database
+from repro.vis.data import VisData, render_data
+
+
+def to_ggplot(vis: VisQuery, database: Database) -> str:
+    """Compile *vis* to a runnable ggplot2 R script."""
+    data = render_data(vis, database)
+    lines: List[str] = ["library(ggplot2)", ""]
+    lines.extend(_data_frame(data))
+    lines.append("")
+    lines.extend(_plot_call(vis, data))
+    return "\n".join(lines) + "\n"
+
+
+def _r_name(label: str) -> str:
+    """An R-safe column name."""
+    out = label.replace(".", "_").replace("(", "_").replace(")", "").replace("*", "all")
+    return out.strip("_") or "value"
+
+
+def _r_literal(value: object) -> str:
+    if value is None:
+        return "NA"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    escaped = str(value).replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def _data_frame(data: VisData) -> List[str]:
+    names = [_r_name(data.x_name), _r_name(data.y_name)]
+    if data.has_color:
+        names.append(_r_name(data.color_name))
+    columns = []
+    for index, name in enumerate(names):
+        values = ", ".join(_r_literal(row[index]) for row in data.rows)
+        columns.append(f"  {name} = c({values})")
+    return ["df <- data.frame(", ",\n".join(columns), ")"]
+
+
+def _plot_call(vis: VisQuery, data: VisData) -> List[str]:
+    x = _r_name(data.x_name)
+    y = _r_name(data.y_name)
+    color = _r_name(data.color_name) if data.has_color else None
+
+    if vis.vis_type == "pie":
+        # The canonical ggplot2 pie: stacked bar in polar coordinates.
+        return [
+            f'p <- ggplot(df, aes(x = "", y = {y}, fill = {x})) +',
+            '  geom_col(width = 1) +',
+            '  coord_polar(theta = "y")',
+            "print(p)",
+        ]
+
+    aes_parts = [f"x = {x}", f"y = {y}"]
+    if color is not None:
+        channel = "fill" if vis.vis_type == "stacked bar" else "colour"
+        aes_parts.append(f"{channel} = {color}")
+    aes = ", ".join(aes_parts)
+
+    geoms = {
+        "bar": 'geom_col()',
+        "stacked bar": 'geom_col()',
+        "line": "geom_line(group = 1)",
+        "grouping line": f"geom_line(aes(group = {color}))",
+        "scatter": "geom_point()",
+        "grouping scatter": "geom_point()",
+    }
+    geom = geoms[vis.vis_type]
+    return [f"p <- ggplot(df, aes({aes})) +", f"  {geom}", "print(p)"]

@@ -1,0 +1,83 @@
+"""VIS tree → Plotly figure JSON.
+
+Another backend in the Section 2.6 family: emits the ``{"data": [...],
+"layout": {...}}`` dict that ``plotly.io.from_json`` (or Plotly.js)
+renders directly.  Three-channel charts become one trace per series.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.grammar.ast_nodes import VisQuery
+from repro.storage.schema import Database
+from repro.vis.data import render_data
+
+_TRACE_TYPES = {
+    "bar": ("bar", None),
+    "stacked bar": ("bar", "stack"),
+    "line": ("scatter", None),
+    "grouping line": ("scatter", None),
+    "scatter": ("scatter", None),
+    "grouping scatter": ("scatter", None),
+}
+
+_MODES = {
+    "line": "lines+markers",
+    "grouping line": "lines+markers",
+    "scatter": "markers",
+    "grouping scatter": "markers",
+}
+
+
+def to_plotly(vis: VisQuery, database: Database) -> Dict:
+    """Compile *vis* to a Plotly figure dict."""
+    data = render_data(vis, database)
+
+    if vis.vis_type == "pie":
+        return {
+            "data": [
+                {
+                    "type": "pie",
+                    "labels": [str(row[0]) for row in data.rows],
+                    "values": [row[1] for row in data.rows],
+                }
+            ],
+            "layout": {"title": {"text": f"{data.y_name} by {data.x_name}"}},
+        }
+
+    trace_type, barmode = _TRACE_TYPES[vis.vis_type]
+    mode = _MODES.get(vis.vis_type)
+
+    traces: List[Dict] = []
+    if data.has_color:
+        by_series: Dict[str, List] = {}
+        for row in data.rows:
+            by_series.setdefault(str(row[2]), []).append(row)
+        for name, rows in by_series.items():
+            trace = {
+                "type": trace_type,
+                "name": name,
+                "x": [row[0] for row in rows],
+                "y": [row[1] for row in rows],
+            }
+            if mode:
+                trace["mode"] = mode
+            traces.append(trace)
+    else:
+        trace = {
+            "type": trace_type,
+            "x": [row[0] for row in data.rows],
+            "y": [row[1] for row in data.rows],
+        }
+        if mode:
+            trace["mode"] = mode
+        traces.append(trace)
+
+    layout: Dict = {
+        "xaxis": {"title": {"text": data.x_name}},
+        "yaxis": {"title": {"text": data.y_name}},
+    }
+    if barmode:
+        layout["barmode"] = barmode
+    return {"data": traces, "layout": layout}

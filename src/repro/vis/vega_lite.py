@@ -1,0 +1,79 @@
+"""VIS tree → Vega-Lite specification.
+
+Emits a complete, self-contained Vega-Lite v5 spec: the data part of the
+tree is executed against the database and inlined as ``data.values`` (the
+same shape nvBench ships), and the visualize part maps to mark + encoding
+channels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.grammar.ast_nodes import VisQuery
+from repro.storage.schema import Database
+from repro.vis.data import VisData, render_data
+
+SCHEMA_URL = "https://vega.github.io/schema/vega-lite/v5.json"
+
+_MARKS = {
+    "bar": "bar",
+    "pie": "arc",
+    "line": "line",
+    "scatter": "point",
+    "stacked bar": "bar",
+    "grouping line": "line",
+    "grouping scatter": "point",
+}
+
+
+def to_vega_lite(vis: VisQuery, database: Database) -> Dict:
+    """Compile *vis* to a renderable Vega-Lite spec dict."""
+    data = render_data(vis, database)
+    spec: Dict = {
+        "$schema": SCHEMA_URL,
+        "mark": _MARKS[vis.vis_type],
+        "data": {"values": _values(data)},
+    }
+    if vis.vis_type == "pie":
+        spec["encoding"] = {
+            "theta": {"field": _field(data.y_name), "type": "quantitative"},
+            "color": {"field": _field(data.x_name), "type": "nominal"},
+        }
+        return spec
+
+    encoding: Dict = {
+        "x": {"field": _field(data.x_name), "type": data.x_channel},
+        "y": {"field": _field(data.y_name), "type": data.y_channel},
+    }
+    core = vis.primary_core
+    if core.order is not None:
+        target = core.order.attr
+        direction = "" if core.order.direction == "asc" else "-"
+        if target.qualified_name == core.select[0].qualified_name and (
+            target.agg == core.select[0].agg or target.agg is None
+        ):
+            encoding["x"]["sort"] = f"{direction}x"
+        else:
+            encoding["x"]["sort"] = f"{direction}y"
+    if data.has_color:
+        encoding["color"] = {
+            "field": _field(data.color_name),
+            "type": data.color_channel,
+        }
+        if vis.vis_type == "stacked bar":
+            encoding["y"]["stack"] = "zero"
+    spec["encoding"] = encoding
+    return spec
+
+
+def _field(label: str) -> str:
+    """Vega-Lite field names: dots are path separators, so flatten."""
+    return label.replace(".", "_").replace("(", "_").replace(")", "")
+
+
+def _values(data: VisData) -> List[Dict]:
+    names = [_field(data.x_name), _field(data.y_name)]
+    if data.has_color:
+        names.append(_field(data.color_name))
+    return [dict(zip(names, row)) for row in data.rows]

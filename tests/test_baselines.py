@@ -1,0 +1,154 @@
+"""Tests for the DeepEye / NL4DV rule-based baselines."""
+
+from repro.baselines import DeepEyeBaseline, NL4DVBaseline
+from repro.baselines.common import (
+    detect_aggregate,
+    detect_bin_unit,
+    detect_chart_type,
+    detect_sort,
+    detect_topk,
+    match_columns,
+    pick_primary_table,
+)
+from repro.eval.metrics import tree_match
+from repro.eval.splits import split_pairs
+from repro.grammar.validate import validate_query
+
+
+class TestNLAnalysis:
+    def test_match_columns_in_mention_order(self, flight_db):
+        matches = match_columns("show price then origin of flights", flight_db)
+        names = [c.name for c in matches["flight"]]
+        assert names == ["price", "origin"]
+
+    def test_underscored_columns_match_phrases(self, flight_db):
+        matches = match_columns("by departure date please", flight_db)
+        assert any(c.name == "departure_date" for c in matches["flight"])
+
+    def test_pick_primary_table_prefers_mentions(self, flight_db):
+        matches = match_columns("list the airlines by name", flight_db)
+        assert pick_primary_table("list the airlines by name", flight_db, matches) == "airline"
+
+    def test_detect_aggregate(self):
+        assert detect_aggregate("the average price") == "avg"
+        assert detect_aggregate("how many flights") == "count"
+        assert detect_aggregate("show the flights") is None
+
+    def test_detect_chart_type(self):
+        assert detect_chart_type("draw a pie chart") == "pie"
+        assert detect_chart_type("show the proportion of sales") == "pie"
+        assert detect_chart_type("a stacked bar please") == "stacked bar"
+        assert detect_chart_type("just the data") is None
+
+    def test_detect_sort_and_topk(self):
+        assert detect_sort("in descending order") == "desc"
+        assert detect_sort("from low to high") == "asc"
+        assert detect_topk("give the top 5 by price") == 5
+        assert detect_topk("all of them") is None
+
+    def test_detect_bin_unit(self):
+        assert detect_bin_unit("bin the date by month") == "month"
+        assert detect_bin_unit("for each day of the week") == "weekday"
+
+
+class TestDeepEyeBaseline:
+    def test_returns_valid_ranked_charts(self, flight_db):
+        baseline = DeepEyeBaseline()
+        charts = baseline.predict("price by origin of flights", flight_db, k=5)
+        assert charts
+        for vis in charts:
+            validate_query(vis)
+
+    def test_k_monotone(self, flight_db):
+        baseline = DeepEyeBaseline()
+        top1 = baseline.predict("origin and price", flight_db, k=1)
+        top3 = baseline.predict("origin and price", flight_db, k=3)
+        assert len(top1) <= 1 and len(top3) <= 3
+        if top1 and top3:
+            assert top1[0] == top3[0]
+
+    def test_never_produces_filters(self, flight_db):
+        baseline = DeepEyeBaseline()
+        charts = baseline.predict(
+            "origin of flights with price above 300", flight_db, k=6
+        )
+        for vis in charts:
+            assert vis.primary_core.filter is None
+
+    def test_single_table_only(self, small_corpus):
+        baseline = DeepEyeBaseline()
+        for pair in small_corpus.pairs[:30]:
+            db = small_corpus.databases[pair.db_name]
+            for vis in baseline.predict(pair.nl, db, k=4):
+                assert len(vis.primary_core.tables) == 1
+
+    def test_empty_nl_falls_back(self, flight_db):
+        baseline = DeepEyeBaseline()
+        charts = baseline.predict("hello world", flight_db, k=3)
+        for vis in charts:
+            validate_query(vis)
+
+
+class TestNL4DVBaseline:
+    def test_explicit_chart_type_respected(self, flight_db):
+        baseline = NL4DVBaseline()
+        vis = baseline.predict(
+            "Draw a pie chart of how many flights per origin", flight_db
+        )
+        assert vis is not None and vis.vis_type == "pie"
+
+    def test_aggregate_keyword_used(self, flight_db):
+        baseline = NL4DVBaseline()
+        vis = baseline.predict("average price for each origin", flight_db)
+        assert vis is not None
+        measures = [a for a in vis.primary_core.select if a.is_aggregated]
+        assert measures and measures[0].agg == "avg"
+
+    def test_detects_value_filter(self, flight_db):
+        baseline = NL4DVBaseline()
+        vis = baseline.predict(
+            "average price per origin where price is greater than 200", flight_db
+        )
+        assert vis is not None
+        assert vis.primary_core.filter is not None
+
+    def test_detects_topk(self, flight_db):
+        baseline = NL4DVBaseline()
+        vis = baseline.predict(
+            "top 3 origins by total price", flight_db
+        )
+        assert vis is not None
+        assert vis.primary_core.superlative is not None
+        assert vis.primary_core.superlative.k == 3
+
+    def test_no_attributes_returns_none(self, flight_db):
+        baseline = NL4DVBaseline()
+        assert baseline.predict("completely unrelated text", flight_db) is None
+
+    def test_outputs_are_valid(self, small_corpus):
+        baseline = NL4DVBaseline()
+        for pair in small_corpus.pairs[:40]:
+            db = small_corpus.databases[pair.db_name]
+            vis = baseline.predict(pair.nl, db)
+            if vis is not None:
+                validate_query(vis)
+
+
+class TestComparativeShape:
+    def test_seq2vis_ordering_preconditions(self, small_nvbench):
+        """Baselines must fail on every hard/extra-hard pair (they cannot
+        express joins or nesting) — the Table 5 shape depends on it."""
+        de = DeepEyeBaseline()
+        nv = NL4DVBaseline()
+        _, _, test = split_pairs(small_nvbench.pairs, seed=0)
+        hard = [p for p in test if p.hardness.value in ("hard", "extra hard")]
+        hard = [
+            p for p in hard
+            if len(p.vis.primary_core.tables) > 1 or list(p.vis.primary_core.subqueries())
+        ]
+        for pair in hard[:20]:
+            db = small_nvbench.database_of(pair)
+            assert not tree_match(nv.predict(pair.nl, db), pair.vis)
+            assert not any(
+                tree_match(v, pair.vis) for v in de.predict(pair.nl, db, k=6)
+            )

@@ -1,0 +1,110 @@
+"""Tests for model persistence and the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.neural.data import build_dataset
+from repro.neural.model import Seq2Vis
+from repro.neural.persist import load_model, save_model
+from repro.nlp.vocab import Vocabulary
+
+
+class TestPersistence:
+    def _model_and_vocabs(self, variant="attention"):
+        in_vocab = Vocabulary.build([["show", "the", "price", "flight.price"]])
+        out_vocab = Vocabulary.build([["select", "flight.price"]])
+        model = Seq2Vis(len(in_vocab), len(out_vocab), variant, 12, 16, seed=3)
+        return model, in_vocab, out_vocab
+
+    @pytest.mark.parametrize("variant", ["basic", "attention", "copy"])
+    def test_round_trip_preserves_weights(self, tmp_path, variant):
+        model, in_vocab, out_vocab = self._model_and_vocabs(variant)
+        path = str(tmp_path / "model.npz")
+        save_model(model, in_vocab, out_vocab, path)
+        loaded, in2, out2 = load_model(path)
+        assert loaded.variant == variant
+        assert in2.tokens == in_vocab.tokens
+        assert out2.tokens == out_vocab.tokens
+        for original, restored in zip(model.parameters(), loaded.parameters()):
+            np.testing.assert_array_equal(original.data, restored.data)
+
+    def test_loaded_model_decodes_identically(self, tmp_path, small_nvbench):
+        pairs = small_nvbench.pairs[:40]
+        dataset = build_dataset(pairs, small_nvbench.databases)
+        model = Seq2Vis(len(dataset.in_vocab), len(dataset.out_vocab),
+                        "attention", 16, 24, seed=1)
+        path = str(tmp_path / "model.npz")
+        save_model(model, dataset.in_vocab, dataset.out_vocab, path)
+        loaded, _, _ = load_model(path)
+        batch = dataset.batch_of(dataset.examples[:4])
+        a = model.greedy_decode(batch, dataset.out_vocab.bos_id, dataset.out_vocab.eos_id)
+        b = loaded.greedy_decode(batch, dataset.out_vocab.bos_id, dataset.out_vocab.eos_id)
+        assert a == b
+
+
+class TestCLI:
+    def test_build_corpus_and_benchmark(self, tmp_path, capsys):
+        corpus_path = str(tmp_path / "corpus.json")
+        code = main([
+            "build-corpus", "--databases", "3", "--pairs-per-db", "4",
+            "--row-scale", "0.3", "--seed", "2", "--out", corpus_path,
+        ])
+        assert code == 0
+        pairs_path = str(tmp_path / "bench.json")
+        code = main([
+            "build-benchmark", "--corpus", corpus_path,
+            "--databases", "3", "--pairs-per-db", "4",
+            "--row-scale", "0.3", "--seed", "2", "--out", pairs_path,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(NL, VIS) pairs" in out
+
+        code = main(["stats", "--corpus", corpus_path, "--pairs", pairs_path])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "databases: 3" in out
+
+    def test_train_and_translate(self, tmp_path, capsys):
+        corpus_path = str(tmp_path / "corpus.json")
+        pairs_path = str(tmp_path / "bench.json")
+        model_path = str(tmp_path / "model.npz")
+        main(["build-corpus", "--databases", "3", "--pairs-per-db", "5",
+              "--row-scale", "0.3", "--seed", "4", "--out", corpus_path])
+        main(["build-benchmark", "--corpus", corpus_path, "--out", pairs_path])
+        code = main([
+            "train", "--corpus", corpus_path, "--pairs", pairs_path,
+            "--variant", "basic", "--epochs", "2", "--embed-dim", "16",
+            "--hidden-dim", "24", "--out", model_path,
+        ])
+        assert code == 0
+        capsys.readouterr()
+
+        from repro.spider.corpus import load_corpus
+
+        db_name = sorted(load_corpus(corpus_path).databases)[0]
+        code = main([
+            "translate", "--corpus", corpus_path, "--model", model_path,
+            "--database", db_name, "how many items per category?",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "predicted tokens:" in out
+
+    def test_translate_unknown_database(self, tmp_path, capsys):
+        corpus_path = str(tmp_path / "corpus.json")
+        pairs_path = str(tmp_path / "bench.json")
+        model_path = str(tmp_path / "model.npz")
+        main(["build-corpus", "--databases", "2", "--pairs-per-db", "3",
+              "--row-scale", "0.3", "--seed", "5", "--out", corpus_path])
+        main(["build-benchmark", "--corpus", corpus_path, "--out", pairs_path])
+        main(["train", "--corpus", corpus_path, "--pairs", pairs_path,
+              "--variant", "basic", "--epochs", "1", "--embed-dim", "12",
+              "--hidden-dim", "16", "--out", model_path])
+        capsys.readouterr()
+        code = main([
+            "translate", "--corpus", corpus_path, "--model", model_path,
+            "--database", "nope", "anything",
+        ])
+        assert code == 2

@@ -1,0 +1,165 @@
+"""Tests for the DeepEye-style good/bad chart filter (Section 2.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.filter_model import (
+    ChartFeatures,
+    DeepEyeFilter,
+    LogisticRegression,
+    extract_features,
+    rule_verdict,
+    teacher_label,
+    train_filter_from_candidates,
+)
+from repro.core.tree_edits import generate_candidates
+from repro.grammar.ast_nodes import Attribute, Comparison, Filter, Group, QueryCore, VisQuery
+
+
+def features(**overrides) -> ChartFeatures:
+    base = dict(
+        vis_type="bar",
+        n_rows=10,
+        n_distinct_x=10,
+        unique_ratio_x=1.0,
+        y_min=0.0,
+        y_max=100.0,
+        y_spread=100.0,
+        x_is_temporal=False,
+        x_is_numeric=False,
+        correlation=0.0,
+        n_series=1,
+    )
+    base.update(overrides)
+    return ChartFeatures(**base)
+
+
+class TestRuleVerdict:
+    def test_single_value_is_bad(self):
+        assert rule_verdict(features(n_rows=1, n_distinct_x=1)) is False
+
+    def test_pie_with_many_slices_is_bad(self):
+        assert rule_verdict(features(vis_type="pie", n_rows=40, n_distinct_x=40)) is False
+
+    def test_pie_with_negative_values_is_bad(self):
+        assert rule_verdict(features(vis_type="pie", n_rows=5, y_min=-3.0)) is False
+
+    def test_bar_with_hundreds_of_categories_is_bad(self):
+        assert rule_verdict(features(n_rows=300, n_distinct_x=300)) is False
+
+    def test_flat_line_is_bad(self):
+        assert rule_verdict(features(vis_type="line", n_rows=5, n_distinct_x=1)) is False
+
+    def test_tiny_scatter_is_bad(self):
+        assert rule_verdict(features(vis_type="scatter", n_rows=2)) is False
+
+    def test_reasonable_chart_defers_to_classifier(self):
+        assert rule_verdict(features()) is None
+
+    def test_too_many_series_is_bad(self):
+        assert rule_verdict(features(vis_type="stacked bar", n_series=30)) is False
+
+
+class TestTeacherLabel:
+    def test_good_bar(self):
+        assert teacher_label(features(n_distinct_x=8, n_rows=8)) is True
+
+    def test_bar_with_duplicate_categories_is_bad(self):
+        assert teacher_label(features(unique_ratio_x=0.5)) is False
+
+    def test_good_pie(self):
+        assert teacher_label(features(vis_type="pie", n_rows=4, n_distinct_x=4)) is True
+
+    def test_wide_line_is_bad(self):
+        assert (
+            teacher_label(features(vis_type="line", n_rows=400, n_distinct_x=400))
+            is False
+        )
+
+
+class TestFeatureExtraction:
+    def test_features_from_execution(self, flight_db):
+        vis = VisQuery("pie", QueryCore(
+            select=(Attribute("origin", "flight"), Attribute("*", "flight", agg="count")),
+            groups=(Group("grouping", Attribute("origin", "flight")),),
+        ))
+        feats = extract_features(vis, flight_db)
+        assert feats.n_rows == 3
+        assert feats.unique_ratio_x == 1.0
+        assert not feats.x_is_temporal
+
+    def test_empty_result_returns_none(self, flight_db):
+        vis = VisQuery("bar", QueryCore(
+            select=(Attribute("origin", "flight"), Attribute("price", "flight")),
+            filter=Filter(Comparison(">", Attribute("price", "flight"), 10_000)),
+        ))
+        assert extract_features(vis, flight_db) is None
+
+    def test_correlation_computed_for_scatter(self, flight_db):
+        vis = VisQuery("scatter", QueryCore(
+            select=(Attribute("price", "flight"), Attribute("price", "flight")),
+        ))
+        feats = extract_features(vis, flight_db)
+        assert feats.correlation == pytest.approx(1.0)
+
+    def test_series_count_for_three_columns(self, flight_db):
+        vis = VisQuery("stacked bar", QueryCore(
+            select=(
+                Attribute("origin", "flight"),
+                Attribute("price", "flight", agg="sum"),
+                Attribute("destination", "flight"),
+            ),
+            groups=(
+                Group("grouping", Attribute("origin", "flight")),
+                Group("grouping", Attribute("destination", "flight")),
+            ),
+        ))
+        feats = extract_features(vis, flight_db)
+        assert feats.n_series == 4
+
+
+class TestLogisticRegression:
+    def test_learns_a_separable_boundary(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(400, 3))
+        y = (x[:, 0] + 2 * x[:, 1] > 0).astype(float)
+        model = LogisticRegression(dim=3, seed=1)
+        losses = model.fit(x, y, epochs=300, lr=0.1)
+        assert losses[-1] < losses[0]
+        accuracy = ((model.predict_proba(x) > 0.5) == y).mean()
+        assert accuracy > 0.95
+
+
+class TestDeepEyeFilter:
+    def test_rule_rejection_scores_zero(self):
+        assert DeepEyeFilter().score(features(n_rows=1, n_distinct_x=1)) == 0.0
+
+    def test_untrained_filter_uses_teacher(self):
+        assert DeepEyeFilter().score(features(n_distinct_x=8, n_rows=8)) == 1.0
+
+    def test_trained_filter_agrees_with_teacher_mostly(self, small_corpus):
+        charts = []
+        for pair in small_corpus.pairs[:40]:
+            db = small_corpus.databases[pair.db_name]
+            for candidate in generate_candidates(pair.query, db):
+                charts.append((candidate.vis, db))
+        filter_model = train_filter_from_candidates(charts, seed=0)
+        assert filter_model.model is not None
+        agree = total = 0
+        for vis, db in charts:
+            feats = extract_features(vis, db)
+            if feats is None or rule_verdict(feats) is not None:
+                continue
+            total += 1
+            prediction = filter_model.score(feats) >= 0.5
+            if prediction == teacher_label(feats):
+                agree += 1
+        assert total > 20
+        assert agree / total > 0.75
+
+    def test_is_good_end_to_end(self, flight_db):
+        vis = VisQuery("pie", QueryCore(
+            select=(Attribute("origin", "flight"), Attribute("*", "flight", agg="count")),
+            groups=(Group("grouping", Attribute("origin", "flight")),),
+        ))
+        assert DeepEyeFilter().is_good(vis, flight_db)

@@ -1,0 +1,160 @@
+"""Tests for the hardness classifier (Section 3.2)."""
+
+from repro.core.hardness import Hardness, classify_hardness
+from repro.grammar.ast_nodes import (
+    Attribute,
+    Comparison,
+    Filter,
+    Group,
+    InSubquery,
+    LogicalPredicate,
+    Order,
+    QueryCore,
+    SetQuery,
+    SQLQuery,
+    Superlative,
+    VisQuery,
+)
+
+
+def attr(column, agg=None):
+    return Attribute(column=column, table="t", agg=agg)
+
+
+def vis(core, vis_type="bar"):
+    return VisQuery(vis_type, core)
+
+
+def comparison(column="v", value=1):
+    return Comparison(">", attr(column), value)
+
+
+class TestEasy:
+    def test_bare_two_attribute_select(self):
+        core = QueryCore(select=(attr("a"), attr("b")))
+        assert classify_hardness(vis(core)) is Hardness.EASY
+
+    def test_bare_scatter(self):
+        core = QueryCore(select=(attr("x"), attr("y")))
+        assert classify_hardness(vis(core, "scatter")) is Hardness.EASY
+
+
+class TestMedium:
+    def test_grouped_count_bar(self):
+        core = QueryCore(
+            select=(attr("a"), attr("*", agg="count")),
+            groups=(Group("grouping", attr("a")),),
+        )
+        assert classify_hardness(vis(core)) is Hardness.MEDIUM
+
+    def test_three_attribute_bare_select(self):
+        core = QueryCore(select=(attr("a"), attr("b"), attr("c")))
+        assert classify_hardness(vis(core, "stacked bar")) is Hardness.MEDIUM
+
+    def test_filter_only(self):
+        core = QueryCore(
+            select=(attr("a"), attr("b")),
+            filter=Filter(comparison()),
+        )
+        assert classify_hardness(vis(core)) is Hardness.MEDIUM
+
+    def test_superlative_only(self):
+        core = QueryCore(
+            select=(attr("a"), attr("b")),
+            superlative=Superlative("most", 3, attr("b")),
+        )
+        assert classify_hardness(vis(core)) is Hardness.MEDIUM
+
+
+class TestHard:
+    def test_group_plus_filter(self):
+        core = QueryCore(
+            select=(attr("a"), attr("*", agg="count")),
+            groups=(Group("grouping", attr("a")),),
+            filter=Filter(comparison()),
+        )
+        assert classify_hardness(vis(core)) is Hardness.HARD
+
+    def test_group_plus_order(self):
+        core = QueryCore(
+            select=(attr("a"), attr("v", agg="sum")),
+            groups=(Group("grouping", attr("a")),),
+            order=Order("desc", attr("v", agg="sum")),
+        )
+        assert classify_hardness(vis(core)) is Hardness.HARD
+
+    def test_nested_subquery_is_at_least_hard(self):
+        sub = QueryCore(select=(attr("a"),), filter=Filter(comparison()))
+        core = QueryCore(
+            select=(attr("a"), attr("b")),
+            filter=Filter(InSubquery(attr("a"), sub)),
+        )
+        assert classify_hardness(vis(core)) in (Hardness.HARD, Hardness.EXTRA_HARD)
+
+    def test_plain_set_operation(self):
+        left = QueryCore(select=(attr("a"), attr("b")))
+        right = QueryCore(select=(attr("a"), attr("b")))
+        query = vis(SetQuery("intersect", left, right))
+        assert classify_hardness(query) is Hardness.HARD
+
+
+class TestExtraHard:
+    def test_group_filter_order_together(self):
+        core = QueryCore(
+            select=(attr("a"), attr("v", agg="sum")),
+            groups=(Group("grouping", attr("a")),),
+            filter=Filter(comparison()),
+            order=Order("asc", attr("a")),
+        )
+        assert classify_hardness(vis(core)) is Hardness.EXTRA_HARD
+
+    def test_set_operation_with_clauses(self):
+        left = QueryCore(select=(attr("a"), attr("b")), filter=Filter(comparison()))
+        right = QueryCore(
+            select=(attr("a"), attr("b")),
+            filter=Filter(
+                LogicalPredicate("and", comparison("b"), comparison("c"))
+            ),
+        )
+        query = vis(SetQuery("except", left, right))
+        assert classify_hardness(query) is Hardness.EXTRA_HARD
+
+    def test_nested_with_heavy_clauses(self):
+        sub = QueryCore(select=(attr("a"),), filter=Filter(comparison()))
+        core = QueryCore(
+            select=(attr("a"), attr("v", agg="sum")),
+            groups=(Group("grouping", attr("a")),),
+            filter=Filter(
+                LogicalPredicate(
+                    "and",
+                    InSubquery(attr("a"), sub),
+                    comparison("v"),
+                )
+            ),
+            order=Order("asc", attr("a")),
+        )
+        assert classify_hardness(vis(core)) is Hardness.EXTRA_HARD
+
+
+class TestOnSQLQueries:
+    def test_works_for_sql_queries_too(self):
+        core = QueryCore(select=(attr("a"),))
+        assert classify_hardness(SQLQuery(core)) is Hardness.EASY
+
+    def test_ordering_is_monotonic_in_clauses(self):
+        """Adding a clause never makes a query easier."""
+        levels = list(Hardness)
+        base = QueryCore(select=(attr("a"), attr("v", agg="sum")),
+                         groups=(Group("grouping", attr("a")),))
+        with_filter = QueryCore(
+            select=base.select, groups=base.groups, filter=Filter(comparison())
+        )
+        with_both = QueryCore(
+            select=base.select, groups=base.groups, filter=Filter(comparison()),
+            order=Order("asc", attr("a")),
+        )
+        ranks = [
+            levels.index(classify_hardness(vis(q)))
+            for q in (base, with_filter, with_both)
+        ]
+        assert ranks == sorted(ranks)

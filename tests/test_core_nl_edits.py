@@ -1,0 +1,170 @@
+"""Tests for NL edits (Section 2.5) and back-translation smoothing."""
+
+import numpy as np
+
+from repro.core.backtranslation import smooth
+from repro.core.nl_edits import (
+    NLVariant,
+    remove_column_mentions,
+    synthesize_nl_variants,
+)
+from repro.core.tree_edits import TreeEdit
+from repro.grammar.ast_nodes import Attribute, Group, Order, QueryCore, VisQuery
+
+
+def _vis(vis_type="bar"):
+    origin = Attribute("origin", "flight")
+    return VisQuery(vis_type, QueryCore(
+        select=(origin, Attribute("*", "flight", agg="count")),
+        groups=(Group("grouping", origin),),
+    ))
+
+
+def _edit(**kwargs):
+    base = dict(
+        added_groups=(Group("grouping", Attribute("origin", "flight")),),
+        added_count=True,
+        added_vis="bar",
+    )
+    base.update(kwargs)
+    return TreeEdit(**base)
+
+
+class TestRemoveColumnMentions:
+    def test_middle_of_listing(self):
+        nl = "Show the name, price and stock of all products."
+        assert remove_column_mentions(nl, ["price"]) == (
+            "Show the name and stock of all products."
+        )
+
+    def test_tail_of_listing(self):
+        nl = "Show the name, price and stock of all products."
+        assert remove_column_mentions(nl, ["stock"]) == (
+            "Show the name, price of all products."
+        ) or remove_column_mentions(nl, ["stock"]) == (
+            "Show the name and price of all products."
+        )
+
+    def test_head_of_listing(self):
+        nl = "Show the name, price and stock of all products."
+        out = remove_column_mentions(nl, ["name"])
+        assert "name" not in out
+        assert "price" in out and "stock" in out
+
+    def test_two_deletions(self):
+        nl = "Show the name, price and stock of all products."
+        out = remove_column_mentions(nl, ["price", "stock"])
+        assert "price" not in out and "stock" not in out
+        assert "name" in out
+
+    def test_underscored_columns_match_spaced_phrases(self):
+        nl = "List the release date and unit price of each device."
+        out = remove_column_mentions(nl, ["unit_price"])
+        assert "unit price" not in out
+        assert "release date" in out
+
+    def test_missing_column_is_noop(self):
+        nl = "How many flights are there?"
+        assert remove_column_mentions(nl, ["price"]) == nl
+
+
+class TestSynthesizeVariants:
+    def test_variant_count_respected(self):
+        rng = np.random.default_rng(0)
+        variants = synthesize_nl_variants(
+            "How many flights per origin?", _edit(), _vis(), rng, n_variants=4
+        )
+        assert 1 <= len(variants) <= 4
+
+    def test_variants_are_distinct(self):
+        rng = np.random.default_rng(1)
+        variants = synthesize_nl_variants(
+            "How many flights per origin?", _edit(), _vis(), rng, n_variants=6
+        )
+        texts = [v.text for v in variants]
+        assert len(texts) == len(set(texts))
+
+    def test_vis_phrase_present(self):
+        rng = np.random.default_rng(2)
+        variants = synthesize_nl_variants(
+            "How many flights per origin?", _edit(added_vis="pie"), _vis("pie"),
+            rng, n_variants=6, back_translate=False,
+        )
+        blob = " ".join(v.text.lower() for v in variants)
+        assert "pie" in blob or "proportion" in blob or "fraction" in blob
+
+    def test_manual_edit_flagged_on_deletion(self):
+        rng = np.random.default_rng(3)
+        edit = _edit(deleted_attrs=(Attribute("price", "flight"),))
+        variants = synthesize_nl_variants(
+            "Show the origin and price of all flights.", edit, _vis(), rng, n_variants=3
+        )
+        assert all(v.manually_edited for v in variants)
+        assert all("price" not in v.text.split("flights")[0] for v in variants)
+
+    def test_no_manual_flag_without_deletion(self):
+        rng = np.random.default_rng(4)
+        variants = synthesize_nl_variants(
+            "Show the origin of all flights.", _edit(), _vis(), rng, n_variants=3
+        )
+        assert not any(v.manually_edited for v in variants)
+
+    def test_binning_phrase_mentions_unit(self):
+        rng = np.random.default_rng(5)
+        date_attr = Attribute("departure_date", "flight")
+        vis = VisQuery("line", QueryCore(
+            select=(date_attr, Attribute("*", "flight", agg="count")),
+            groups=(Group("binning", date_attr, bin_unit="year"),),
+        ))
+        edit = TreeEdit(
+            added_groups=(Group("binning", date_attr, bin_unit="year"),),
+            added_count=True,
+            added_vis="line",
+        )
+        variants = synthesize_nl_variants(
+            "Show all departures.", edit, vis, rng, n_variants=6, back_translate=False
+        )
+        blob = " ".join(v.text.lower() for v in variants)
+        assert "year" in blob
+
+    def test_order_clause_mentioned(self):
+        rng = np.random.default_rng(6)
+        measure = Attribute("price", "flight", agg="sum")
+        order = Order("desc", measure)
+        vis = VisQuery("bar", QueryCore(
+            select=(Attribute("origin", "flight"), measure),
+            groups=(Group("grouping", Attribute("origin", "flight")),),
+            order=order,
+        ))
+        edit = _edit(added_count=False, added_aggregate="sum", added_order=order)
+        variants = synthesize_nl_variants(
+            "Show flights.", edit, vis, rng, n_variants=6, back_translate=False
+        )
+        blob = " ".join(v.text.lower() for v in variants)
+        assert "descending" in blob or "high to low" in blob
+
+    def test_back_translated_flag(self):
+        rng = np.random.default_rng(7)
+        variants = synthesize_nl_variants(
+            "How many flights per origin?", _edit(), _vis(), rng, n_variants=6
+        )
+        assert any(v.back_translated for v in variants)
+
+
+class TestBackTranslation:
+    def test_deterministic_under_seed(self):
+        text = "Show the average price of each flight sorted by price."
+        a = smooth(text, np.random.default_rng(9))
+        b = smooth(text, np.random.default_rng(9))
+        assert a == b
+
+    def test_changes_some_words(self):
+        text = "Show the average price and find the number of records."
+        outputs = {smooth(text, np.random.default_rng(s)) for s in range(10)}
+        assert len(outputs) > 1
+
+    def test_preserves_case_of_sentence_start(self):
+        text = "Show the data."
+        for seed in range(10):
+            out = smooth(text, np.random.default_rng(seed))
+            assert out[0].isupper()

@@ -1,0 +1,100 @@
+"""Tests for the Table 1 chart-validity rules and axis arrangement."""
+
+from repro.core.vis_rules import (
+    GROUP_BINNING,
+    GROUP_GROUPING,
+    GROUP_NONE,
+    arrange_axes,
+    chart_specs_for,
+)
+from repro.grammar.ast_nodes import Attribute
+
+
+def _attr(col):
+    return Attribute(column=col, table="t")
+
+
+class TestChartSpecsFor:
+    def test_one_categorical(self):
+        types = {spec.vis_type for spec in chart_specs_for(["C"])}
+        assert types == {"bar", "pie"}
+        assert all(spec.count_measure for spec in chart_specs_for(["C"]))
+
+    def test_one_temporal_allows_line(self):
+        types = {spec.vis_type for spec in chart_specs_for(["T"])}
+        assert types == {"bar", "pie", "line"}
+
+    def test_one_quantitative_is_histogram(self):
+        specs = chart_specs_for(["Q"])
+        assert [spec.vis_type for spec in specs] == ["bar"]
+        assert specs[0].x_group == GROUP_BINNING
+
+    def test_two_categorical_is_invalid(self):
+        assert chart_specs_for(["C", "C"]) == []
+
+    def test_signature_is_order_insensitive(self):
+        assert chart_specs_for(["Q", "C"]) == chart_specs_for(["C", "Q"])
+
+    def test_qq_is_scatter_only(self):
+        specs = chart_specs_for(["Q", "Q"])
+        assert [spec.vis_type for spec in specs] == ["scatter"]
+        assert specs[0].x_group == GROUP_NONE
+
+    def test_three_variable_rules(self):
+        assert {s.vis_type for s in chart_specs_for(["T", "Q", "C"])} == {
+            "grouping line",
+            "stacked bar",
+        }
+        assert {s.vis_type for s in chart_specs_for(["C", "Q", "C"])} == {"stacked bar"}
+        assert {s.vis_type for s in chart_specs_for(["Q", "Q", "C"])} == {
+            "grouping scatter"
+        }
+
+    def test_unknown_signature_empty(self):
+        assert chart_specs_for(["T", "T"]) == []
+        assert chart_specs_for(["C", "C", "C"]) == []
+
+    def test_grouped_specs_need_aggregate(self):
+        for spec in chart_specs_for(["C", "Q"]):
+            if spec.x_group == GROUP_GROUPING:
+                assert spec.needs_aggregate
+            if spec.x_group == GROUP_NONE:
+                assert not spec.needs_aggregate
+
+
+class TestArrangeAxes:
+    def test_cq_bar_puts_category_on_x(self):
+        spec = [s for s in chart_specs_for(["C", "Q"]) if s.x_group == GROUP_GROUPING][0]
+        axes = arrange_axes([(_attr("amount"), "Q"), (_attr("city"), "C")], spec)
+        assert axes[0].column == "city"
+        assert axes[1].column == "amount"
+
+    def test_tq_line_puts_time_on_x(self):
+        spec = [s for s in chart_specs_for(["Q", "T"]) if s.vis_type == "line"][0]
+        axes = arrange_axes([(_attr("price"), "Q"), (_attr("day"), "T")], spec)
+        assert axes[0].column == "day"
+
+    def test_stacked_bar_axis_roles(self):
+        spec = [s for s in chart_specs_for(["C", "Q", "C"])][0]
+        axes = arrange_axes(
+            [(_attr("region"), "C"), (_attr("sales"), "Q"), (_attr("category"), "C")],
+            spec,
+        )
+        assert axes[1].column == "sales"
+        assert {axes[0].column, axes[2].column} == {"region", "category"}
+
+    def test_grouping_scatter_puts_categorical_on_color(self):
+        spec = chart_specs_for(["Q", "Q", "C"])[0]
+        axes = arrange_axes(
+            [(_attr("x1"), "Q"), (_attr("kind"), "C"), (_attr("x2"), "Q")], spec
+        )
+        assert axes[2].column == "kind"
+
+    def test_grouping_line_time_x_category_color(self):
+        spec = [s for s in chart_specs_for(["T", "Q", "C"]) if s.vis_type == "grouping line"][0]
+        axes = arrange_axes(
+            [(_attr("country"), "C"), (_attr("cases"), "Q"), (_attr("day"), "T")], spec
+        )
+        assert axes[0].column == "day"
+        assert axes[1].column == "cases"
+        assert axes[2].column == "country"

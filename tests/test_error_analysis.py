@@ -1,0 +1,110 @@
+"""Tests for the prediction error-analysis tool."""
+
+from repro.eval.error_analysis import ErrorReport, analyse, categorize_error
+from repro.grammar.ast_nodes import (
+    Attribute,
+    Comparison,
+    Filter,
+    Group,
+    Order,
+    QueryCore,
+    VisQuery,
+)
+
+
+def attr(column, table="flight", agg=None):
+    return Attribute(column=column, table=table, agg=agg)
+
+
+def grouped_bar(vis_type="bar", agg="sum", x="origin", table="flight",
+                order=None, filter_=None, groups=None):
+    x_attr = Attribute(x, table)
+    if groups is None:
+        groups = (Group("grouping", x_attr),)
+    return VisQuery(vis_type, QueryCore(
+        select=(x_attr, Attribute("price", table, agg=agg)),
+        groups=groups,
+        order=order,
+        filter=filter_,
+    ))
+
+
+class TestCategorize:
+    def test_correct_prediction_is_none(self):
+        assert categorize_error(grouped_bar(), grouped_bar()) is None
+
+    def test_values_ignored(self):
+        left = grouped_bar(filter_=Filter(Comparison(">", attr("price"), 1)))
+        right = grouped_bar(filter_=Filter(Comparison(">", attr("price"), 99)))
+        assert categorize_error(left, right) is None
+
+    def test_unparseable(self):
+        assert categorize_error(None, grouped_bar()) == "unparseable"
+
+    def test_wrong_vis_type(self):
+        assert categorize_error(grouped_bar("pie"), grouped_bar()) == "wrong_vis_type"
+
+    def test_wrong_tables(self):
+        joined = VisQuery("bar", QueryCore(
+            select=(attr("name", table="airline"), attr("price", agg="sum")),
+            groups=(Group("grouping", attr("name", table="airline")),),
+        ))
+        assert categorize_error(joined, grouped_bar()) == "wrong_tables"
+
+    def test_wrong_axis_columns(self):
+        other = grouped_bar(x="destination")
+        assert categorize_error(other, grouped_bar()) == "wrong_axis_columns"
+
+    def test_wrong_aggregate(self):
+        assert categorize_error(grouped_bar(agg="avg"), grouped_bar()) == "wrong_aggregate"
+
+    def test_wrong_group_or_bin(self):
+        binned = VisQuery("bar", QueryCore(
+            select=(attr("departure_date"), attr("*", agg="count")),
+            groups=(Group("binning", attr("departure_date"), bin_unit="year"),),
+        ))
+        monthly = VisQuery("bar", QueryCore(
+            select=(attr("departure_date"), attr("*", agg="count")),
+            groups=(Group("binning", attr("departure_date"), bin_unit="month"),),
+        ))
+        assert categorize_error(binned, monthly) == "wrong_group_or_bin"
+
+    def test_wrong_filter(self):
+        filtered = grouped_bar(filter_=Filter(Comparison(">", attr("price"), 1)))
+        assert categorize_error(filtered, grouped_bar()) == "wrong_filter"
+
+    def test_wrong_order(self):
+        ordered = grouped_bar(order=Order("desc", attr("price", agg="sum")))
+        assert categorize_error(ordered, grouped_bar()) == "wrong_order_or_limit"
+
+    def test_specificity_order(self):
+        """A prediction wrong in several ways gets the most specific
+        (earliest) category."""
+        wrong_everything = VisQuery("pie", QueryCore(
+            select=(attr("destination"), attr("price", agg="avg")),
+            groups=(Group("grouping", attr("destination")),),
+        ))
+        assert categorize_error(wrong_everything, grouped_bar()) == "wrong_vis_type"
+
+
+class TestReport:
+    def test_aggregation(self):
+        predictions = [
+            (grouped_bar(), grouped_bar(), "bar", "medium"),
+            (grouped_bar("pie"), grouped_bar(), "bar", "medium"),
+            (None, grouped_bar(), "bar", "hard"),
+            (grouped_bar(agg="avg"), grouped_bar(), "bar", "hard"),
+        ]
+        report = analyse(predictions)
+        assert report.n_errors == 3
+        assert report.category_counts()["wrong_vis_type"] == 1
+        assert report.dominant_category() in (
+            "wrong_vis_type", "unparseable", "wrong_aggregate",
+        )
+        by_hardness = report.by_hardness()
+        assert by_hardness["hard"]["unparseable"] == 1
+
+    def test_empty_report(self):
+        report = ErrorReport()
+        assert report.n_errors == 0
+        assert report.dominant_category() is None

@@ -1,0 +1,63 @@
+"""Tests for the COVID-19 case study scaffolding (Figure 19)."""
+
+from repro.eval.covid_case import (
+    attach_covid,
+    case_study_queries,
+    covid_training_pairs,
+)
+from repro.grammar.validate import validate_query
+from repro.spider.covid import build_covid_database
+from repro.storage.executor import Executor
+
+
+class TestCaseQueries:
+    def test_six_queries_one_expected_failure(self):
+        queries = case_study_queries()
+        assert len(queries) == 6
+        assert sum(1 for q in queries if not q.expected_success) == 1
+
+    def test_gold_trees_are_valid_and_executable(self):
+        database = build_covid_database(days=60)
+        for case in case_study_queries():
+            validate_query(case.gold)
+            result = Executor(database).execute(case.gold)
+            assert result.row_count > 0
+
+    def test_failure_case_mentions_until_today(self):
+        failure = [q for q in case_study_queries() if not q.expected_success][0]
+        assert "until today" in failure.nl
+
+    def test_nl_mentions_gold_columns(self):
+        for case in case_study_queries():
+            x_attr = case.gold.primary_core.select[0]
+            assert x_attr.column.replace("_", " ") in case.nl.lower()
+
+
+class TestCovidTrainingPairs:
+    def test_pairs_synthesized_on_covid_schema(self):
+        database = build_covid_database(days=60)
+        pairs = covid_training_pairs(database, n_pairs=12, seed=3)
+        assert pairs
+        for pair in pairs:
+            assert pair.db_name == "covid_19"
+            validate_query(pair.vis)
+
+    def test_attach_is_idempotent(self):
+        # attach_covid mutates the bench, so build a private tiny one
+        # instead of touching the shared session fixture.
+        from repro.core.nvbench import NVBenchConfig, build_nvbench
+        from repro.spider.corpus import CorpusConfig
+
+        bench = build_nvbench(config=NVBenchConfig(
+            corpus=CorpusConfig(
+                num_databases=2, pairs_per_database=4, row_scale=0.3, seed=2
+            ),
+            train_filter=False,
+        ))
+        before = len(bench.pairs)
+        database = attach_covid(bench, n_pairs=10, seed=3)
+        after_first = len(bench.pairs)
+        attach_covid(bench, n_pairs=10, seed=3)
+        assert len(bench.pairs) == after_first
+        assert after_first > before
+        assert database.name in bench.corpus.databases

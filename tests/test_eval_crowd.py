@@ -1,0 +1,106 @@
+"""Tests for the human-study simulation (Section 3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.crowd import (
+    HumanStudySimulator,
+    StudyConfig,
+    interrater_sample,
+)
+
+
+@pytest.fixture(scope="module")
+def study(small_nvbench_module):
+    sim = HumanStudySimulator(StudyConfig(sample_fraction=0.5, seed=17))
+    return sim.run(small_nvbench_module.pairs)
+
+
+@pytest.fixture(scope="module")
+def small_nvbench_module(request):
+    # Reuse the session fixture through a module alias.
+    return request.getfixturevalue("small_nvbench")
+
+
+class TestStudyMechanics:
+    def test_sample_size(self, small_nvbench_module, study):
+        expected = int(len(small_nvbench_module.pairs) * 0.5)
+        assert len(study.rated) == expected
+
+    def test_crowd_votes_bounded(self, study):
+        for rated in study.rated:
+            assert 3 <= len(rated.t1_crowd_votes) <= 7
+            assert 3 <= len(rated.t2_crowd_votes) <= 7
+
+    def test_ratings_on_likert_scale(self, study):
+        for rated in study.rated:
+            for rating in (
+                rated.t1_expert, rated.t2_expert, rated.t1_crowd, rated.t2_crowd,
+            ):
+                assert 1 <= rating <= 5
+
+    def test_deterministic_under_seed(self, small_nvbench_module):
+        sim = HumanStudySimulator(StudyConfig(sample_fraction=0.3, seed=4))
+        a = sim.run(small_nvbench_module.pairs)
+        b = HumanStudySimulator(StudyConfig(sample_fraction=0.3, seed=4)).run(
+            small_nvbench_module.pairs
+        )
+        assert [r.t2_crowd for r in a.rated] == [r.t2_crowd for r in b.rated]
+
+    def test_distribution_sums_to_one(self, study):
+        for task in ("t1", "t2"):
+            for population in ("expert", "crowd"):
+                dist = study.distribution(task, population)
+                assert sum(dist.values()) == pytest.approx(1.0)
+
+
+class TestStudyShape:
+    def test_majority_agrees_pairs_are_good(self, study):
+        """The headline finding: most pairs rated agree+ in both tasks."""
+        for task in ("t1", "t2"):
+            for population in ("expert", "crowd"):
+                assert study.agree_fraction(task, population) > 0.6
+
+    def test_t2_higher_than_t1_for_experts(self, study):
+        """Matching (T2) scores higher than handwritten-ness (T1)."""
+        assert study.agree_fraction("t2", "expert") >= study.agree_fraction("t1", "expert") - 0.05
+
+    def test_some_low_rated_pairs_exist(self, study):
+        fraction = len(study.low_rated_pairs()) / len(study.rated)
+        assert 0.0 < fraction < 0.3
+
+    def test_t3_times_in_observed_range(self, study):
+        times = np.asarray(study.t3_times)
+        assert times.min() >= 37.0
+        assert times.max() <= 411.0
+        assert 60 <= np.median(times) <= 120
+
+
+class TestManHours:
+    def test_reduction_shape(self, small_nvbench_module):
+        sim = HumanStudySimulator()
+        accounting = sim.manhour_reduction(small_nvbench_module.pairs)
+        # The synthesizer must be far cheaper than manual construction
+        # (the paper reports 5.7%, i.e. a 17.5x speedup).
+        assert accounting["ratio"] < 0.35
+        assert accounting["speedup"] > 3.0
+        assert accounting["scratch_minutes"] > accounting["synthesizer_minutes"]
+
+    def test_scratch_time_uses_mean_seconds(self):
+        sim = HumanStudySimulator()
+        assert sim.manual_build_minutes(60, mean_seconds=120.0) == pytest.approx(120.0)
+
+
+class TestInterRater:
+    def test_sample_structure(self, study):
+        sample = interrater_sample(study, sample=20)
+        assert len(sample) == 20
+        for x_position, ratings in sample:
+            assert len(ratings) >= 4  # expert + >=3 crowd votes
+            assert all(1 <= r <= 5 for r in ratings)
+
+    def test_mostly_agreeing(self, study):
+        """Figure 12's finding: most pairs have rating spread <= 1."""
+        sample = interrater_sample(study, sample=50)
+        tight = sum(1 for _, ratings in sample if max(ratings) - min(ratings) <= 1)
+        assert tight / len(sample) > 0.5

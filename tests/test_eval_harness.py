@@ -1,0 +1,123 @@
+"""Integration tests for the end-to-end experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.eval.harness import (
+    EvaluationReport,
+    ExperimentConfig,
+    build_model,
+    evaluate_model,
+    make_datasets,
+    train_and_evaluate,
+)
+from repro.eval.lowrated import low_rated_injection_experiment
+from repro.eval.metrics import PairOutcome
+from repro.core.hardness import Hardness
+from repro.neural.trainer import TrainConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return ExperimentConfig(
+        embed_dim=24,
+        hidden_dim=32,
+        train=TrainConfig(epochs=3, batch_size=16, lr=5e-3, patience=3),
+    )
+
+
+class TestDatasets:
+    def test_split_sizes_and_shared_vocab(self, small_nvbench, tiny_config):
+        train, val, test = make_datasets(small_nvbench, tiny_config)
+        total = len(train) + len(val) + len(test)
+        assert total == len(small_nvbench.pairs)
+        assert train.in_vocab is val.in_vocab is test.in_vocab
+        assert train.out_vocab is test.out_vocab
+
+    def test_examples_carry_schema_tokens(self, small_nvbench, tiny_config):
+        train, _, _ = make_datasets(small_nvbench, tiny_config)
+        example = train.examples[0]
+        assert "<sep>" in example.src_tokens
+        sep = example.src_tokens.index("<sep>")
+        schema = example.src_tokens[sep + 1 :]
+        assert all("." in token for token in schema)
+
+
+class TestTrainAndEvaluate:
+    def test_full_protocol_runs(self, small_nvbench, tiny_config):
+        model, report = train_and_evaluate(small_nvbench, "attention", tiny_config)
+        assert isinstance(report, EvaluationReport)
+        assert report.variant == "attention"
+        assert len(report.outcomes) > 0
+        assert 0.0 <= report.tree_accuracy <= 1.0
+        assert 0.0 <= report.result_accuracy <= 1.0
+
+    def test_report_aggregations_consistent(self, small_nvbench, tiny_config):
+        _, report = train_and_evaluate(small_nvbench, "basic", tiny_config)
+        by_hardness = report.tree_accuracy_by_hardness()
+        # Weighted average of hardness buckets equals the overall rate.
+        weights = {}
+        for outcome in report.outcomes:
+            weights[outcome.hardness.value] = weights.get(outcome.hardness.value, 0) + 1
+        weighted = sum(
+            by_hardness.get(level, 0.0) * count for level, count in weights.items()
+        ) / len(report.outcomes)
+        assert weighted == pytest.approx(report.tree_accuracy, abs=1e-9)
+
+    def test_component_flags_populated(self, small_nvbench, tiny_config):
+        _, report = train_and_evaluate(small_nvbench, "attention", tiny_config)
+        components = report.component_accuracy()
+        assert set(components) == {
+            "select", "where", "join", "grouping", "binning", "order",
+        }
+
+
+class TestReportMath:
+    def _report(self):
+        report = EvaluationReport(variant="x")
+        for vis_type, hardness, tree in [
+            ("bar", Hardness.EASY, True),
+            ("bar", Hardness.EASY, False),
+            ("pie", Hardness.MEDIUM, True),
+            ("pie", Hardness.HARD, False),
+        ]:
+            report.outcomes.append(PairOutcome(
+                vis_type=vis_type, hardness=hardness, tree=tree, result=tree,
+                predicted_type=vis_type if tree else None,
+            ))
+        return report
+
+    def test_overall_rate(self):
+        assert self._report().tree_accuracy == 0.5
+
+    def test_by_hardness(self):
+        by_hardness = self._report().tree_accuracy_by_hardness()
+        assert by_hardness["easy"] == 0.5
+        assert by_hardness["medium"] == 1.0
+        assert by_hardness["hard"] == 0.0
+
+    def test_matrix_cells(self):
+        matrix = self._report().tree_accuracy_matrix()
+        assert matrix[("bar", "easy")] == 0.5
+        assert matrix[("pie", "medium")] == 1.0
+
+    def test_type_component_includes_all(self):
+        acc = self._report().vis_type_component_accuracy()
+        assert acc["all"] == 0.5
+        assert acc["bar"] == 0.5
+
+
+class TestLowRatedInjection:
+    def test_sweep_produces_all_cells(self, small_nvbench, tiny_config):
+        low_rated = small_nvbench.pairs[:10]
+        result = low_rated_injection_experiment(
+            small_nvbench,
+            low_rated,
+            variants=("basic",),
+            levels=(0, 100),
+            config=tiny_config,
+        )
+        assert set(result.accuracies) == {("basic", 0), ("basic", 100)}
+        relative = result.relative()
+        if result.accuracies[("basic", 0)] > 0:
+            assert relative[("basic", 0)] == pytest.approx(1.0)

@@ -1,0 +1,142 @@
+"""Tests for metrics, splits, and the evaluation harness pieces."""
+
+import pytest
+
+from repro.eval.metrics import component_match, result_match, tree_match
+from repro.eval.splits import split_pairs
+from repro.grammar.ast_nodes import (
+    Attribute,
+    Comparison,
+    Filter,
+    Group,
+    Order,
+    QueryCore,
+    VisQuery,
+)
+
+
+def attr(column, table="flight", agg=None):
+    return Attribute(column=column, table=table, agg=agg)
+
+
+def grouped_bar(agg="sum", vis_type="bar", order=None, filter_=None):
+    return VisQuery(vis_type, QueryCore(
+        select=(attr("origin"), attr("price", agg=agg)),
+        groups=(Group("grouping", attr("origin")),),
+        order=order,
+        filter=filter_,
+    ))
+
+
+class TestTreeMatch:
+    def test_identical_trees_match(self):
+        assert tree_match(grouped_bar(), grouped_bar())
+
+    def test_none_prediction_fails(self):
+        assert not tree_match(None, grouped_bar())
+
+    def test_different_aggregate_fails(self):
+        assert not tree_match(grouped_bar("sum"), grouped_bar("avg"))
+
+    def test_different_type_fails(self):
+        assert not tree_match(grouped_bar(vis_type="pie"), grouped_bar())
+
+    def test_values_are_masked_for_comparison(self):
+        left = grouped_bar(filter_=Filter(Comparison(">", attr("price"), 100)))
+        right = grouped_bar(filter_=Filter(Comparison(">", attr("price"), 999)))
+        assert tree_match(left, right)
+
+    def test_filter_structure_still_matters(self):
+        left = grouped_bar(filter_=Filter(Comparison(">", attr("price"), 100)))
+        right = grouped_bar(filter_=Filter(Comparison("<", attr("price"), 100)))
+        assert not tree_match(left, right)
+
+
+class TestResultMatch:
+    def test_different_trees_same_result(self, flight_db):
+        """A sorted bar renders the same data as the unsorted bar."""
+        plain = grouped_bar()
+        sorted_ = grouped_bar(order=Order("desc", attr("price", agg="sum")))
+        assert not tree_match(sorted_, plain)
+        assert result_match(sorted_, plain, flight_db)
+
+    def test_unexecutable_prediction_fails(self, flight_db):
+        broken = VisQuery("bar", QueryCore(
+            select=(attr("nonexistent"), attr("price", agg="sum")),
+            groups=(Group("grouping", attr("nonexistent")),),
+        ))
+        assert not result_match(broken, grouped_bar(), flight_db)
+
+    def test_different_data_fails(self, flight_db):
+        assert not result_match(grouped_bar("sum"), grouped_bar("avg"), flight_db)
+
+
+class TestComponentMatch:
+    def test_all_components_on_identical_trees(self):
+        flags = component_match(grouped_bar(), grouped_bar())
+        assert all(flags.values())
+
+    def test_select_differs(self):
+        flags = component_match(grouped_bar("avg"), grouped_bar("sum"))
+        assert not flags["select"]
+        assert flags["grouping"] and flags["join"]
+
+    def test_order_component(self):
+        with_order = grouped_bar(order=Order("desc", attr("price", agg="sum")))
+        flags = component_match(with_order, grouped_bar())
+        assert not flags["order"]
+        assert flags["select"]
+
+    def test_where_component(self):
+        filtered = grouped_bar(filter_=Filter(Comparison(">", attr("price"), 1)))
+        flags = component_match(filtered, grouped_bar())
+        assert not flags["where"]
+
+    def test_join_component(self):
+        joined = VisQuery("bar", QueryCore(
+            select=(attr("name", table="airline"), attr("price", agg="sum")),
+            groups=(Group("grouping", attr("name", table="airline")),),
+        ))
+        flags = component_match(joined, grouped_bar())
+        assert not flags["join"]
+
+    def test_none_prediction_fails_everything(self):
+        flags = component_match(None, grouped_bar())
+        assert not any(flags.values())
+
+    def test_binning_component(self):
+        binned = VisQuery("bar", QueryCore(
+            select=(attr("departure_date"), attr("*", agg="count")),
+            groups=(Group("binning", attr("departure_date"), bin_unit="year"),),
+        ))
+        other = VisQuery("bar", QueryCore(
+            select=(attr("departure_date"), attr("*", agg="count")),
+            groups=(Group("binning", attr("departure_date"), bin_unit="month"),),
+        ))
+        flags = component_match(binned, other)
+        assert not flags["binning"]
+        assert flags["select"]
+
+
+class TestSplits:
+    def test_paper_ratios(self):
+        pairs = list(range(1000))
+        train, val, test = split_pairs(pairs)
+        assert len(train) == 800
+        assert len(val) == 45
+        assert len(test) == 155
+
+    def test_partition_property(self):
+        pairs = list(range(317))
+        train, val, test = split_pairs(pairs, seed=3)
+        combined = sorted(train + val + test)
+        assert combined == pairs
+
+    def test_deterministic_per_seed(self):
+        pairs = list(range(100))
+        assert split_pairs(pairs, seed=5) == split_pairs(pairs, seed=5)
+        assert split_pairs(pairs, seed=5) != split_pairs(pairs, seed=6)
+
+    def test_invalid_ratios_rejected(self):
+        with pytest.raises(ValueError):
+            split_pairs([1, 2, 3], ratios=(0.5, 0.2, 0.2))

@@ -1,0 +1,44 @@
+"""Smoke tests: the runnable examples must work end to end.
+
+The training example is excluded here (it takes minutes); its machinery
+is covered by tests/test_eval_harness.py.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    process = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert process.returncode == 0, process.stderr
+    return process.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "synthesized vis #1" in out
+        assert "Vega-Lite spec" in out
+        assert "visualize" in out
+
+    def test_custom_database(self):
+        out = run_example("custom_database.py")
+        assert "pass the filter" in out
+        assert "kept chart #1" in out
+        assert "echarts" in out
+
+    @pytest.mark.slow
+    def test_build_benchmark(self):
+        out = run_example("build_benchmark.py")
+        assert "databases:" in out
+        assert "saved + reloaded" in out

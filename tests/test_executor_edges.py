@@ -1,0 +1,134 @@
+"""Edge-case tests for the executor and SQL helpers beyond the main
+suite: LIKE metacharacters, mixed-type comparisons, empty groups, and
+aggregate corner cases."""
+
+import pytest
+
+from repro.grammar.ast_nodes import (
+    Attribute,
+    Comparison,
+    Filter,
+    Group,
+    Like,
+    QueryCore,
+    SQLQuery,
+)
+from repro.storage.executor import ExecutionError, Executor, _compare, _like_match
+from repro.storage.schema import Column, Database, Table
+
+
+def build_db(rows, columns=None):
+    columns = columns or (
+        Column("name", "C"), Column("value", "Q"), Column("tag", "C"),
+    )
+    table = Table("t", tuple(columns))
+    table.extend(rows)
+    db = Database("edge")
+    db.add_table(table)
+    return db
+
+
+def attr(column, agg=None):
+    return Attribute(column=column, table="t", agg=agg)
+
+
+class TestLikeMatching:
+    def test_percent_wildcard(self):
+        assert _like_match("hello world", "hello%")
+        assert _like_match("hello world", "%world")
+        assert not _like_match("hello", "%zzz%")
+
+    def test_underscore_single_char(self):
+        assert _like_match("cat", "c_t")
+        assert not _like_match("cart", "c_t")
+
+    def test_regex_metacharacters_are_literal(self):
+        assert _like_match("a.b", "a.b")
+        assert not _like_match("axb", "a.b")
+        assert _like_match("price (usd)", "%(usd)%")
+        assert not _like_match("pricexusd", "%(usd)%")
+
+    def test_case_insensitive(self):
+        assert _like_match("Hello", "hello%")
+
+
+class TestCompare:
+    def test_none_never_matches(self):
+        assert not _compare("=", None, 1)
+        assert not _compare("!=", None, 1)
+        assert not _compare(">", 1, None)
+
+    def test_mixed_types_only_equality(self):
+        assert _compare("=", 5, "5")
+        assert _compare("!=", 5, "6")
+        assert not _compare(">", 5, "4")
+
+    def test_numeric_ordering(self):
+        assert _compare("<=", 3, 3)
+        assert _compare(">=", 3.5, 3)
+        assert not _compare("<", 3, 3)
+
+
+class TestExecutorEdges:
+    def test_null_values_skipped_in_aggregates(self):
+        db = build_db([("a", 1, "x"), ("b", None, "x"), ("c", 5, "y")])
+        result = Executor(db).execute(SQLQuery(QueryCore(
+            select=(attr("value", agg="avg"),),
+        )))
+        assert result.rows[0][0] == pytest.approx(3.0)
+
+    def test_count_column_ignores_nulls_count_star_does_not(self):
+        db = build_db([("a", 1, "x"), ("b", None, "x")])
+        result = Executor(db).execute(SQLQuery(QueryCore(
+            select=(attr("value", agg="count"), attr("*", agg="count")),
+        )))
+        assert result.rows == [(1, 2)]
+
+    def test_group_on_empty_filter_result(self):
+        db = build_db([("a", 1, "x")])
+        result = Executor(db).execute(SQLQuery(QueryCore(
+            select=(attr("tag"), attr("*", agg="count")),
+            groups=(Group("grouping", attr("tag")),),
+            filter=Filter(Comparison(">", attr("value"), 100)),
+        )))
+        assert result.rows == []
+
+    def test_numeric_binning_single_value_column(self):
+        db = build_db([("a", 7, "x"), ("b", 7, "x"), ("c", 7, "y")])
+        result = Executor(db).execute(SQLQuery(QueryCore(
+            select=(attr("value"), attr("*", agg="count")),
+            groups=(Group("binning", attr("value"), bin_unit="numeric"),),
+        )))
+        assert sum(r[1] for r in result.rows) == 3
+        assert len(result.rows) == 1
+
+    def test_sum_of_non_numeric_raises(self):
+        db = build_db([("a", 1, "x")])
+        with pytest.raises(ExecutionError):
+            Executor(db).execute(SQLQuery(QueryCore(
+                select=(attr("name", agg="sum"),),
+            )))
+
+    def test_max_on_strings_uses_lexicographic_order(self):
+        db = build_db([("alpha", 1, "x"), ("zeta", 2, "x")])
+        result = Executor(db).execute(SQLQuery(QueryCore(
+            select=(attr("name", agg="max"),),
+        )))
+        assert result.rows == [("zeta",)]
+
+    def test_unknown_table_raises(self):
+        db = build_db([("a", 1, "x")])
+        with pytest.raises(Exception):
+            Executor(db).execute(SQLQuery(QueryCore(
+                select=(Attribute("v", table="missing"),),
+            )))
+
+    def test_like_filter_skips_null_cells(self):
+        db = build_db([("a", 1, None), ("b", 2, "xy")],
+                      columns=(Column("name", "C"), Column("value", "Q"),
+                               Column("tag", "C")))
+        result = Executor(db).execute(SQLQuery(QueryCore(
+            select=(attr("name"),),
+            filter=Filter(Like(attr("tag"), "%x%")),
+        )))
+        assert result.rows == [("b",)]

@@ -1,0 +1,170 @@
+"""Unit tests for the AST node classes (Figure 5 grammar)."""
+
+import pytest
+
+from repro.grammar.ast_nodes import (
+    Attribute,
+    Between,
+    Comparison,
+    Filter,
+    Group,
+    InSubquery,
+    LogicalPredicate,
+    Order,
+    QueryCore,
+    SetQuery,
+    SQLQuery,
+    Superlative,
+    VisQuery,
+    walk,
+)
+
+
+def attr(column="price", table="flight", agg=None):
+    return Attribute(column=column, table=table, agg=agg)
+
+
+class TestAttribute:
+    def test_qualified_name(self):
+        assert attr().qualified_name == "flight.price"
+
+    def test_str_with_aggregate(self):
+        assert str(attr(agg="avg")) == "avg(flight.price)"
+
+    def test_bare_strips_aggregate(self):
+        assert attr(agg="sum").bare() == attr()
+
+    def test_rejects_unknown_aggregate(self):
+        with pytest.raises(ValueError):
+            Attribute(column="price", table="flight", agg="median")
+
+    def test_star_requires_count(self):
+        with pytest.raises(ValueError):
+            Attribute(column="*", table="flight", agg="sum")
+        assert Attribute(column="*", table="flight", agg="count").is_aggregated
+
+    def test_hashable_and_equal(self):
+        assert attr() == attr()
+        assert hash(attr()) == hash(attr())
+        assert attr() != attr(agg="avg")
+
+
+class TestPredicates:
+    def test_comparison_rejects_unknown_op(self):
+        with pytest.raises(ValueError):
+            Comparison(op="~", attr=attr(), value=1)
+
+    def test_logical_rejects_unknown_op(self):
+        with pytest.raises(ValueError):
+            LogicalPredicate(op="xor", left=Comparison("=", attr(), 1), right=Comparison("=", attr(), 2))
+
+    def test_filter_attributes_traverses_tree(self):
+        pred = LogicalPredicate(
+            op="and",
+            left=Comparison(">", attr("price"), 10),
+            right=Between(attr("departure_date"), "2020-01-01", "2020-12-31"),
+        )
+        names = [a.column for a in Filter(pred).attributes()]
+        assert names == ["price", "departure_date"]
+
+    def test_filter_predicates_counts_nodes(self):
+        pred = LogicalPredicate(
+            op="or",
+            left=Comparison("=", attr("origin"), "APG"),
+            right=Comparison("=", attr("origin"), "LAX"),
+        )
+        assert len(list(Filter(pred).predicates())) == 3
+
+
+class TestGroup:
+    def test_grouping_refuses_bin_unit(self):
+        with pytest.raises(ValueError):
+            Group(kind="grouping", attr=attr("origin"), bin_unit="year")
+
+    def test_binning_requires_valid_unit(self):
+        with pytest.raises(ValueError):
+            Group(kind="binning", attr=attr("departure_date"), bin_unit="decade")
+
+    def test_binning_default_bins(self):
+        group = Group(kind="binning", attr=attr("price"), bin_unit="numeric")
+        assert group.bin_count == 10
+
+
+class TestQueryCore:
+    def test_requires_nonempty_select(self):
+        with pytest.raises(ValueError):
+            QueryCore(select=())
+
+    def test_at_most_two_groups(self):
+        groups = tuple(
+            Group(kind="grouping", attr=attr(c)) for c in ("origin", "destination", "fno")
+        )
+        with pytest.raises(ValueError):
+            QueryCore(select=(attr(),), groups=groups)
+
+    def test_tables_in_first_use_order(self):
+        core = QueryCore(select=(attr(table="airline", column="name"), attr()))
+        assert core.tables == ("airline", "flight")
+
+    def test_all_attributes_covers_clauses(self):
+        core = QueryCore(
+            select=(attr("origin"),),
+            filter=Filter(Comparison(">", attr("price"), 10)),
+            groups=(Group(kind="grouping", attr=attr("origin")),),
+            order=Order(direction="asc", attr=attr("origin")),
+        )
+        columns = [a.column for a in core.all_attributes()]
+        assert columns == ["origin", "price", "origin", "origin"]
+
+    def test_subqueries_are_discovered_recursively(self):
+        inner = QueryCore(select=(attr("price", agg="avg"),))
+        outer = QueryCore(
+            select=(attr("origin"),),
+            filter=Filter(InSubquery(attr=attr("origin"), query=QueryCore(
+                select=(attr("origin"),),
+                filter=Filter(Comparison(">", attr("price"), 5)),
+            ))),
+        )
+        assert len(list(outer.subqueries())) == 1
+        assert inner not in list(outer.subqueries())
+
+
+class TestRootNodes:
+    def test_vis_query_rejects_unknown_type(self):
+        with pytest.raises(ValueError):
+            VisQuery(vis_type="donut", body=QueryCore(select=(attr(),)))
+
+    def test_set_query_rejects_unknown_op(self):
+        core = QueryCore(select=(attr(),))
+        with pytest.raises(ValueError):
+            SetQuery(op="minus", left=core, right=core)
+
+    def test_cores_of_set_query(self):
+        core = QueryCore(select=(attr(),))
+        query = SQLQuery(body=SetQuery(op="union", left=core, right=core))
+        assert len(query.cores) == 2
+
+    def test_superlative_requires_positive_k(self):
+        with pytest.raises(ValueError):
+            Superlative(kind="most", k=0, attr=attr())
+
+
+class TestWalk:
+    def test_walk_covers_nested_subqueries(self):
+        sub = QueryCore(select=(attr("price", agg="avg"),))
+        core = QueryCore(
+            select=(attr("origin"), attr("price")),
+            filter=Filter(InSubquery(attr=attr("origin"), query=sub)),
+        )
+        nodes = list(walk(SQLQuery(body=core)))
+        assert sub in nodes
+        assert any(isinstance(n, InSubquery) for n in nodes)
+
+    def test_walk_counts_attributes(self):
+        core = QueryCore(
+            select=(attr("origin"), attr("price", agg="sum")),
+            groups=(Group(kind="grouping", attr=attr("origin")),),
+        )
+        nodes = list(walk(SQLQuery(body=core)))
+        attrs = [n for n in nodes if isinstance(n, Attribute)]
+        assert len(attrs) == 3

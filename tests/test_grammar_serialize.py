@@ -1,0 +1,208 @@
+"""Serialization round-trip tests, including property-based coverage of
+randomly generated trees (the decoder must parse anything the encoder can
+emit — the seq2vis evaluation depends on this)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grammar.ast_nodes import (
+    Attribute,
+    Between,
+    Comparison,
+    Filter,
+    Group,
+    InSubquery,
+    Like,
+    LogicalPredicate,
+    Order,
+    QueryCore,
+    SetQuery,
+    SQLQuery,
+    Superlative,
+    SubqueryComparison,
+    VisQuery,
+)
+from repro.grammar.errors import ParseError
+from repro.grammar.serialize import VALUE_TOKEN, from_tokens, to_text, to_tokens
+
+
+def attr(column="price", table="flight", agg=None):
+    return Attribute(column=column, table=table, agg=agg)
+
+
+class TestBasicForms:
+    def test_simple_select(self):
+        q = SQLQuery(QueryCore(select=(attr("origin"),)))
+        assert to_text(q) == "select flight.origin"
+
+    def test_vis_query_prefix(self):
+        q = VisQuery("pie", QueryCore(select=(attr("origin"), attr(agg="count", column="*"))))
+        assert to_text(q).startswith("visualize pie select")
+
+    def test_multiword_vis_types_use_underscores(self):
+        q = VisQuery(
+            "stacked bar",
+            QueryCore(select=(attr("origin"), attr("price", agg="sum"), attr("destination")),
+                      groups=(Group("grouping", attr("origin")), Group("grouping", attr("destination")))),
+        )
+        assert "stacked_bar" in to_tokens(q)
+
+    def test_masking_replaces_values(self):
+        q = SQLQuery(QueryCore(
+            select=(attr("origin"),),
+            filter=Filter(Comparison(">", attr("price"), 250)),
+        ))
+        tokens = to_tokens(q, mask_values=True)
+        assert VALUE_TOKEN in tokens
+        assert "250" not in tokens
+
+    def test_superlative_k_is_never_masked(self):
+        q = SQLQuery(QueryCore(
+            select=(attr("price"),),
+            superlative=Superlative("most", 5, attr("price")),
+        ))
+        tokens = to_tokens(q, mask_values=True)
+        assert "5" in tokens
+
+    def test_string_values_are_quoted(self):
+        q = SQLQuery(QueryCore(
+            select=(attr("origin"),),
+            filter=Filter(Comparison("=", attr("origin"), "New York")),
+        ))
+        assert '"New York"' in to_tokens(q)
+
+
+class TestParseErrors:
+    def test_empty_sequence(self):
+        with pytest.raises(ParseError):
+            from_tokens([])
+
+    def test_unknown_vis_type(self):
+        with pytest.raises(ParseError):
+            from_tokens(["visualize", "donut", "select", "t.c"])
+
+    def test_trailing_tokens(self):
+        with pytest.raises(ParseError):
+            from_tokens(["select", "t.c", "t.d"])
+
+    def test_unqualified_column(self):
+        with pytest.raises(ParseError):
+            from_tokens(["select", "price"])
+
+    def test_group_without_operations(self):
+        with pytest.raises(ParseError):
+            from_tokens(["select", "t.c", "group", "order", "asc", "t.c"])
+
+    def test_bad_predicate_head(self):
+        with pytest.raises(ParseError):
+            from_tokens(["select", "t.c", "filter", "near", "t.c", "5"])
+
+
+# ----- property-based round-trips ------------------------------------------
+
+_columns = st.sampled_from(["price", "origin", "destination", "departure_date"])
+_tables = st.sampled_from(["flight", "airline"])
+_aggs = st.sampled_from([None, "max", "min", "count", "sum", "avg"])
+_values = st.one_of(
+    st.integers(min_value=-10_000, max_value=10_000),
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False),
+    st.text(
+        alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"), max_codepoint=0x7F),
+        min_size=1,
+        max_size=8,
+    ),
+)
+
+
+@st.composite
+def attributes(draw, allow_agg=True):
+    agg = draw(_aggs) if allow_agg else None
+    return Attribute(column=draw(_columns), table=draw(_tables), agg=agg)
+
+
+@st.composite
+def predicates(draw, depth=0):
+    if depth < 2 and draw(st.booleans()) and draw(st.booleans()):
+        return LogicalPredicate(
+            op=draw(st.sampled_from(["and", "or"])),
+            left=draw(predicates(depth=depth + 1)),
+            right=draw(predicates(depth=depth + 1)),
+        )
+    kind = draw(st.sampled_from(["cmp", "between", "like", "in", "subcmp"]))
+    target = draw(attributes(allow_agg=False))
+    if kind == "cmp":
+        return Comparison(
+            op=draw(st.sampled_from([">", "<", ">=", "<=", "=", "!="])),
+            attr=target,
+            value=draw(_values),
+        )
+    if kind == "between":
+        return Between(attr=target, low=draw(_values), high=draw(_values))
+    if kind == "like":
+        return Like(attr=target, pattern=draw(st.text(min_size=1, max_size=6)), negated=draw(st.booleans()))
+    sub = QueryCore(select=(draw(attributes()),))
+    if kind == "in":
+        return InSubquery(attr=target, query=sub, negated=draw(st.booleans()))
+    return SubqueryComparison(op=draw(st.sampled_from([">", "<", "="])), attr=target, query=sub)
+
+
+@st.composite
+def query_cores(draw):
+    select = tuple(draw(st.lists(attributes(), min_size=1, max_size=3)))
+    filter_ = Filter(draw(predicates())) if draw(st.booleans()) else None
+    groups = ()
+    if draw(st.booleans()):
+        group_attr = draw(attributes(allow_agg=False))
+        kind = draw(st.sampled_from(["grouping", "binning"]))
+        if kind == "binning":
+            unit = draw(st.sampled_from(["year", "quarter", "month", "weekday", "hour", "minute", "numeric"]))
+            groups = (Group(kind="binning", attr=group_attr, bin_unit=unit),)
+        else:
+            groups = (Group(kind="grouping", attr=group_attr),)
+    order = None
+    superlative = None
+    if draw(st.booleans()):
+        if draw(st.booleans()):
+            order = Order(direction=draw(st.sampled_from(["asc", "desc"])), attr=draw(attributes()))
+        else:
+            superlative = Superlative(
+                kind=draw(st.sampled_from(["most", "least"])),
+                k=draw(st.integers(min_value=1, max_value=20)),
+                attr=draw(attributes()),
+            )
+    return QueryCore(select=select, filter=filter_, groups=groups, order=order, superlative=superlative)
+
+
+@st.composite
+def queries(draw):
+    if draw(st.booleans()):
+        body = draw(query_cores())
+    else:
+        body = SetQuery(
+            op=draw(st.sampled_from(["intersect", "union", "except"])),
+            left=draw(query_cores()),
+            right=draw(query_cores()),
+        )
+    return SQLQuery(body=body)
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(queries())
+    def test_sql_query_round_trip(self, query):
+        assert from_tokens(to_tokens(query)) == query
+
+    @settings(max_examples=60, deadline=None)
+    @given(query_cores(), st.sampled_from(["bar", "pie", "line", "scatter"]))
+    def test_vis_query_round_trip(self, core, vis_type):
+        query = VisQuery(vis_type=vis_type, body=core)
+        assert from_tokens(to_tokens(query)) == query
+
+    @settings(max_examples=60, deadline=None)
+    @given(queries())
+    def test_masked_form_parses(self, query):
+        masked = to_tokens(query, mask_values=True)
+        reparsed = from_tokens(masked)
+        # The masked tree re-serializes to the identical masked sequence.
+        assert to_tokens(reparsed, mask_values=True) == masked

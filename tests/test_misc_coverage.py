@@ -1,0 +1,204 @@
+"""Additional coverage: grammar validation, serializer internals,
+Vega-Lite details, crowd timing, and corpus vocab consistency."""
+
+import numpy as np
+import pytest
+
+from repro.grammar.ast_nodes import (
+    Attribute,
+    Group,
+    Order,
+    QueryCore,
+    SetQuery,
+    SQLQuery,
+    Superlative,
+    VisQuery,
+)
+from repro.grammar.errors import GrammarError
+from repro.grammar.validate import validate_query, validate_set_query, vis_arity
+
+
+def attr(column, table="flight", agg=None):
+    return Attribute(column=column, table=table, agg=agg)
+
+
+class TestValidate:
+    def test_vis_arity_values(self):
+        assert vis_arity("bar") == 2
+        assert vis_arity("stacked bar") == 3
+        with pytest.raises(GrammarError):
+            vis_arity("sunburst")
+
+    def test_bar_needs_two_attributes(self):
+        vis = VisQuery("bar", QueryCore(select=(attr("origin"),)))
+        with pytest.raises(GrammarError):
+            validate_query(vis)
+
+    def test_pie_rejects_order(self):
+        vis = VisQuery("pie", QueryCore(
+            select=(attr("origin"), attr("*", agg="count")),
+            groups=(Group("grouping", attr("origin")),),
+            order=Order("asc", attr("origin")),
+        ))
+        with pytest.raises(GrammarError):
+            validate_query(vis)
+
+    def test_bare_attr_must_be_grouped(self):
+        vis = VisQuery("bar", QueryCore(
+            select=(attr("origin"), attr("price")),
+            groups=(Group("grouping", attr("destination")),),
+        ))
+        with pytest.raises(GrammarError):
+            validate_query(vis)
+
+    def test_group_attr_must_be_bare(self):
+        with pytest.raises(GrammarError):
+            validate_query(SQLQuery(QueryCore(
+                select=(attr("price", agg="sum"),),
+                groups=(Group("grouping", attr("price", agg="sum")),),
+            )))
+
+    def test_duplicate_group_column_rejected(self):
+        with pytest.raises(GrammarError):
+            validate_query(SQLQuery(QueryCore(
+                select=(attr("origin"), attr("*", agg="count")),
+                groups=(
+                    Group("grouping", attr("origin")),
+                    Group("grouping", attr("origin")),
+                ),
+            )))
+
+    def test_subquery_arity_enforced(self):
+        from repro.grammar.ast_nodes import InSubquery, Filter
+
+        sub = QueryCore(select=(attr("origin"), attr("price")))
+        query = SQLQuery(QueryCore(
+            select=(attr("fno"),),
+            filter=Filter(InSubquery(attr("origin"), sub)),
+        ))
+        with pytest.raises(GrammarError):
+            validate_query(query)
+
+    def test_set_query_arity(self):
+        body = SetQuery(
+            op="union",
+            left=QueryCore(select=(attr("a", table="t"),)),
+            right=QueryCore(select=(attr("a", table="t"), attr("b", table="t"))),
+        )
+        with pytest.raises(GrammarError):
+            validate_set_query(body)
+
+    def test_superlative_vis_is_valid(self):
+        vis = VisQuery("bar", QueryCore(
+            select=(attr("origin"), attr("price", agg="sum")),
+            groups=(Group("grouping", attr("origin")),),
+            superlative=Superlative("most", 3, attr("price", agg="sum")),
+        ))
+        validate_query(vis)
+
+
+class TestVegaLiteDetails:
+    def test_ascending_sort_on_x(self, flight_db):
+        from repro.vis import to_vega_lite
+
+        vis = VisQuery("bar", QueryCore(
+            select=(attr("origin"), attr("price", agg="sum")),
+            groups=(Group("grouping", attr("origin")),),
+            order=Order("asc", attr("origin")),
+        ))
+        spec = to_vega_lite(vis, flight_db)
+        assert spec["encoding"]["x"]["sort"] == "x"
+
+    def test_grouping_line_color_channel(self, flight_db):
+        from repro.vis import to_vega_lite
+
+        vis = VisQuery("grouping line", QueryCore(
+            select=(
+                attr("departure_date"),
+                attr("price", agg="sum"),
+                attr("origin"),
+            ),
+            groups=(
+                Group("binning", attr("departure_date"), bin_unit="year"),
+                Group("grouping", attr("origin")),
+            ),
+        ))
+        spec = to_vega_lite(vis, flight_db)
+        assert spec["mark"] == "line"
+        assert spec["encoding"]["color"]["field"] == "flight_origin"
+        assert "stack" not in spec["encoding"]["y"]
+
+
+class TestCrowdTimingEdges:
+    def test_t3_times_deterministic(self):
+        from repro.eval.crowd import HumanStudySimulator
+
+        sim = HumanStudySimulator()
+        a = sim.t3_times(20, np.random.default_rng(3))
+        b = sim.t3_times(20, np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+    def test_interrater_sample_caps_at_population(self, small_nvbench):
+        from repro.eval.crowd import (
+            HumanStudySimulator, StudyConfig, interrater_sample,
+        )
+
+        sim = HumanStudySimulator(StudyConfig(sample_fraction=0.02, seed=1))
+        result = sim.run(small_nvbench.pairs)
+        sample = interrater_sample(result, sample=10_000)
+        assert len(sample) == len(result.rated)
+
+
+class TestVocabCatalogConsistency:
+    def test_no_sql_keyword_collisions(self):
+        """Table and column names must not collide with SQL keywords
+        (the lexer uppercases keywords, which would break parsing)."""
+        from repro.spider.vocab import ARCHETYPES, DOMAINS
+        from repro.sqlparse.lexer import KEYWORDS
+
+        keywords = {k.lower() for k in KEYWORDS}
+        for domain in DOMAINS:
+            for table_noun, _ in domain.tables:
+                assert table_noun.lower() not in keywords, table_noun
+        for pool in ARCHETYPES.values():
+            for column_name, _, _ in pool:
+                assert column_name.lower() not in keywords, column_name
+
+    def test_archetype_kinds_all_have_generators(self):
+        from repro.spider.datagen import _VALUE_MAKERS
+        from repro.spider.vocab import ARCHETYPES
+
+        for pool in ARCHETYPES.values():
+            for _, _, kind in pool:
+                assert kind in _VALUE_MAKERS, kind
+
+    def test_archetype_types_are_valid(self):
+        from repro.spider.vocab import ARCHETYPES
+
+        for pool in ARCHETYPES.values():
+            for _, ctype, _ in pool:
+                assert ctype in ("C", "T", "Q")
+
+
+class TestAsciiEdges:
+    def test_empty_chart(self, flight_db):
+        from repro.grammar.ast_nodes import Comparison, Filter
+        from repro.vis import to_ascii
+
+        vis = VisQuery("bar", QueryCore(
+            select=(attr("origin"), attr("price")),
+            filter=Filter(Comparison(">", attr("price"), 10_000)),
+        ))
+        assert "empty" in to_ascii(vis, flight_db) or to_ascii(vis, flight_db)
+
+    def test_width_respected(self, flight_db):
+        from repro.vis import to_ascii
+
+        vis = VisQuery("bar", QueryCore(
+            select=(attr("origin"), attr("price", agg="sum")),
+            groups=(Group("grouping", attr("origin")),),
+        ))
+        text = to_ascii(vis, flight_db, width=10)
+        for line in text.splitlines()[1:]:
+            bar = line.split("| ", 1)[-1].split(" ")[0]
+            assert len(bar) <= 10

@@ -1,0 +1,201 @@
+"""Gradient checks for the autograd engine: every op is verified against
+central finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.neural import autograd as ag
+from repro.neural.autograd import Tensor, parameter
+
+
+def numeric_grad(fn, tensor: Tensor, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar fn() w.r.t. tensor.data."""
+    grad = np.zeros_like(tensor.data)
+    flat = tensor.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        up = fn()
+        flat[index] = original - eps
+        down = fn()
+        flat[index] = original
+        grad_flat[index] = (up - down) / (2 * eps)
+    return grad
+
+
+def check(fn_builder, *tensors, atol=1e-5):
+    """Compare autograd gradients with numeric ones for each tensor."""
+    for tensor in tensors:
+        tensor.zero_grad()
+    out = fn_builder()
+    out.backward()
+    for tensor in tensors:
+        expected = numeric_grad(lambda: fn_builder().item(), tensor)
+        assert tensor.grad is not None
+        np.testing.assert_allclose(tensor.grad, expected, atol=atol)
+
+
+rng = np.random.default_rng(0)
+
+
+class TestBasicOps:
+    def test_add_broadcast(self):
+        a = parameter(rng.normal(size=(3, 4)))
+        b = parameter(rng.normal(size=(1, 4)))
+        check(lambda: ag.masked_mean(ag.add(a, b), np.ones((3, 4))), a, b)
+
+    def test_mul(self):
+        a = parameter(rng.normal(size=(3, 4)))
+        b = parameter(rng.normal(size=(3, 4)))
+        check(lambda: ag.masked_mean(ag.mul(a, b), np.ones((3, 4))), a, b)
+
+    def test_matmul(self):
+        a = parameter(rng.normal(size=(3, 4)))
+        b = parameter(rng.normal(size=(4, 2)))
+        check(lambda: ag.masked_mean(ag.matmul(a, b), np.ones((3, 2))), a, b)
+
+    def test_scale(self):
+        a = parameter(rng.normal(size=(2, 3)))
+        check(lambda: ag.masked_mean(ag.scale(a, -2.5), np.ones((2, 3))), a)
+
+    def test_sigmoid_tanh(self):
+        a = parameter(rng.normal(size=(2, 3)))
+        check(lambda: ag.masked_mean(ag.sigmoid(a), np.ones((2, 3))), a)
+        check(lambda: ag.masked_mean(ag.tanh(a), np.ones((2, 3))), a)
+
+    def test_log(self):
+        a = parameter(np.abs(rng.normal(size=(2, 3))) + 0.5)
+        check(lambda: ag.masked_mean(ag.log(a), np.ones((2, 3))), a)
+
+
+class TestShapingOps:
+    def test_concat(self):
+        a = parameter(rng.normal(size=(2, 3)))
+        b = parameter(rng.normal(size=(2, 2)))
+        check(lambda: ag.masked_mean(ag.concat([a, b], axis=1), np.ones((2, 5))), a, b)
+
+    def test_slice_cols(self):
+        a = parameter(rng.normal(size=(2, 6)))
+        check(lambda: ag.masked_mean(ag.slice_cols(a, 1, 4), np.ones((2, 3))), a)
+
+    def test_stack_seq(self):
+        a = parameter(rng.normal(size=(2, 3)))
+        b = parameter(rng.normal(size=(2, 3)))
+
+        def fn():
+            stacked = ag.stack_seq([a, b])
+            flat = Tensor(stacked.data.reshape(2, 6), parents=(stacked,))
+            flat._backward = lambda g: stacked._accumulate(g.reshape(2, 2, 3))
+            return ag.masked_mean(flat, np.ones((2, 6)))
+
+        check(fn, a, b)
+
+
+class TestEmbeddingAndGather:
+    def test_embedding_scatter_grad(self):
+        weight = parameter(rng.normal(size=(5, 3)))
+        indices = np.array([0, 2, 2, 4])
+        check(
+            lambda: ag.masked_mean(ag.embedding(weight, indices), np.ones((4, 3))),
+            weight,
+        )
+
+    def test_gather_cols(self):
+        a = parameter(rng.normal(size=(3, 4)))
+        indices = np.array([1, 0, 3])
+        check(lambda: ag.masked_mean(ag.gather_cols(a, indices), np.ones(3)), a)
+
+    def test_scatter_probs(self):
+        weights = parameter(np.abs(rng.normal(size=(2, 3))))
+        indices = np.array([[0, 1, 1], [2, 2, 0]])
+        check(
+            lambda: ag.masked_mean(
+                ag.gather_cols(ag.scatter_probs(weights, indices, 4), np.array([1, 2])),
+                np.ones(2),
+            ),
+            weights,
+        )
+
+
+class TestAttentionOps:
+    def test_attention_scores(self):
+        memory = parameter(rng.normal(size=(2, 4, 3)))
+        query = parameter(rng.normal(size=(2, 3)))
+        check(
+            lambda: ag.masked_mean(
+                ag.attention_scores(memory, query), np.ones((2, 4))
+            ),
+            memory,
+            query,
+        )
+
+    def test_attention_context(self):
+        weights = parameter(rng.normal(size=(2, 4)))
+        memory = parameter(rng.normal(size=(2, 4, 3)))
+        check(
+            lambda: ag.masked_mean(
+                ag.attention_context(weights, memory), np.ones((2, 3))
+            ),
+            weights,
+            memory,
+        )
+
+    def test_masked_softmax_masks_positions(self):
+        logits = Tensor(np.array([[1.0, 2.0, 3.0]]))
+        mask = np.array([[1.0, 1.0, 0.0]])
+        probs = ag.masked_softmax(logits, mask)
+        assert probs.data[0, 2] == pytest.approx(0.0, abs=1e-12)
+        assert probs.data.sum() == pytest.approx(1.0)
+
+    def test_masked_softmax_gradient(self):
+        logits = parameter(rng.normal(size=(2, 4)))
+        mask = np.array([[1, 1, 1, 0], [1, 1, 0, 0]], dtype=float)
+
+        def fn():
+            probs = ag.masked_softmax(logits, mask)
+            return ag.masked_mean(ag.mul(probs, probs), np.ones((2, 4)))
+
+        check(fn, logits)
+
+
+class TestLoss:
+    def test_cross_entropy_matches_manual(self):
+        logits = parameter(rng.normal(size=(3, 5)))
+        targets = np.array([1, 4, 0])
+        loss = ag.cross_entropy_logits(logits, targets)
+        manual = []
+        for row, target in enumerate(targets):
+            z = logits.data[row]
+            manual.append(-(z[target] - np.log(np.exp(z - z.max()).sum()) - z.max()))
+        np.testing.assert_allclose(loss.data, manual, atol=1e-9)
+
+    def test_cross_entropy_gradient(self):
+        logits = parameter(rng.normal(size=(3, 5)))
+        targets = np.array([1, 4, 0])
+        check(
+            lambda: ag.masked_mean(
+                ag.cross_entropy_logits(logits, targets), np.ones(3)
+            ),
+            logits,
+        )
+
+    def test_masked_mean_ignores_masked(self):
+        a = Tensor(np.array([1.0, 100.0, 3.0]))
+        assert ag.masked_mean(a, np.array([1.0, 0.0, 1.0])).item() == pytest.approx(2.0)
+
+
+class TestGraphMechanics:
+    def test_gradient_accumulates_over_reuse(self):
+        a = parameter(np.array([[2.0]]))
+        out = ag.add(ag.mul(a, a), a)  # a^2 + a -> grad 2a + 1 = 5
+        out.backward(np.array([[1.0]]))
+        assert a.grad[0, 0] == pytest.approx(5.0)
+
+    def test_no_grad_for_constant_leaves(self):
+        a = Tensor(np.ones((2, 2)))
+        b = parameter(np.ones((2, 2)))
+        out = ag.masked_mean(ag.mul(a, b), np.ones((2, 2)))
+        out.backward()
+        assert a.grad is None
+        assert b.grad is not None

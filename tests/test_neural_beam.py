@@ -1,0 +1,64 @@
+"""Tests for beam-search decoding (extension over the paper's greedy)."""
+
+import numpy as np
+import pytest
+
+from repro.neural.model import Seq2Vis, VARIANTS
+from repro.neural.trainer import TrainConfig, train_model
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from test_neural_model import exact_match, toy_dataset  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def trained():
+    dataset = toy_dataset()
+    model = Seq2Vis(len(dataset.in_vocab), len(dataset.out_vocab),
+                    "attention", 24, 32, seed=1)
+    train_model(model, dataset, None,
+                TrainConfig(epochs=60, batch_size=6, lr=5e-3, patience=60))
+    return model, dataset
+
+
+class TestBeamDecode:
+    def test_matches_training_targets(self, trained):
+        model, dataset = trained
+        batch = dataset.batch_of(dataset.examples)
+        beams = model.beam_decode(batch, dataset.out_vocab.bos_id,
+                                  dataset.out_vocab.eos_id, beam_width=3)
+        hits = sum(
+            dataset.out_vocab.decode(ids) == example.tgt_tokens
+            for ids, example in zip(beams, dataset.examples)
+        )
+        assert hits == len(dataset.examples)
+
+    def test_beam1_equals_greedy(self, trained):
+        model, dataset = trained
+        batch = dataset.batch_of(dataset.examples[:3])
+        greedy = model.greedy_decode(batch, dataset.out_vocab.bos_id,
+                                     dataset.out_vocab.eos_id, max_len=8)
+        beam = model.beam_decode(batch, dataset.out_vocab.bos_id,
+                                 dataset.out_vocab.eos_id, beam_width=1,
+                                 max_len=8, length_penalty=0.0)
+        assert beam == greedy
+
+    def test_respects_max_len(self, trained):
+        model, dataset = trained
+        batch = dataset.batch_of(dataset.examples[:2])
+        beams = model.beam_decode(batch, dataset.out_vocab.bos_id,
+                                  dataset.out_vocab.eos_id, beam_width=2,
+                                  max_len=3)
+        assert all(len(ids) <= 3 for ids in beams)
+
+    def test_works_for_copy_variant(self):
+        dataset = toy_dataset()
+        model = Seq2Vis(len(dataset.in_vocab), len(dataset.out_vocab),
+                        "copy", 16, 24, seed=2)
+        batch = dataset.batch_of(dataset.examples[:2])
+        beams = model.beam_decode(batch, dataset.out_vocab.bos_id,
+                                  dataset.out_vocab.eos_id, beam_width=2,
+                                  max_len=5)
+        assert len(beams) == 2

@@ -1,0 +1,105 @@
+"""Tests for the seq2vis dataset encoding and batching."""
+
+import numpy as np
+import pytest
+
+from repro.neural.data import (
+    MAX_NL_TOKENS,
+    MAX_SCHEMA_TOKENS,
+    SEP_TOKEN,
+    build_dataset,
+    encode_example,
+    schema_tokens,
+)
+from repro.nlp.vocab import Vocabulary
+
+
+@pytest.fixture()
+def dataset(small_nvbench):
+    return build_dataset(small_nvbench.pairs[:60], small_nvbench.databases)
+
+
+class TestEncoding:
+    def test_example_structure(self, small_nvbench):
+        pair = small_nvbench.pairs[0]
+        database = small_nvbench.database_of(pair)
+        example = encode_example(pair, database)
+        assert SEP_TOKEN in example.src_tokens
+        assert example.tgt_tokens[0] in ("visualize",)
+        assert example.pair is pair
+
+    def test_schema_tokens_qualified_and_capped(self, small_nvbench):
+        for database in list(small_nvbench.databases.values())[:3]:
+            tokens = schema_tokens(database)
+            assert len(tokens) <= MAX_SCHEMA_TOKENS
+            assert all("." in token for token in tokens)
+
+    def test_nl_truncation(self, small_nvbench):
+        pair = small_nvbench.pairs[0]
+        database = small_nvbench.database_of(pair)
+        example = encode_example(pair, database)
+        sep = example.src_tokens.index(SEP_TOKEN)
+        assert sep <= MAX_NL_TOKENS
+
+    def test_values_are_masked_in_targets(self, dataset):
+        for example in dataset.examples:
+            for token in example.tgt_tokens:
+                assert not token.startswith('"') or token == "<V>"
+
+
+class TestBatching:
+    def test_padding_and_masks(self, dataset):
+        batch = dataset.batch_of(dataset.examples[:7])
+        assert batch.src_ids.shape == batch.src_mask.shape
+        assert batch.tgt_in.shape == batch.tgt_out.shape == batch.tgt_mask.shape
+        for row, example in enumerate(dataset.examples[:7]):
+            n_src = len(example.src_tokens)
+            assert batch.src_mask[row, :n_src].all()
+            assert not batch.src_mask[row, n_src:].any()
+            n_tgt = len(example.tgt_tokens) + 1  # +EOS
+            assert batch.tgt_mask[row, :n_tgt].all()
+
+    def test_teacher_forcing_alignment(self, dataset):
+        batch = dataset.batch_of(dataset.examples[:4])
+        vocab = dataset.out_vocab
+        for row, example in enumerate(dataset.examples[:4]):
+            assert batch.tgt_in[row, 0] == vocab.bos_id
+            steps = len(example.tgt_tokens)
+            assert batch.tgt_out[row, steps] == vocab.eos_id
+            # Shifted by one: tgt_in[t+1] == tgt_out[t] for real steps.
+            np.testing.assert_array_equal(
+                batch.tgt_in[row, 1 : steps + 1], batch.tgt_out[row, :steps]
+            )
+
+    def test_src_out_ids_map_schema_tokens(self, dataset):
+        batch = dataset.batch_of(dataset.examples[:4])
+        vocab = dataset.out_vocab
+        for row, example in enumerate(dataset.examples[:4]):
+            for col, token in enumerate(example.src_tokens):
+                expected = vocab.id_of(token)
+                assert batch.src_out_ids[row, col] == expected
+            # Schema tokens that appear in targets are NOT unk.
+            schema_part = example.src_tokens[
+                example.src_tokens.index(SEP_TOKEN) + 1 :
+            ]
+            mappable = [t for t in schema_part if t in vocab.tokens]
+            if mappable:
+                assert any(
+                    vocab.id_of(t) != vocab.unk_id for t in mappable
+                )
+
+    def test_bucketed_batches_cover_everything(self, dataset):
+        rng = np.random.default_rng(0)
+        batches = dataset.batches(8, rng)
+        total = sum(batch.src_ids.shape[0] for batch in batches)
+        assert total == len(dataset.examples)
+
+    def test_shared_vocab_reuse(self, small_nvbench, dataset):
+        other = build_dataset(
+            small_nvbench.pairs[60:80],
+            small_nvbench.databases,
+            dataset.in_vocab,
+            dataset.out_vocab,
+        )
+        assert other.in_vocab is dataset.in_vocab
+        assert other.out_vocab is dataset.out_vocab

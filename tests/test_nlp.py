@@ -1,0 +1,143 @@
+"""Tests for the NLP substrate: tokenizer, vocab, BLEU, embeddings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nlp.bleu import bleu_score, pairwise_bleu
+from repro.nlp.embeddings import nearest_neighbors, train_embeddings
+from repro.nlp.tokenize import detokenize, tokenize_nl
+from repro.nlp.vocab import BOS, EOS, PAD, UNK, Vocabulary
+
+
+class TestTokenize:
+    def test_lowercases_and_splits_punctuation(self):
+        assert tokenize_nl("Show the Price!") == ["show", "the", "price", "!"]
+
+    def test_decimal_numbers_stay_single_tokens(self):
+        assert tokenize_nl("price over 42.5 dollars") == [
+            "price", "over", "42", ".", "5", "dollars",
+        ] or "42.5" in tokenize_nl("price over 42.5 dollars")
+
+    def test_snake_case_kept(self):
+        assert "num_employees" in tokenize_nl("the num_employees of teams")
+
+    def test_detokenize_hugs_punctuation(self):
+        assert detokenize(["hello", ",", "world", "?"]) == "hello, world?"
+
+
+class TestVocabulary:
+    def test_specials_present(self):
+        vocab = Vocabulary.build([["a", "b"]])
+        for token in (PAD, UNK, BOS, EOS):
+            assert token in vocab
+
+    def test_unknown_maps_to_unk(self):
+        vocab = Vocabulary.build([["a"]])
+        assert vocab.id_of("zzz") == vocab.unk_id
+
+    def test_min_count_filters(self):
+        vocab = Vocabulary.build([["a", "a", "b"]], min_count=2)
+        assert "a" in vocab and "b" not in vocab
+
+    def test_frequency_order(self):
+        vocab = Vocabulary.build([["b", "b", "b", "a", "a", "c"]])
+        tokens = vocab.tokens
+        assert tokens.index("b") < tokens.index("a") < tokens.index("c")
+
+    def test_encode_decode_round_trip(self):
+        vocab = Vocabulary.build([["x", "y", "z"]])
+        ids = vocab.encode(["x", "z"], add_bos=True, add_eos=True)
+        assert ids[0] == vocab.bos_id and ids[-1] == vocab.eos_id
+        assert vocab.decode(ids) == ["x", "z"]
+
+    def test_deterministic_construction(self):
+        sentences = [["b", "a"], ["a", "c"]]
+        assert Vocabulary.build(sentences).tokens == Vocabulary.build(sentences).tokens
+
+
+class TestBleu:
+    def test_identical_sentences_score_high(self):
+        tokens = "show the average price of flights".split()
+        assert bleu_score(tokens, tokens) == pytest.approx(1.0, abs=0.05)
+
+    def test_disjoint_sentences_score_low(self):
+        a = "alpha beta gamma delta epsilon".split()
+        b = "one two three four five".split()
+        # +1 smoothing floors short disjoint sentences around ~0.25.
+        assert bleu_score(a, b) < 0.35
+        assert bleu_score(a, b, smooth=False) == 0.0
+
+    def test_empty_inputs(self):
+        assert bleu_score([], ["a"]) == 0.0
+        assert bleu_score(["a"], []) == 0.0
+
+    def test_brevity_penalty(self):
+        reference = "a b c d e f g h".split()
+        short = "a b".split()
+        longer = "a b c d e f".split()
+        assert bleu_score(short, reference) < bleu_score(longer, reference)
+
+    def test_pairwise_needs_two(self):
+        assert pairwise_bleu([["a", "b"]]) == 0.0
+
+    def test_pairwise_symmetric_average(self):
+        a = "show the price of flights".split()
+        b = "display the cost of trips".split()
+        assert 0.0 <= pairwise_bleu([a, b]) <= 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.sampled_from("abcdefg"), min_size=1, max_size=12),
+           st.lists(st.sampled_from("abcdefg"), min_size=1, max_size=12))
+    def test_bounded(self, a, b):
+        assert 0.0 <= bleu_score(a, b) <= 1.0 + 1e-9
+
+
+class TestEmbeddings:
+    def _corpus(self):
+        return [
+            "the cat sat on the mat".split(),
+            "the dog sat on the rug".split(),
+            "a cat and a dog played".split(),
+            "the mat and the rug are soft".split(),
+        ] * 5
+
+    def test_shape_and_normalization(self):
+        corpus = self._corpus()
+        vocab = Vocabulary.build(corpus)
+        vectors = train_embeddings(corpus, vocab, dim=16, seed=0)
+        assert vectors.shape == (len(vocab), 16)
+        norms = np.linalg.norm(vectors, axis=1)
+        np.testing.assert_allclose(norms, 1.0, atol=1e-9)
+
+    def test_cooccurring_words_are_closer(self):
+        corpus = self._corpus()
+        vocab = Vocabulary.build(corpus)
+        vectors = train_embeddings(corpus, vocab, dim=16, seed=0)
+        cat, dog, soft = (vectors[vocab.id_of(w)] for w in ("cat", "dog", "soft"))
+        assert cat @ dog > cat @ soft
+
+    def test_deterministic(self):
+        corpus = self._corpus()
+        vocab = Vocabulary.build(corpus)
+        a = train_embeddings(corpus, vocab, dim=8, seed=1)
+        b = train_embeddings(corpus, vocab, dim=8, seed=1)
+        np.testing.assert_array_equal(a, b)
+
+    def test_empty_corpus_still_returns_vectors(self):
+        vocab = Vocabulary.build([["a"]])
+        vectors = train_embeddings([], vocab, dim=8, seed=0)
+        assert vectors.shape == (len(vocab), 8)
+
+    def test_nearest_neighbors_excludes_self(self):
+        corpus = self._corpus()
+        vocab = Vocabulary.build(corpus)
+        vectors = train_embeddings(corpus, vocab, dim=16, seed=0)
+        neighbors = nearest_neighbors(vectors, vocab, "cat", k=3)
+        assert "cat" not in neighbors and len(neighbors) == 3
+
+    def test_invalid_dim_rejected(self):
+        vocab = Vocabulary.build([["a"]])
+        with pytest.raises(ValueError):
+            train_embeddings([], vocab, dim=0)

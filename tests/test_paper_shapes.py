@@ -1,0 +1,120 @@
+"""Fast unit-level checks of the paper's headline shapes.
+
+These duplicate the *assertions* of the benchmark suite at tiny scale so
+that `pytest tests/` alone already guards the qualitative claims; the
+benchmarks re-verify them at full scale with the real tables printed.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.filter_model import DeepEyeFilter, extract_features
+from repro.grammar.ast_nodes import Attribute, Group, QueryCore, VisQuery
+from repro.spider.tpc import build_tpcds_database, build_tpch_database
+
+
+class TestFigure7Shapes:
+    """The four TPC filtering demonstrations, as unit tests."""
+
+    @pytest.fixture(scope="class")
+    def tpch(self):
+        return build_tpch_database()
+
+    @pytest.fixture(scope="class")
+    def tpcds(self):
+        return build_tpcds_database()
+
+    def _good(self, vis, db):
+        features = extract_features(vis, db)
+        return features is not None and DeepEyeFilter().score(features) >= 0.5
+
+    def test_supplier_pie_filtered_out(self, tpch):
+        vis = VisQuery("pie", QueryCore(
+            select=(
+                Attribute("s_name", "supplier"),
+                Attribute("s_acctbal", "supplier", agg="sum"),
+            ),
+            groups=(Group("grouping", Attribute("s_name", "supplier")),),
+        ))
+        assert not self._good(vis, tpch)
+
+    def test_yearly_bar_kept(self, tpch):
+        vis = VisQuery("bar", QueryCore(
+            select=(
+                Attribute("o_orderdate", "orders"),
+                Attribute("o_totalprice", "orders", agg="sum"),
+            ),
+            groups=(
+                Group("binning", Attribute("o_orderdate", "orders"), bin_unit="year"),
+            ),
+        ))
+        assert self._good(vis, tpch)
+
+    def test_single_value_bar_filtered_out(self, tpcds):
+        vis = VisQuery("bar", QueryCore(
+            select=(
+                Attribute("ss_quantity", "store_sales", agg="sum"),
+                Attribute("ss_net_paid", "store_sales", agg="sum"),
+            ),
+        ))
+        assert not self._good(vis, tpcds)
+
+    def test_quantity_scatter_kept(self, tpcds):
+        vis = VisQuery("scatter", QueryCore(
+            select=(
+                Attribute("ss_quantity", "store_sales"),
+                Attribute("ss_net_paid", "store_sales"),
+            ),
+        ))
+        assert self._good(vis, tpcds)
+
+
+class TestBenchmarkShapes:
+    def test_bar_family_dominates(self, small_nvbench):
+        counts = small_nvbench.vis_type_counts()
+        total = sum(counts.values())
+        bars = counts.get("bar", 0) + counts.get("stacked bar", 0)
+        assert bars / total > 0.4
+
+    def test_medium_is_most_common_hardness(self, small_nvbench):
+        counts = small_nvbench.hardness_counts()
+        assert counts["medium"] == max(counts.values())
+
+    def test_multiple_nl_variants_per_vis(self, small_nvbench):
+        per_vis = Counter(
+            (pair.db_name, pair.vis) for pair in small_nvbench.pairs
+        )
+        average = sum(per_vis.values()) / len(per_vis)
+        assert 1.5 <= average <= 6.0
+
+    def test_back_translation_applied_everywhere(self, small_nvbench):
+        """Section 2.5: all NL specifications are smoothed."""
+        assert all(pair.back_translated for pair in small_nvbench.pairs)
+
+    def test_synthesized_vis_never_violate_expert_rules(self, small_nvbench):
+        """Everything the pipeline kept must at least pass the hard
+        expert rules (the trained classifier may disagree with the
+        teacher near decision boundaries, but rule rejections — single
+        values, overloaded pies/bars — must never get through)."""
+        from repro.core.filter_model import rule_verdict
+
+        seen = set()
+        for pair in small_nvbench.pairs:
+            key = (pair.db_name, pair.vis)
+            if key in seen:
+                continue
+            seen.add(key)
+            db = small_nvbench.database_of(pair)
+            features = extract_features(pair.vis, db)
+            assert features is not None
+            assert rule_verdict(features) is not False
+
+
+class TestManhourShape:
+    def test_synthesizer_is_far_cheaper(self, small_nvbench):
+        from repro.eval.crowd import HumanStudySimulator
+
+        accounting = HumanStudySimulator().manhour_reduction(small_nvbench.pairs)
+        assert accounting["speedup"] > 2.0
+        assert 0.0 < accounting["ratio"] < 0.5

@@ -1,0 +1,160 @@
+"""Property-based invariants across the executor and the pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grammar.ast_nodes import (
+    Attribute,
+    Comparison,
+    Filter,
+    Group,
+    Order,
+    QueryCore,
+    SQLQuery,
+    Superlative,
+)
+from repro.storage.executor import Executor
+from repro.storage.schema import Column, Database, Table
+
+
+def make_db(rows):
+    """A one-table database over (category C, value Q, day T) rows."""
+    table = Table(
+        "t", (Column("category", "C"), Column("value", "Q"), Column("day", "T"))
+    )
+    table.extend(rows)
+    db = Database("propdb")
+    db.add_table(table)
+    return db
+
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["a", "b", "c", "d"]),
+        st.integers(min_value=-100, max_value=100),
+        st.sampled_from(["2020-01-01", "2020-06-15", "2021-03-03", "2021-12-31"]),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def attr(column, agg=None):
+    return Attribute(column=column, table="t", agg=agg)
+
+
+class TestExecutorProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(rows_strategy)
+    def test_group_counts_sum_to_rows(self, rows):
+        db = make_db(rows)
+        result = Executor(db).execute(SQLQuery(QueryCore(
+            select=(attr("category"), attr("*", agg="count")),
+            groups=(Group("grouping", attr("category")),),
+        )))
+        assert sum(row[1] for row in result.rows) == len(rows)
+        assert len(result.rows) == len({r[0] for r in rows})
+
+    @settings(max_examples=60, deadline=None)
+    @given(rows_strategy, st.integers(min_value=-100, max_value=100))
+    def test_filter_partitions_rows(self, rows, threshold):
+        db = make_db(rows)
+
+        def count(op):
+            result = Executor(db).execute(SQLQuery(QueryCore(
+                select=(attr("*", agg="count"),),
+                filter=Filter(Comparison(op, attr("value"), threshold)),
+            )))
+            return result.rows[0][0]
+
+        assert count(">") + count("<=") == len(rows)
+        assert count("=") + count("!=") == len(rows)
+
+    @settings(max_examples=60, deadline=None)
+    @given(rows_strategy)
+    def test_order_is_a_permutation_and_sorted(self, rows):
+        db = make_db(rows)
+        result = Executor(db).execute(SQLQuery(QueryCore(
+            select=(attr("category"), attr("value")),
+            order=Order("asc", attr("value")),
+        )))
+        values = [row[1] for row in result.rows]
+        assert values == sorted(values)
+        assert sorted(result.rows) == sorted((r[0], r[1]) for r in rows)
+
+    @settings(max_examples=60, deadline=None)
+    @given(rows_strategy, st.integers(min_value=1, max_value=10))
+    def test_superlative_takes_the_extremes(self, rows, k):
+        db = make_db(rows)
+        result = Executor(db).execute(SQLQuery(QueryCore(
+            select=(attr("category"), attr("value")),
+            superlative=Superlative("most", k, attr("value")),
+        )))
+        assert len(result.rows) == min(k, len(rows))
+        taken = [row[1] for row in result.rows]
+        rest = sorted((r[1] for r in rows), reverse=True)[: len(taken)]
+        assert sorted(taken, reverse=True) == rest
+
+    @settings(max_examples=40, deadline=None)
+    @given(rows_strategy)
+    def test_binning_covers_all_rows(self, rows):
+        db = make_db(rows)
+        result = Executor(db).execute(SQLQuery(QueryCore(
+            select=(attr("day"), attr("*", agg="count")),
+            groups=(Group("binning", attr("day"), bin_unit="year"),),
+        )))
+        assert sum(row[1] for row in result.rows) == len(rows)
+        assert {row[0] for row in result.rows} <= {"2020", "2021"}
+
+    @settings(max_examples=40, deadline=None)
+    @given(rows_strategy)
+    def test_avg_between_min_and_max(self, rows):
+        db = make_db(rows)
+        result = Executor(db).execute(SQLQuery(QueryCore(
+            select=(
+                attr("value", agg="min"),
+                attr("value", agg="avg"),
+                attr("value", agg="max"),
+            ),
+        )))
+        low, mean, high = result.rows[0]
+        assert low <= mean <= high
+
+
+class TestPipelineDeterminism:
+    def test_benchmark_build_is_reproducible(self):
+        from repro.core.nvbench import NVBenchConfig, build_nvbench
+        from repro.grammar.serialize import to_text
+        from repro.spider.corpus import CorpusConfig
+
+        config = NVBenchConfig(
+            corpus=CorpusConfig(
+                num_databases=3, pairs_per_database=5, row_scale=0.3, seed=13
+            ),
+            filter_training_pairs=10,
+            seed=13,
+        )
+        first = build_nvbench(config=config)
+        second = build_nvbench(config=config)
+        assert [p.nl for p in first.pairs] == [p.nl for p in second.pairs]
+        assert [to_text(p.vis) for p in first.pairs] == [
+            to_text(p.vis) for p in second.pairs
+        ]
+
+    def test_training_is_reproducible(self, small_nvbench):
+        from repro.eval.harness import ExperimentConfig, build_model, make_datasets
+        from repro.neural.trainer import TrainConfig, train_model
+
+        config = ExperimentConfig(
+            embed_dim=16, hidden_dim=24,
+            train=TrainConfig(epochs=2, batch_size=16, seed=5),
+        )
+        losses = []
+        for _ in range(2):
+            train_set, val_set, _ = make_datasets(small_nvbench, config)
+            model = build_model("basic", train_set, config)
+            result = train_model(model, train_set, val_set, config.train)
+            losses.append(result.train_losses)
+        assert losses[0] == losses[1]

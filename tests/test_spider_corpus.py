@@ -1,0 +1,157 @@
+"""Tests for the synthetic Spider-like corpus substrate."""
+
+import numpy as np
+import pytest
+
+from repro.spider.corpus import (
+    CorpusConfig,
+    build_spider_corpus,
+    load_corpus,
+    save_corpus,
+)
+from repro.spider.covid import COUNTRIES, build_covid_database
+from repro.spider.datagen import build_database
+from repro.spider.tpc import build_tpcds_database, build_tpch_database
+from repro.spider.vocab import ARCHETYPES, DOMAINS
+from repro.sqlparse import parse_sql
+from repro.storage.executor import Executor
+from repro.storage.temporal import parse_temporal
+
+
+class TestVocabCatalog:
+    def test_exactly_105_domains(self):
+        assert len(DOMAINS) == 105
+
+    def test_domain_names_unique(self):
+        names = [d.name for d in DOMAINS]
+        assert len(set(names)) == len(names)
+
+    def test_every_archetype_reference_resolves(self):
+        for domain in DOMAINS:
+            for _, archetype in domain.tables:
+                assert archetype in ARCHETYPES
+
+    def test_heavy_domains_lead(self):
+        by_weight = sorted(DOMAINS, key=lambda d: -d.weight)[:5]
+        assert {d.name for d in by_weight} == {
+            "sport", "customer", "school", "shop", "student",
+        }
+
+
+class TestDatabaseGeneration:
+    def test_deterministic_for_seed(self):
+        spec = DOMAINS[0]
+        a = build_database(spec, "db", np.random.default_rng(5), row_scale=0.3)
+        b = build_database(spec, "db", np.random.default_rng(5), row_scale=0.3)
+        for name in a.tables:
+            assert a.tables[name].rows == b.tables[name].rows
+
+    def test_every_table_has_pk_and_rows(self):
+        spec = DOMAINS[0]
+        db = build_database(spec, "db", np.random.default_rng(1), row_scale=0.3)
+        for noun, _ in spec.tables:
+            table = db.table(noun)
+            assert table.column_names[0] == f"{noun}_id"
+            assert table.row_count >= 1
+
+    def test_foreign_keys_reference_real_values(self):
+        spec = DOMAINS[0]
+        db = build_database(spec, "db", np.random.default_rng(2), row_scale=0.3)
+        for fk in db.foreign_keys:
+            child = set(db.table(fk.table).column_values(fk.column))
+            parent = set(db.table(fk.ref_table).column_values(fk.ref_column))
+            assert child <= parent
+
+    def test_temporal_values_parse(self):
+        spec = DOMAINS[0]
+        db = build_database(spec, "db", np.random.default_rng(3), row_scale=0.3)
+        for table in db.tables.values():
+            for column in table.columns:
+                if column.ctype == "T":
+                    for value in table.column_values(column.name)[:20]:
+                        assert parse_temporal(value) is not None
+
+    def test_max_rows_respected(self):
+        spec = DOMAINS[1]
+        db = build_database(spec, "db", np.random.default_rng(4), row_scale=5.0, max_rows=50)
+        assert all(t.row_count <= 50 for t in db.tables.values())
+
+
+class TestCorpus:
+    def test_deterministic(self):
+        cfg = CorpusConfig(num_databases=4, pairs_per_database=5, row_scale=0.3, seed=9)
+        a = build_spider_corpus(cfg)
+        b = build_spider_corpus(cfg)
+        assert [p.sql for p in a.pairs] == [p.sql for p in b.pairs]
+
+    def test_every_pair_parses_and_executes(self, small_corpus):
+        for pair in small_corpus.pairs:
+            db = small_corpus.databases[pair.db_name]
+            assert parse_sql(pair.sql, db) == pair.query
+            Executor(db).execute(pair.query)
+
+    def test_nl_mentions_selected_columns(self, small_corpus):
+        """The clause-aligned property: bare selected columns appear in
+        the NL text (ignoring aggregates and set-op branches)."""
+        checked = 0
+        for pair in small_corpus.pairs[:60]:
+            core = pair.query.cores[0]
+            for attr in core.select:
+                if attr.is_aggregated or attr.column == "*":
+                    continue
+                checked += 1
+                assert attr.column.replace("_", " ") in pair.nl.lower()
+        assert checked > 30
+
+    def test_small_config_picks_heaviest_domains(self):
+        cfg = CorpusConfig(num_databases=3, pairs_per_database=2, row_scale=0.3, seed=1)
+        corpus = build_spider_corpus(cfg)
+        assert set(corpus.domains) <= {"sport", "customer", "school"}
+
+    def test_large_config_covers_all_domains(self):
+        cfg = CorpusConfig(num_databases=110, pairs_per_database=1, row_scale=0.1, seed=1)
+        corpus = build_spider_corpus(cfg)
+        assert len(corpus.domains) == 105
+
+    def test_json_round_trip(self, small_corpus, tmp_path):
+        path = tmp_path / "corpus.json"
+        save_corpus(small_corpus, str(path))
+        loaded = load_corpus(str(path))
+        assert len(loaded.pairs) == len(small_corpus.pairs)
+        assert loaded.total_tables == small_corpus.total_tables
+        for original, reloaded in zip(small_corpus.pairs, loaded.pairs):
+            assert original.query == reloaded.query
+
+
+class TestFixtureDatabases:
+    def test_tpch_has_many_suppliers(self):
+        db = build_tpch_database(scale=100)
+        assert db.table("supplier").row_count == 100
+        assert db.table("nation").row_count == 25
+
+    def test_tpcds_sales_reference_items(self):
+        db = build_tpcds_database(scale=50)
+        item_keys = set(db.table("item").column_values("i_item_sk"))
+        for value in db.table("store_sales").column_values("ss_item_sk"):
+            assert value in item_keys
+
+    def test_covid_schema_and_curve(self):
+        db = build_covid_database(days=60)
+        table = db.table("covid_19")
+        assert table.row_count == 60 * len(COUNTRIES)
+        assert {c.name for c in table.columns} >= {
+            "date", "country", "confirmed", "active_cases",
+            "recovered", "deaths", "daily_cases",
+        }
+        # Confirmed counts are non-decreasing per country.
+        by_country = {}
+        date_i = table.column_index("date")
+        country_i = table.column_index("country")
+        confirmed_i = table.column_index("confirmed")
+        for row in table.rows:
+            by_country.setdefault(row[country_i], []).append(
+                (row[date_i], row[confirmed_i])
+            )
+        for series in by_country.values():
+            values = [v for _, v in sorted(series)]
+            assert all(b >= a for a, b in zip(values, values[1:]))

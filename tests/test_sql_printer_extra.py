@@ -1,0 +1,107 @@
+"""Extra printer/round-trip coverage: printing VIS trees as SQL and
+join reconstruction details."""
+
+import pytest
+
+from repro.grammar.ast_nodes import (
+    Attribute,
+    Group,
+    Order,
+    QueryCore,
+    SetQuery,
+    SQLQuery,
+    Superlative,
+    VisQuery,
+)
+from repro.sqlparse import parse_sql, to_sql
+
+
+def attr(column, table="flight", agg=None):
+    return Attribute(column=column, table=table, agg=agg)
+
+
+class TestVisTreeToSQL:
+    def test_vis_query_prints_its_data_part(self, flight_db):
+        vis = VisQuery("bar", QueryCore(
+            select=(attr("origin"), attr("price", agg="sum")),
+            groups=(Group("grouping", attr("origin")),),
+        ))
+        sql = to_sql(vis, flight_db)
+        assert sql.startswith("SELECT flight.origin, SUM(flight.price)")
+        assert "GROUP BY flight.origin" in sql
+        assert "VISUALIZE" not in sql.upper()
+
+    def test_binning_prints_as_plain_group_by(self, flight_db):
+        vis = VisQuery("line", QueryCore(
+            select=(attr("departure_date"), attr("*", agg="count")),
+            groups=(Group("binning", attr("departure_date"), bin_unit="month"),),
+        ))
+        sql = to_sql(vis, flight_db)
+        assert "GROUP BY flight.departure_date" in sql
+        # The binning policy itself has no SQL counterpart.
+        assert "month" not in sql.lower()
+
+    def test_vis_sql_is_executable_via_reparse(self, small_nvbench):
+        """The printed SQL of every synthesized vis re-parses."""
+        seen = set()
+        for pair in small_nvbench.pairs[:80]:
+            key = (pair.db_name, pair.vis)
+            if key in seen:
+                continue
+            seen.add(key)
+            db = small_nvbench.database_of(pair)
+            sql = to_sql(pair.vis, db)
+            parse_sql(sql, db)
+
+
+class TestPrinterClauses:
+    def test_superlative_prints_order_limit(self, flight_db):
+        query = SQLQuery(QueryCore(
+            select=(attr("fno"), attr("price")),
+            superlative=Superlative("least", 2, attr("price")),
+        ))
+        sql = to_sql(query, flight_db)
+        assert sql.endswith("ORDER BY flight.price ASC LIMIT 2")
+
+    def test_order_asc_desc(self, flight_db):
+        for direction, keyword in (("asc", "ASC"), ("desc", "DESC")):
+            query = SQLQuery(QueryCore(
+                select=(attr("fno"), attr("price")),
+                order=Order(direction, attr("price")),
+            ))
+            assert f"ORDER BY flight.price {keyword}" in to_sql(query, flight_db)
+
+    def test_set_query_printed_with_uppercase_op(self, flight_db):
+        body = SetQuery(
+            "except",
+            QueryCore(select=(attr("origin"),)),
+            QueryCore(select=(attr("destination"),)),
+        )
+        sql = to_sql(SQLQuery(body), flight_db)
+        assert " EXCEPT " in sql
+
+    def test_comma_fallback_without_schema(self, flight_db):
+        query = SQLQuery(QueryCore(
+            select=(attr("name", table="airline"), attr("price")),
+        ))
+        sql = to_sql(query)  # no database: no FK information
+        assert "FROM airline, flight" in sql
+
+    def test_or_predicates_parenthesized(self, flight_db):
+        query = parse_sql(
+            "SELECT fno FROM flight WHERE origin = 'APG' OR origin = 'LAX'",
+            flight_db,
+        )
+        sql = to_sql(query, flight_db)
+        assert "(" in sql and "OR" in sql
+        assert parse_sql(sql, flight_db) == query
+
+
+class TestSchemaJoinEdges:
+    def test_join_edges_direct(self, flight_db):
+        edges = flight_db.join_edges("airline", "flight")
+        assert len(edges) == 1
+        assert edges[0].column == "code"
+
+    def test_join_edges_missing(self, flight_db):
+        assert flight_db.join_edges("flight", "flight") == []

@@ -1,0 +1,190 @@
+"""SQL lexer/parser/printer tests, including print→parse round-trips."""
+
+import pytest
+
+from repro.grammar.ast_nodes import (
+    Between,
+    Comparison,
+    InSubquery,
+    Like,
+    LogicalPredicate,
+    SetQuery,
+    SubqueryComparison,
+    Superlative,
+)
+from repro.grammar.errors import ParseError
+from repro.sqlparse import parse_sql, to_sql, tokenize_sql
+
+
+class TestLexer:
+    def test_keywords_uppercase_names_keep_case(self):
+        tokens = tokenize_sql("SELECT Price from flight")
+        assert [t.text for t in tokens] == ["SELECT", "Price", "FROM", "flight"]
+        assert tokens[1].kind == "name"
+
+    def test_string_literal_with_escaped_quote(self):
+        tokens = tokenize_sql("SELECT x FROM t WHERE n = 'O''Brien'")
+        assert tokens[-1].text == "O'Brien"
+
+    def test_negative_numbers(self):
+        tokens = tokenize_sql("SELECT x FROM t WHERE v > -42.5")
+        assert tokens[-1].text == "-42.5"
+        assert tokens[-1].kind == "number"
+
+    def test_neq_normalization(self):
+        tokens = tokenize_sql("SELECT x FROM t WHERE v <> 1")
+        assert any(t.text == "!=" for t in tokens)
+
+    def test_illegal_character(self):
+        with pytest.raises(ParseError):
+            tokenize_sql("SELECT x FROM t WHERE v > $5")
+
+
+class TestParser:
+    def test_unqualified_columns_resolved_by_schema(self, flight_db):
+        query = parse_sql("SELECT origin, price FROM flight", flight_db)
+        core = query.cores[0]
+        assert [a.qualified_name for a in core.select] == ["flight.origin", "flight.price"]
+
+    def test_unqualified_without_schema_fails_on_join(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT price FROM flight, airline")
+
+    def test_count_star(self, flight_db):
+        query = parse_sql("SELECT COUNT(*) FROM flight", flight_db)
+        assert query.cores[0].select[0].column == "*"
+
+    def test_group_by_and_having(self, flight_db):
+        query = parse_sql(
+            "SELECT origin, COUNT(*) FROM flight GROUP BY origin HAVING COUNT(*) > 1",
+            flight_db,
+        )
+        core = query.cores[0]
+        assert core.groups[0].attr.column == "origin"
+        assert isinstance(core.filter.root, Comparison)
+        assert core.filter.root.attr.agg == "count"
+
+    def test_order_with_limit_becomes_superlative(self, flight_db):
+        query = parse_sql(
+            "SELECT fno FROM flight ORDER BY price DESC LIMIT 3", flight_db
+        )
+        sup = query.cores[0].superlative
+        assert isinstance(sup, Superlative)
+        assert sup.kind == "most" and sup.k == 3
+
+    def test_order_without_limit(self, flight_db):
+        query = parse_sql("SELECT fno, price FROM flight ORDER BY price ASC", flight_db)
+        assert query.cores[0].order.direction == "asc"
+
+    def test_between_like_in(self, flight_db):
+        query = parse_sql(
+            "SELECT fno FROM flight WHERE price BETWEEN 100 AND 300 "
+            "AND destination LIKE '%A%' "
+            "AND origin IN (SELECT origin FROM flight WHERE price > 600)",
+            flight_db,
+        )
+        preds = list(query.cores[0].filter.predicates())
+        assert any(isinstance(p, Between) for p in preds)
+        assert any(isinstance(p, Like) for p in preds)
+        assert any(isinstance(p, InSubquery) for p in preds)
+
+    def test_not_in_and_not_like(self, flight_db):
+        query = parse_sql(
+            "SELECT fno FROM flight WHERE destination NOT LIKE '%A%' "
+            "AND origin NOT IN (SELECT origin FROM flight WHERE price > 600)",
+            flight_db,
+        )
+        preds = list(query.cores[0].filter.predicates())
+        assert any(isinstance(p, Like) and p.negated for p in preds)
+        assert any(isinstance(p, InSubquery) and p.negated for p in preds)
+
+    def test_scalar_subquery(self, flight_db):
+        query = parse_sql(
+            "SELECT fno FROM flight WHERE price > (SELECT AVG(price) FROM flight)",
+            flight_db,
+        )
+        assert isinstance(query.cores[0].filter.root, SubqueryComparison)
+
+    def test_or_precedence(self, flight_db):
+        query = parse_sql(
+            "SELECT fno FROM flight WHERE origin = 'APG' AND price > 100 OR origin = 'BOS'",
+            flight_db,
+        )
+        root = query.cores[0].filter.root
+        assert isinstance(root, LogicalPredicate) and root.op == "or"
+
+    def test_parenthesized_predicates(self, flight_db):
+        query = parse_sql(
+            "SELECT fno FROM flight WHERE origin = 'APG' AND (price > 600 OR price < 200)",
+            flight_db,
+        )
+        root = query.cores[0].filter.root
+        assert root.op == "and"
+        assert isinstance(root.right, LogicalPredicate) and root.right.op == "or"
+
+    def test_join_with_alias(self, flight_db):
+        query = parse_sql(
+            "SELECT a.name, f.price FROM airline AS a JOIN flight AS f ON a.code = f.fno",
+            flight_db,
+        )
+        tables = query.cores[0].tables
+        assert set(tables) == {"airline", "flight"}
+
+    def test_set_operation(self, flight_db):
+        query = parse_sql(
+            "SELECT origin FROM flight WHERE price > 400 "
+            "EXCEPT SELECT origin FROM flight WHERE price > 600",
+            flight_db,
+        )
+        assert isinstance(query.body, SetQuery)
+        assert query.body.op == "except"
+
+    def test_trailing_garbage_rejected(self, flight_db):
+        # Note "FROM flight banana" would parse as a table alias, as in
+        # real SQL — the garbage must come after a complete query.
+        with pytest.raises(ParseError):
+            parse_sql("SELECT fno FROM flight WHERE price > 1 banana", flight_db)
+
+    def test_ambiguous_column_rejected(self, flight_db):
+        # 'code' exists only in airline, but add a clashing column name.
+        from repro.storage.schema import Column, Table
+
+        flight_db.add_table(Table("extra", (Column("name", "C"), Column("price", "Q"))))
+        with pytest.raises(ParseError):
+            parse_sql("SELECT price FROM flight, extra", flight_db)
+
+
+class TestPrinter:
+    def test_join_reconstruction(self, flight_db):
+        query = parse_sql(
+            "SELECT airline.name, flight.price FROM airline JOIN flight ON airline.code = flight.fno",
+            flight_db,
+        )
+        sql = to_sql(query, flight_db)
+        assert "JOIN" in sql and "ON airline.code = flight.fno" in sql
+
+    def test_string_escaping(self, flight_db):
+        query = parse_sql("SELECT fno FROM flight WHERE origin = 'O''Hare'", flight_db)
+        assert "'O''Hare'" in to_sql(query, flight_db)
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT flight.origin FROM flight",
+            "SELECT flight.origin, COUNT(flight.*) FROM flight GROUP BY flight.origin",
+            "SELECT flight.fno FROM flight WHERE flight.price > 100 AND flight.origin = 'APG'",
+            "SELECT flight.fno FROM flight ORDER BY flight.price DESC LIMIT 2",
+            "SELECT flight.origin FROM flight WHERE flight.price BETWEEN 100 AND 400",
+            "SELECT flight.origin FROM flight INTERSECT SELECT flight.destination FROM flight",
+        ],
+    )
+    def test_round_trip(self, flight_db, sql):
+        query = parse_sql(sql, flight_db)
+        assert parse_sql(to_sql(query, flight_db), flight_db) == query
+
+    def test_corpus_round_trip(self, small_corpus):
+        """Every generated pair prints and re-parses to the same AST."""
+        for pair in small_corpus.pairs:
+            db = small_corpus.databases[pair.db_name]
+            printed = to_sql(pair.query, db)
+            assert parse_sql(printed, db) == pair.query

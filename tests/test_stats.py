@@ -1,0 +1,129 @@
+"""Tests for the dataset statistics package (Table 2, Figures 8-9)."""
+
+import numpy as np
+import pytest
+
+from repro.stats.dataset_stats import (
+    column_count_histogram,
+    dataset_summary,
+    row_count_histogram,
+)
+from repro.stats.distributions import (
+    corpus_distribution_profile,
+    fit_distribution,
+    outlier_fraction,
+    skewness_class,
+)
+from repro.stats.nl_stats import nl_vis_table
+
+def _rng(seed: int = 0) -> np.random.Generator:
+    """Per-test generators keep tests order-independent."""
+    return np.random.default_rng(seed)
+
+
+class TestDatasetSummary:
+    def test_counts_consistent(self, small_corpus):
+        summary = dataset_summary(small_corpus)
+        assert summary.n_databases == len(small_corpus.databases)
+        assert summary.n_tables == small_corpus.total_tables
+        assert summary.min_columns <= summary.avg_columns <= summary.max_columns
+        assert summary.min_rows <= summary.avg_rows <= summary.max_rows
+
+    def test_column_type_fractions_sum_to_one(self, small_corpus):
+        fractions = dataset_summary(small_corpus).column_type_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        # Categorical columns dominate, as in the paper (68.78% C).
+        assert fractions["C"] > fractions["T"]
+
+    def test_top_domains_ordered(self, small_corpus):
+        top = dataset_summary(small_corpus).top_domains
+        counts = [count for _, count in top]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_histograms_cover_every_table(self, small_corpus):
+        columns = column_count_histogram(small_corpus)
+        rows = row_count_histogram(small_corpus)
+        assert sum(columns.values()) == small_corpus.total_tables
+        assert sum(rows.values()) == small_corpus.total_tables
+
+
+class TestDistributionFitting:
+    def test_normal_detected(self):
+        # A normal far from zero is indistinguishable from a low-sigma
+        # lognormal; either family is a correct call.
+        values = _rng(1).normal(50, 5, size=400).tolist()
+        assert fit_distribution(values) in ("normal", "lognormal")
+        centered = _rng(2).normal(0, 5, size=400).tolist()
+        assert fit_distribution(centered) == "normal"
+
+    def test_lognormal_detected(self):
+        values = _rng(3).lognormal(3, 0.6, size=400).tolist()
+        assert fit_distribution(values) == "lognormal"
+
+    def test_exponential_detected(self):
+        values = _rng(4).exponential(10, size=400).tolist()
+        assert fit_distribution(values) in ("exponential", "lognormal", "powerlaw")
+
+    def test_uniform_detected(self):
+        values = _rng(5).uniform(0, 100, size=400).tolist()
+        assert fit_distribution(values) == "uniform"
+
+    def test_bimodal_fits_nothing(self):
+        gen = _rng(6)
+        values = np.concatenate(
+            [gen.normal(5, 0.5, 300), gen.normal(60, 0.5, 300)]
+        ).tolist()
+        assert fit_distribution(values) is None
+
+    def test_too_few_samples(self):
+        assert fit_distribution([1.0, 2.0]) is None
+
+    def test_constant_column(self):
+        assert fit_distribution([5.0] * 50) is None
+
+
+class TestSkewAndOutliers:
+    def test_symmetric(self):
+        assert skewness_class(_rng(7).normal(0, 1, 500).tolist()) == "symmetric"
+
+    def test_highly_skewed(self):
+        assert skewness_class(_rng(8).lognormal(0, 1.2, 500).tolist()) == "high"
+
+    def test_outlier_free(self):
+        assert outlier_fraction(list(np.linspace(0, 1, 100))) == 0.0
+
+    def test_outliers_detected(self):
+        values = _rng(9).normal(0, 1, 200).tolist() + [50.0, -50.0]
+        fraction = outlier_fraction(values)
+        assert fraction is not None and fraction > 0
+
+    def test_profile_covers_all_q_columns(self, small_corpus):
+        profile = corpus_distribution_profile(small_corpus)
+        assert sum(profile["fits"].values()) > 0
+        assert set(profile["fits"]) <= {
+            "normal", "lognormal", "exponential", "powerlaw",
+            "uniform", "chi2", "none",
+        }
+        assert set(profile["skewness"]) <= {"symmetric", "moderate", "high"}
+
+
+class TestNLStats:
+    def test_table3_rows(self, small_nvbench):
+        rows = nl_vis_table(small_nvbench)
+        assert rows[-1].vis_type == "all"
+        all_row = rows[-1]
+        assert all_row.n_pairs == len(small_nvbench.pairs)
+        assert all_row.n_vis == len(small_nvbench.distinct_vis)
+        per_type_pairs = sum(row.n_pairs for row in rows[:-1])
+        assert per_type_pairs == all_row.n_pairs
+
+    def test_bleu_indicates_diversity(self, small_nvbench):
+        all_row = nl_vis_table(small_nvbench)[-1]
+        # Variants of one vis share the source question, so BLEU is
+        # mid-range — but far from 1.0 (identical) as in the paper.
+        assert 0.05 < all_row.avg_bleu < 0.8
+
+    def test_word_counts_positive(self, small_nvbench):
+        for row in nl_vis_table(small_nvbench):
+            assert row.min_words > 0
+            assert row.min_words <= row.avg_words <= row.max_words

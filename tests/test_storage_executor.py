@@ -1,0 +1,326 @@
+"""Executor tests: every clause of the grammar against the fixture DB."""
+
+import pytest
+
+from repro.grammar.ast_nodes import (
+    Attribute,
+    Between,
+    Comparison,
+    Filter,
+    Group,
+    InSubquery,
+    Like,
+    LogicalPredicate,
+    Order,
+    QueryCore,
+    SetQuery,
+    SQLQuery,
+    Superlative,
+    SubqueryComparison,
+    VisQuery,
+)
+from repro.storage.executor import ExecutionError, Executor
+
+
+def attr(column, table="flight", agg=None):
+    return Attribute(column=column, table=table, agg=agg)
+
+
+def run(db, body):
+    return Executor(db).execute(SQLQuery(body=body))
+
+
+class TestProjection:
+    def test_plain_projection(self, flight_db):
+        result = run(flight_db, QueryCore(select=(attr("origin"), attr("price"))))
+        assert result.row_count == 6
+        assert result.columns == ["flight.origin", "flight.price"]
+
+    def test_duplicates_are_kept(self, flight_db):
+        result = run(flight_db, QueryCore(select=(attr("origin"),)))
+        origins = result.column_values(0)
+        assert origins.count("APG") == 3
+
+
+class TestFilters:
+    def test_numeric_comparison(self, flight_db):
+        result = run(flight_db, QueryCore(
+            select=(attr("fno"),),
+            filter=Filter(Comparison(">", attr("price"), 400)),
+        ))
+        assert sorted(r[0] for r in result.rows) == ["F3", "F5", "F6"]
+
+    def test_between(self, flight_db):
+        result = run(flight_db, QueryCore(
+            select=(attr("fno"),),
+            filter=Filter(Between(attr("price"), 200, 400)),
+        ))
+        assert sorted(r[0] for r in result.rows) == ["F1", "F4"]
+
+    def test_like_is_case_insensitive(self, flight_db):
+        result = run(flight_db, QueryCore(
+            select=(attr("fno"),),
+            filter=Filter(Like(attr("destination"), "a%")),
+        ))
+        assert sorted(r[0] for r in result.rows) == ["F1", "F3"]
+
+    def test_not_like(self, flight_db):
+        result = run(flight_db, QueryCore(
+            select=(attr("fno"),),
+            filter=Filter(Like(attr("destination"), "%L%", negated=True)),
+        ))
+        assert sorted(r[0] for r in result.rows) == ["F2", "F4", "F5"]
+
+    def test_and_or_combination(self, flight_db):
+        pred = LogicalPredicate(
+            op="or",
+            left=Comparison("=", attr("origin"), "BOS"),
+            right=LogicalPredicate(
+                op="and",
+                left=Comparison("=", attr("origin"), "APG"),
+                right=Comparison("<", attr("price"), 200),
+            ),
+        )
+        result = run(flight_db, QueryCore(select=(attr("fno"),), filter=Filter(pred)))
+        assert sorted(r[0] for r in result.rows) == ["F2", "F6"]
+
+    def test_scalar_subquery_comparison(self, flight_db):
+        sub = QueryCore(select=(attr("price", agg="avg"),))
+        result = run(flight_db, QueryCore(
+            select=(attr("fno"),),
+            filter=Filter(SubqueryComparison(">", attr("price"), sub)),
+        ))
+        # avg price = 391.67 -> F3, F5, F6
+        assert sorted(r[0] for r in result.rows) == ["F3", "F5", "F6"]
+
+    def test_in_subquery(self, flight_db):
+        sub = QueryCore(
+            select=(attr("origin"),),
+            filter=Filter(Comparison(">", attr("price"), 600)),
+        )
+        result = run(flight_db, QueryCore(
+            select=(attr("fno"),),
+            filter=Filter(InSubquery(attr("origin"), sub)),
+        ))
+        assert sorted(r[0] for r in result.rows) == ["F3", "F5"]
+
+    def test_not_in_subquery(self, flight_db):
+        sub = QueryCore(
+            select=(attr("origin"),),
+            filter=Filter(Comparison(">", attr("price"), 600)),
+        )
+        result = run(flight_db, QueryCore(
+            select=(attr("fno"),),
+            filter=Filter(InSubquery(attr("origin"), sub, negated=True)),
+        ))
+        assert sorted(r[0] for r in result.rows) == ["F1", "F2", "F4", "F6"]
+
+
+class TestAggregation:
+    def test_global_count_star(self, flight_db):
+        result = run(flight_db, QueryCore(select=(attr("*", agg="count"),)))
+        assert result.rows == [(6,)]
+
+    def test_count_star_on_empty_filter_returns_zero(self, flight_db):
+        result = run(flight_db, QueryCore(
+            select=(attr("*", agg="count"),),
+            filter=Filter(Comparison(">", attr("price"), 10_000)),
+        ))
+        assert result.rows == [(0,)]
+
+    def test_group_count(self, flight_db):
+        result = run(flight_db, QueryCore(
+            select=(attr("origin"), attr("*", agg="count")),
+            groups=(Group("grouping", attr("origin")),),
+        ))
+        assert dict(result.rows) == {"APG": 3, "LAX": 2, "BOS": 1}
+
+    def test_group_avg(self, flight_db):
+        result = run(flight_db, QueryCore(
+            select=(attr("origin"), attr("price", agg="avg")),
+            groups=(Group("grouping", attr("origin")),),
+        ))
+        values = dict(result.rows)
+        assert values["LAX"] == pytest.approx(600.0)
+
+    def test_min_max_sum(self, flight_db):
+        result = run(flight_db, QueryCore(select=(
+            attr("price", agg="min"), attr("price", agg="max"), attr("price", agg="sum"),
+        )))
+        assert result.rows == [(150.0, 700.0, 2350.0)]
+
+    def test_having_filters_groups(self, flight_db):
+        result = run(flight_db, QueryCore(
+            select=(attr("origin"), attr("*", agg="count")),
+            groups=(Group("grouping", attr("origin")),),
+            filter=Filter(Comparison(">=", attr("*", agg="count"), 2)),
+        ))
+        assert dict(result.rows) == {"APG": 3, "LAX": 2}
+
+    def test_having_combined_with_where(self, flight_db):
+        pred = LogicalPredicate(
+            op="and",
+            left=Comparison(">", attr("price"), 200),
+            right=Comparison(">=", attr("*", agg="count"), 2),
+        )
+        result = run(flight_db, QueryCore(
+            select=(attr("origin"), attr("*", agg="count")),
+            groups=(Group("grouping", attr("origin")),),
+            filter=Filter(pred),
+        ))
+        assert dict(result.rows) == {"APG": 2, "LAX": 2}
+
+    def test_having_without_grouping_is_an_error(self, flight_db):
+        with pytest.raises(ExecutionError):
+            run(flight_db, QueryCore(
+                select=(attr("origin"),),
+                filter=Filter(Comparison(">", attr("price", agg="avg"), 100)),
+            ))
+
+
+class TestBinning:
+    def test_temporal_year_binning(self, flight_db):
+        result = run(flight_db, QueryCore(
+            select=(attr("departure_date"), attr("*", agg="count")),
+            groups=(Group("binning", attr("departure_date"), bin_unit="year"),),
+        ))
+        assert dict(result.rows) == {"2020": 3, "2021": 3}
+
+    def test_temporal_month_binning(self, flight_db):
+        result = run(flight_db, QueryCore(
+            select=(attr("departure_date"), attr("*", agg="count")),
+            groups=(Group("binning", attr("departure_date"), bin_unit="month"),),
+        ))
+        assert result.rows and dict(result.rows)["2020-02"] == 2
+
+    def test_numeric_binning_covers_all_rows(self, flight_db):
+        result = run(flight_db, QueryCore(
+            select=(attr("price"), attr("*", agg="count")),
+            groups=(Group("binning", attr("price"), bin_unit="numeric", bin_count=5),),
+        ))
+        assert sum(count for _, count in result.rows) == 6
+
+    def test_binned_order_is_chronological(self, flight_db):
+        result = run(flight_db, QueryCore(
+            select=(attr("departure_date"), attr("*", agg="count")),
+            groups=(Group("binning", attr("departure_date"), bin_unit="year"),),
+            order=Order("asc", attr("departure_date")),
+        ))
+        assert [row[0] for row in result.rows] == ["2020", "2021"]
+
+
+class TestOrderAndSuperlative:
+    def test_order_desc(self, flight_db):
+        result = run(flight_db, QueryCore(
+            select=(attr("fno"), attr("price")),
+            order=Order("desc", attr("price")),
+        ))
+        assert [r[0] for r in result.rows][:2] == ["F5", "F3"]
+
+    def test_superlative_most(self, flight_db):
+        result = run(flight_db, QueryCore(
+            select=(attr("fno"), attr("price")),
+            superlative=Superlative("most", 2, attr("price")),
+        ))
+        assert [r[0] for r in result.rows] == ["F5", "F3"]
+
+    def test_superlative_least(self, flight_db):
+        result = run(flight_db, QueryCore(
+            select=(attr("fno"), attr("price")),
+            superlative=Superlative("least", 1, attr("price")),
+        ))
+        assert result.rows == [("F2", 150.0)]
+
+    def test_order_on_aggregate(self, flight_db):
+        result = run(flight_db, QueryCore(
+            select=(attr("origin"), attr("*", agg="count")),
+            groups=(Group("grouping", attr("origin")),),
+            order=Order("desc", attr("*", agg="count")),
+        ))
+        assert [r[0] for r in result.rows] == ["APG", "LAX", "BOS"]
+
+    def test_order_by_unselected_attribute_fails(self, flight_db):
+        with pytest.raises(ExecutionError):
+            run(flight_db, QueryCore(
+                select=(attr("fno"),),
+                order=Order("asc", attr("price")),
+            ))
+
+
+class TestJoins:
+    def test_fk_join(self, flight_db):
+        result = run(flight_db, QueryCore(
+            select=(attr("name", table="airline"), attr("price")),
+        ))
+        assert sorted(result.rows) == [("Alpha", 300.0), ("Beta", 500.0), ("Gamma", 700.0)]
+
+    def test_join_with_filter(self, flight_db):
+        result = run(flight_db, QueryCore(
+            select=(attr("name", table="airline"),),
+            filter=Filter(Comparison(">", attr("price"), 400)),
+        ))
+        assert sorted(r[0] for r in result.rows) == ["Beta", "Gamma"]
+
+    def test_unjoinable_tables_raise(self, flight_db):
+        from repro.storage.schema import Column, Table
+
+        flight_db.add_table(Table("island", (Column("x", "C"),)))
+        with pytest.raises(ExecutionError):
+            run(flight_db, QueryCore(
+                select=(attr("x", table="island"), attr("price")),
+            ))
+
+
+class TestSetOperations:
+    def _origins(self, pred):
+        return QueryCore(select=(attr("origin"),), filter=Filter(pred))
+
+    def test_intersect(self, flight_db):
+        body = SetQuery(
+            op="intersect",
+            left=self._origins(Comparison(">", attr("price"), 400)),
+            right=self._origins(Comparison("<", attr("price"), 600)),
+        )
+        result = run(flight_db, body)
+        assert sorted(r[0] for r in result.rows) == ["BOS", "LAX"]
+
+    def test_union_deduplicates(self, flight_db):
+        body = SetQuery(
+            op="union",
+            left=self._origins(Comparison("=", attr("origin"), "APG")),
+            right=self._origins(Comparison("=", attr("origin"), "APG")),
+        )
+        result = run(flight_db, body)
+        assert result.rows == [("APG",)]
+
+    def test_except(self, flight_db):
+        body = SetQuery(
+            op="except",
+            left=self._origins(Comparison(">", attr("price"), 0)),
+            right=self._origins(Comparison(">", attr("price"), 400)),
+        )
+        result = run(flight_db, body)
+        assert sorted(r[0] for r in result.rows) == ["APG"]
+
+
+class TestVisExecution:
+    def test_vis_query_executes_like_its_body(self, flight_db):
+        core = QueryCore(
+            select=(attr("origin"), attr("*", agg="count")),
+            groups=(Group("grouping", attr("origin")),),
+        )
+        vis_result = Executor(flight_db).execute(VisQuery("pie", core))
+        sql_result = Executor(flight_db).execute(SQLQuery(core))
+        assert vis_result.rows == sql_result.rows
+
+    def test_canonical_is_order_insensitive(self, flight_db):
+        core = QueryCore(
+            select=(attr("origin"), attr("*", agg="count")),
+            groups=(Group("grouping", attr("origin")),),
+        )
+        plain = Executor(flight_db).execute(SQLQuery(core))
+        ordered = Executor(flight_db).execute(SQLQuery(QueryCore(
+            select=core.select, groups=core.groups,
+            order=Order("desc", attr("*", agg="count")),
+        )))
+        assert plain.canonical() == ordered.canonical()

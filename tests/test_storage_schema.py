@@ -1,0 +1,112 @@
+"""Schema and temporal-binning unit tests."""
+
+import pytest
+
+from repro.storage.schema import Column, Database, ForeignKey, SchemaError, Table
+from repro.storage.temporal import bin_temporal, parse_temporal, weekday_sort_key
+
+
+class TestColumnAndTable:
+    def test_rejects_unknown_column_type(self):
+        with pytest.raises(SchemaError):
+            Column(name="x", ctype="Z")
+
+    def test_duplicate_column_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("t", (Column("a", "C"), Column("a", "Q")))
+
+    def test_insert_checks_arity(self):
+        table = Table("t", (Column("a", "C"), Column("b", "Q")))
+        with pytest.raises(SchemaError):
+            table.insert(("only-one",))
+
+    def test_column_values(self):
+        table = Table("t", (Column("a", "C"), Column("b", "Q")))
+        table.extend([("x", 1), ("y", 2)])
+        assert table.column_values("b") == [1, 2]
+
+    def test_unknown_column_lookup(self):
+        table = Table("t", (Column("a", "C"),))
+        with pytest.raises(SchemaError):
+            table.column("missing")
+
+
+class TestDatabase:
+    def _db(self):
+        db = Database("d")
+        db.add_table(Table("a", (Column("id", "C"), Column("v", "Q"))))
+        db.add_table(Table("b", (Column("id", "C"), Column("a_id", "C"))))
+        db.add_table(Table("c", (Column("id", "C"), Column("b_id", "C"))))
+        db.foreign_keys.append(ForeignKey("b", "a_id", "a", "id"))
+        db.foreign_keys.append(ForeignKey("c", "b_id", "b", "id"))
+        return db
+
+    def test_duplicate_table_rejected(self):
+        db = self._db()
+        with pytest.raises(SchemaError):
+            db.add_table(Table("a", (Column("id", "C"),)))
+
+    def test_column_type_lookup(self):
+        assert self._db().column_type("a", "v") == "Q"
+        assert self._db().column_type("a", "*") == "Q"
+
+    def test_join_path_direct(self):
+        path = self._db().join_path(["a", "b"])
+        assert len(path) == 1
+
+    def test_join_path_transitive(self):
+        path = self._db().join_path(["a", "c"])
+        assert len(path) == 2
+
+    def test_join_path_prunes_unneeded_edges(self):
+        path = self._db().join_path(["b", "c"])
+        assert len(path) == 1
+        assert {path[0].table, path[0].ref_table} == {"b", "c"}
+
+    def test_join_path_unreachable(self):
+        db = self._db()
+        db.add_table(Table("z", (Column("id", "C"),)))
+        with pytest.raises(SchemaError):
+            db.join_path(["a", "z"])
+
+    def test_totals(self):
+        db = self._db()
+        db.table("a").insert((1, 2.0))
+        assert db.total_rows == 1
+        assert db.total_columns == 6
+
+
+class TestTemporal:
+    def test_parse_full_datetime(self):
+        assert parse_temporal("2020-03-04 10:30").hour == 10
+
+    def test_parse_date(self):
+        assert parse_temporal("2020-03-04").month == 3
+
+    def test_parse_year_integer(self):
+        assert parse_temporal(1995).year == 1995
+
+    def test_parse_garbage_returns_none(self):
+        assert parse_temporal("not a date") is None
+        assert parse_temporal(None) is None
+
+    def test_bin_year_quarter_month(self):
+        assert bin_temporal("2020-05-15", "year") == "2020"
+        assert bin_temporal("2020-05-15", "quarter") == "2020-Q2"
+        assert bin_temporal("2020-05-15", "month") == "2020-05"
+
+    def test_bin_weekday(self):
+        # 2020-05-15 was a Friday.
+        assert bin_temporal("2020-05-15", "weekday") == "Friday"
+
+    def test_bin_hour_minute(self):
+        assert bin_temporal("2020-05-15 09:42", "hour") == "09:00"
+        assert bin_temporal("2020-05-15 09:42", "minute") == "09:42"
+
+    def test_bin_unknown_unit(self):
+        with pytest.raises(ValueError):
+            bin_temporal("2020-05-15", "fortnight")
+
+    def test_weekday_sort_order(self):
+        days = ["Sunday", "Monday", "Friday"]
+        assert sorted(days, key=weekday_sort_key) == ["Monday", "Friday", "Sunday"]

@@ -1,0 +1,137 @@
+"""Tests for the VIS backends (Vega-Lite and ECharts compilation)."""
+
+import json
+
+import pytest
+
+from repro.grammar.ast_nodes import Attribute, Group, Order, QueryCore, VisQuery
+from repro.vis import render_data, to_echarts, to_vega_lite
+
+
+def attr(column, table="flight", agg=None):
+    return Attribute(column=column, table=table, agg=agg)
+
+
+@pytest.fixture()
+def pie(flight_db):
+    return VisQuery("pie", QueryCore(
+        select=(attr("origin"), attr("*", agg="count")),
+        groups=(Group("grouping", attr("origin")),),
+    ))
+
+
+@pytest.fixture()
+def grouped_bar(flight_db):
+    return VisQuery("bar", QueryCore(
+        select=(attr("origin"), attr("price", agg="sum")),
+        groups=(Group("grouping", attr("origin")),),
+        order=Order("desc", attr("price", agg="sum")),
+    ))
+
+
+@pytest.fixture()
+def stacked(flight_db):
+    return VisQuery("stacked bar", QueryCore(
+        select=(attr("origin"), attr("price", agg="sum"), attr("destination")),
+        groups=(
+            Group("grouping", attr("origin")),
+            Group("grouping", attr("destination")),
+        ),
+    ))
+
+
+class TestRenderData:
+    def test_channels(self, flight_db, grouped_bar):
+        data = render_data(grouped_bar, flight_db)
+        assert data.x_channel == "nominal"
+        assert data.y_channel == "quantitative"
+        assert data.rows
+
+    def test_binned_axis_is_ordinal(self, flight_db):
+        vis = VisQuery("bar", QueryCore(
+            select=(attr("departure_date"), attr("*", agg="count")),
+            groups=(Group("binning", attr("departure_date"), bin_unit="year"),),
+        ))
+        data = render_data(vis, flight_db)
+        assert data.x_channel == "ordinal"
+
+    def test_pivot_fills_missing_cells(self, flight_db, stacked):
+        data = render_data(stacked, flight_db)
+        xs, table = data.pivot()
+        assert all(len(column) == len(xs) for column in table.values())
+        assert any(None in column for column in table.values())
+
+    def test_canonical_result_matching(self, flight_db, grouped_bar):
+        unordered = VisQuery("bar", QueryCore(
+            select=grouped_bar.primary_core.select,
+            groups=grouped_bar.primary_core.groups,
+        ))
+        left = render_data(grouped_bar, flight_db).canonical()
+        right = render_data(unordered, flight_db).canonical()
+        assert left == right
+
+
+class TestVegaLite:
+    def test_pie_uses_arc_theta(self, flight_db, pie):
+        spec = to_vega_lite(pie, flight_db)
+        assert spec["mark"] == "arc"
+        assert spec["encoding"]["theta"]["type"] == "quantitative"
+
+    def test_bar_encoding_and_sort(self, flight_db, grouped_bar):
+        spec = to_vega_lite(grouped_bar, flight_db)
+        assert spec["mark"] == "bar"
+        assert spec["encoding"]["x"]["sort"] == "-y"
+
+    def test_stacked_bar_has_color_and_stack(self, flight_db, stacked):
+        spec = to_vega_lite(stacked, flight_db)
+        assert spec["encoding"]["color"]["field"]
+        assert spec["encoding"]["y"]["stack"] == "zero"
+
+    def test_values_are_inlined_and_json_serializable(self, flight_db, grouped_bar):
+        spec = to_vega_lite(grouped_bar, flight_db)
+        assert len(spec["data"]["values"]) == 3
+        json.dumps(spec)
+
+    def test_field_names_have_no_dots(self, flight_db, grouped_bar):
+        spec = to_vega_lite(grouped_bar, flight_db)
+        for value in spec["data"]["values"]:
+            assert all("." not in key for key in value)
+
+
+class TestECharts:
+    def test_pie_name_value_pairs(self, flight_db, pie):
+        option = to_echarts(pie, flight_db)
+        data = option["series"][0]["data"]
+        assert {item["name"] for item in data} == {"APG", "LAX", "BOS"}
+
+    def test_bar_category_axis(self, flight_db, grouped_bar):
+        option = to_echarts(grouped_bar, flight_db)
+        assert option["xAxis"]["type"] == "category"
+        assert len(option["series"][0]["data"]) == len(option["xAxis"]["data"])
+
+    def test_stacked_bar_pivots_series(self, flight_db, stacked):
+        option = to_echarts(stacked, flight_db)
+        assert len(option["series"]) > 1
+        assert all(s.get("stack") == "total" for s in option["series"])
+        assert "legend" in option
+
+    def test_scatter_value_axes(self, flight_db):
+        vis = VisQuery("scatter", QueryCore(select=(attr("price"), attr("price"))))
+        option = to_echarts(vis, flight_db)
+        assert option["xAxis"]["type"] == "value"
+        assert option["series"][0]["type"] == "scatter"
+
+    def test_option_is_json_serializable(self, flight_db, stacked):
+        json.dumps(to_echarts(stacked, flight_db))
+
+    def test_nvbench_charts_compile(self, small_nvbench):
+        """Every synthesized vis compiles to both backends."""
+        seen = set()
+        for pair in small_nvbench.pairs:
+            key = (pair.db_name, pair.vis)
+            if key in seen:
+                continue
+            seen.add(key)
+            db = small_nvbench.database_of(pair)
+            json.dumps(to_vega_lite(pair.vis, db))
+            json.dumps(to_echarts(pair.vis, db))

@@ -1,0 +1,148 @@
+"""Tests for the additional VIS backends: ggplot2, Plotly, ASCII."""
+
+import json
+
+import pytest
+
+from repro.grammar.ast_nodes import Attribute, Group, QueryCore, VisQuery
+from repro.vis import to_ascii, to_ggplot, to_plotly
+
+
+def attr(column, table="flight", agg=None):
+    return Attribute(column=column, table=table, agg=agg)
+
+
+@pytest.fixture()
+def grouped_bar():
+    return VisQuery("bar", QueryCore(
+        select=(attr("origin"), attr("price", agg="sum")),
+        groups=(Group("grouping", attr("origin")),),
+    ))
+
+
+@pytest.fixture()
+def pie():
+    return VisQuery("pie", QueryCore(
+        select=(attr("origin"), attr("*", agg="count")),
+        groups=(Group("grouping", attr("origin")),),
+    ))
+
+
+@pytest.fixture()
+def stacked():
+    return VisQuery("stacked bar", QueryCore(
+        select=(attr("origin"), attr("price", agg="sum"), attr("destination")),
+        groups=(
+            Group("grouping", attr("origin")),
+            Group("grouping", attr("destination")),
+        ),
+    ))
+
+
+@pytest.fixture()
+def scatter():
+    return VisQuery("scatter", QueryCore(select=(attr("price"), attr("price"))))
+
+
+class TestGgplot:
+    def test_script_structure(self, flight_db, grouped_bar):
+        script = to_ggplot(grouped_bar, flight_db)
+        assert script.startswith("library(ggplot2)")
+        assert "data.frame(" in script
+        assert "geom_col()" in script
+        assert "print(p)" in script
+
+    def test_pie_uses_polar_coordinates(self, flight_db, pie):
+        script = to_ggplot(pie, flight_db)
+        assert 'coord_polar(theta = "y")' in script
+
+    def test_stacked_bar_uses_fill(self, flight_db, stacked):
+        script = to_ggplot(stacked, flight_db)
+        assert "fill = flight_destination" in script
+
+    def test_scatter_uses_points(self, flight_db, scatter):
+        script = to_ggplot(scatter, flight_db)
+        assert "geom_point()" in script
+
+    def test_string_values_escaped(self, flight_db):
+        from repro.vis.ggplot import _r_literal
+
+        assert _r_literal('O"Hare') == '"O\\"Hare"'
+        assert _r_literal(None) == "NA"
+        assert _r_literal(3) == "3"
+
+    def test_column_names_r_safe(self):
+        from repro.vis.ggplot import _r_name
+
+        assert _r_name("sum(flight.price)") == "sum_flight_price"
+        assert _r_name("count(flight.*)") == "count_flight_all"
+        assert _r_name("flight.origin") == "flight_origin"
+
+
+class TestPlotly:
+    def test_bar_figure(self, flight_db, grouped_bar):
+        figure = to_plotly(grouped_bar, flight_db)
+        assert figure["data"][0]["type"] == "bar"
+        assert len(figure["data"][0]["x"]) == 3
+        json.dumps(figure)
+
+    def test_pie_labels_values(self, flight_db, pie):
+        figure = to_plotly(pie, flight_db)
+        trace = figure["data"][0]
+        assert trace["type"] == "pie"
+        assert set(trace["labels"]) == {"APG", "LAX", "BOS"}
+
+    def test_stacked_bar_barmode_and_traces(self, flight_db, stacked):
+        figure = to_plotly(stacked, flight_db)
+        assert figure["layout"]["barmode"] == "stack"
+        assert len(figure["data"]) > 1
+
+    def test_line_mode(self, flight_db):
+        vis = VisQuery("line", QueryCore(
+            select=(attr("departure_date"), attr("price", agg="avg")),
+            groups=(Group("binning", attr("departure_date"), bin_unit="year"),),
+        ))
+        figure = to_plotly(vis, flight_db)
+        assert figure["data"][0]["mode"] == "lines+markers"
+
+    def test_axis_titles(self, flight_db, grouped_bar):
+        figure = to_plotly(grouped_bar, flight_db)
+        assert figure["layout"]["xaxis"]["title"]["text"] == "flight.origin"
+
+
+class TestAscii:
+    def test_bar_rows_and_scaling(self, flight_db, grouped_bar):
+        text = to_ascii(grouped_bar, flight_db, width=20)
+        lines = text.splitlines()
+        assert len(lines) == 4  # title + three origins
+        assert any("█" * 20 in line for line in lines)
+
+    def test_pie_shares_sum_to_one(self, flight_db, pie):
+        text = to_ascii(pie, flight_db)
+        shares = [
+            float(line.rsplit(" ", 1)[-1].rstrip("%")) for line in text.splitlines()[1:]
+        ]
+        assert sum(shares) == pytest.approx(100.0, abs=0.5)
+
+    def test_scatter_grid_shape(self, flight_db, scatter):
+        text = to_ascii(scatter, flight_db, width=30, height=8)
+        lines = text.splitlines()
+        assert len(lines) == 10  # title + 8 grid rows + axis
+        assert all(len(line) <= 32 for line in lines)
+        assert "*" in text
+
+    def test_stacked_bar_aggregates_series(self, flight_db, stacked):
+        text = to_ascii(stacked, flight_db, width=20)
+        assert "█" in text
+
+    def test_every_nvbench_chart_renders(self, small_nvbench):
+        seen = set()
+        for pair in small_nvbench.pairs:
+            key = (pair.db_name, pair.vis)
+            if key in seen:
+                continue
+            seen.add(key)
+            db = small_nvbench.database_of(pair)
+            assert to_ascii(pair.vis, db)
+            assert to_ggplot(pair.vis, db)
+            json.dumps(to_plotly(pair.vis, db))
