@@ -1,0 +1,124 @@
+"""Build-pipeline performance harness (`BENCH_build.json` trajectory).
+
+Times the end-to-end ``build_nvbench`` twice over one shared corpus:
+
+* **baseline** — the seed-equivalent configuration: serial, execution
+  cache disabled, so the filter-training pass and the synthesis pass
+  re-execute every candidate chart (and candidates sharing a query body
+  each execute separately).
+* **optimized** — the same serial build with the execution cache on
+  (batch scoring is active in both runs).
+
+Asserts the optimized build is ≥ 2× faster, that both builds produce
+identical pair lists, and writes ``results/BENCH_build.json`` with both
+profiles, per-stage timings, and the cache hit rate so the trajectory
+can be compared across commits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.nvbench import NVBenchConfig, build_nvbench
+from repro.perf import BuildProfiler
+from repro.spider.corpus import CorpusConfig, build_spider_corpus
+
+from conftest import emit
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Default corpus for the perf harness: big enough rows that chart
+#: execution dominates, small enough that the uncached baseline stays
+#: under a few seconds.
+DEFAULT_CORPUS = CorpusConfig(
+    num_databases=6, pairs_per_database=10, row_scale=1.5, seed=7
+)
+QUICK_CORPUS = CorpusConfig(
+    num_databases=3, pairs_per_database=8, row_scale=1.5, seed=7
+)
+
+
+def _build_config(corpus: CorpusConfig, use_cache: bool) -> NVBenchConfig:
+    # Train the filter over every input pair so the baseline pays the
+    # full double-execution cost the seed pipeline paid.
+    return NVBenchConfig(
+        corpus=corpus,
+        filter_training_pairs=10**9,
+        use_cache=use_cache,
+        seed=7,
+    )
+
+
+def _timed_build(corpus, config):
+    profiler = BuildProfiler()
+    start = time.perf_counter()
+    bench = build_nvbench(corpus=corpus, config=config, profiler=profiler)
+    seconds = time.perf_counter() - start
+    return bench, seconds, profiler.report()
+
+
+def test_cached_batch_build_speedup():
+    corpus_config = (
+        QUICK_CORPUS
+        if os.environ.get("REPRO_BENCH_PROFILE") == "quick"
+        else DEFAULT_CORPUS
+    )
+    corpus = build_spider_corpus(corpus_config)
+
+    baseline, baseline_s, baseline_report = _timed_build(
+        corpus, _build_config(corpus_config, use_cache=False)
+    )
+    optimized, optimized_s, optimized_report = _timed_build(
+        corpus, _build_config(corpus_config, use_cache=True)
+    )
+
+    speedup = baseline_s / optimized_s
+    counters = optimized_report["counters"]
+    hits = counters.get("execution_cache_hits", 0)
+    misses = counters.get("execution_cache_misses", 0)
+    hit_rate = hits / (hits + misses) if hits + misses else 0.0
+
+    trajectory = {
+        "corpus": {
+            "num_databases": corpus_config.num_databases,
+            "pairs_per_database": corpus_config.pairs_per_database,
+            "row_scale": corpus_config.row_scale,
+            "input_pairs": len(corpus.pairs),
+        },
+        "baseline_seconds": baseline_s,
+        "optimized_seconds": optimized_s,
+        "speedup": speedup,
+        "cache": {"hits": hits, "misses": misses, "hit_rate": hit_rate},
+        "baseline": baseline_report,
+        "optimized": optimized_report,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_build.json").write_text(json.dumps(trajectory, indent=2))
+
+    emit(
+        "BENCH build pipeline",
+        f"baseline (no cache) {baseline_s:6.2f}s\n"
+        f"optimized (cached)  {optimized_s:6.2f}s\n"
+        f"speedup             {speedup:6.2f}x\n"
+        f"cache hit rate      {hit_rate:6.1%} ({hits} hits / {misses} misses)\n"
+        f"pairs               {len(optimized.pairs)}",
+    )
+
+    # Caching must never change the output.
+    assert optimized.pairs == baseline.pairs
+    assert hits > 0
+    assert speedup >= 2.0, f"cached build only {speedup:.2f}x faster"
+
+
+def test_parallel_build_matches_serial_smoke():
+    """Small smoke check that the sharded build merges deterministically
+    (the tier-1 suite covers this too; here it runs at bench scale)."""
+    corpus_config = QUICK_CORPUS
+    corpus = build_spider_corpus(corpus_config)
+    config = _build_config(corpus_config, use_cache=True)
+    serial = build_nvbench(corpus=corpus, config=config, workers=1)
+    parallel = build_nvbench(corpus=corpus, config=config, workers=4)
+    assert parallel.pairs == serial.pairs

@@ -21,6 +21,7 @@ from repro.core.nvbench import (
     load_nvbench_pairs,
     save_nvbench_pairs,
 )
+from repro.perf import BuildProfiler
 from repro.spider.corpus import (
     CorpusConfig,
     build_spider_corpus,
@@ -62,15 +63,23 @@ def _cmd_build_benchmark(args: argparse.Namespace) -> int:
             row_scale=args.row_scale,
             seed=args.seed,
         ),
+        use_cache=not args.no_cache,
         seed=args.seed,
     )
-    bench = build_nvbench(corpus=corpus, config=config)
+    profiler = BuildProfiler()
+    bench = build_nvbench(
+        corpus=corpus, config=config, workers=args.workers, profiler=profiler
+    )
     if not args.corpus:
         save_corpus(bench.corpus, args.out + ".corpus.json")
         print(f"wrote corpus to {args.out}.corpus.json")
     save_nvbench_pairs(bench, args.out)
     print(f"wrote {len(bench.pairs)} (NL, VIS) pairs "
           f"({len(bench.distinct_vis)} distinct vis) to {args.out}")
+    # Pairs are saved first so a bad --profile path cannot lose the build.
+    if args.profile:
+        profiler.write_json(args.profile)
+        print(f"wrote build profile to {args.profile}")
     return 0
 
 
@@ -184,6 +193,12 @@ def build_parser() -> argparse.ArgumentParser:
     _corpus_args(p)
     p.add_argument("--corpus", help="reuse a saved corpus JSON")
     p.add_argument("--out", required=True)
+    p.add_argument("--workers", type=int, default=1,
+                   help="shard the build by database over N processes")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the execution-result cache")
+    p.add_argument("--profile",
+                   help="write a JSON build profile (stage timings, cache stats)")
     p.set_defaults(func=_cmd_build_benchmark)
 
     p = sub.add_parser("stats", help="print benchmark statistics")

@@ -25,7 +25,13 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.grammar.ast_nodes import VIS_TYPES, VisQuery
-from repro.storage.executor import ExecutionError, Executor, ResultTable
+from repro.perf.profiler import BuildProfiler, stage
+from repro.storage.executor import (
+    ExecutionCache,
+    ExecutionError,
+    Executor,
+    ResultTable,
+)
 from repro.storage.schema import Database
 
 #: rule thresholds (expert stage)
@@ -76,16 +82,20 @@ FEATURE_DIM = 10 + len(VIS_TYPES)
 
 
 def extract_features(
-    vis: VisQuery, database: Database, result: Optional[ResultTable] = None
+    vis: VisQuery,
+    database: Database,
+    result: Optional[ResultTable] = None,
+    cache: Optional[ExecutionCache] = None,
 ) -> Optional[ChartFeatures]:
     """Execute *vis* (unless *result* is given) and featurize the chart.
 
     Returns ``None`` when the query cannot run — callers treat that as a
-    bad chart.
+    bad chart.  With a *cache*, candidates sharing a query body execute
+    once (failures included).
     """
     if result is None:
         try:
-            result = Executor(database).execute(vis)
+            result = Executor(database, cache=cache).execute(vis)
         except ExecutionError:
             return None
     if not result.rows:
@@ -253,6 +263,30 @@ class DeepEyeFilter:
             return 1.0 if teacher_label(features) else 0.0
         return float(self.model.predict_proba(features.to_vector()[None, :])[0])
 
+    def score_batch(self, samples: Sequence[ChartFeatures]) -> np.ndarray:
+        """Vectorized :meth:`score` over many charts.
+
+        Rule verdicts short-circuit per chart; everything the rules leave
+        undecided is stacked into one matrix and scored through a single
+        ``predict_proba`` call.
+        """
+        scores = np.empty(len(samples), dtype=float)
+        undecided: List[int] = []
+        for index, features in enumerate(samples):
+            verdict = rule_verdict(features)
+            if verdict is False:
+                scores[index] = 0.0
+            elif verdict is True:
+                scores[index] = 1.0
+            elif self.model is None:
+                scores[index] = 1.0 if teacher_label(features) else 0.0
+            else:
+                undecided.append(index)
+        if undecided:
+            matrix = np.stack([samples[i].to_vector() for i in undecided])
+            scores[np.asarray(undecided)] = self.model.predict_proba(matrix)
+        return scores
+
     def is_good(
         self,
         vis: VisQuery,
@@ -281,18 +315,26 @@ class DeepEyeFilter:
 def train_filter_from_candidates(
     candidates: Sequence[Tuple[VisQuery, Database]],
     seed: int = 0,
+    cache: Optional[ExecutionCache] = None,
+    profiler: Optional[BuildProfiler] = None,
 ) -> DeepEyeFilter:
     """Train a :class:`DeepEyeFilter` on candidate charts labelled by the
-    teacher rules (the offline stand-in for DeepEye's labelled corpus)."""
+    teacher rules (the offline stand-in for DeepEye's labelled corpus).
+
+    Executions go through *cache* when given, so the benchmark build's
+    synthesis pass can reuse the filter-training pass's results.
+    """
     samples: List[ChartFeatures] = []
     labels: List[bool] = []
-    for vis, database in candidates:
-        features = extract_features(vis, database)
-        if features is None:
-            continue
-        samples.append(features)
-        labels.append(teacher_label(features))
+    with stage(profiler, "filter_featurize"):
+        for vis, database in candidates:
+            features = extract_features(vis, database, cache=cache)
+            if features is None:
+                continue
+            samples.append(features)
+            labels.append(teacher_label(features))
     filter_model = DeepEyeFilter()
     if samples and len(set(labels)) > 1:
-        filter_model.fit(samples, labels, seed=seed)
+        with stage(profiler, "filter_fit"):
+            filter_model.fit(samples, labels, seed=seed)
     return filter_model

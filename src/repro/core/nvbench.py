@@ -4,13 +4,23 @@
 Spider-like corpus, train the DeepEye-style filter on a sample of
 candidate charts, run the synthesizer over every (NL, SQL) pair, and
 assemble the resulting (NL, VIS) pairs with hardness labels.
+
+The build is instrumented and cache-aware (see ``docs/PERFORMANCE.md``):
+an :class:`~repro.storage.executor.ExecutionCache` deduplicates query
+executions across candidates and across the filter-training pass, a
+:class:`~repro.perf.BuildProfiler` collects per-stage wall times, and
+``workers=N`` shards the corpus by database over a process pool.  Serial
+and parallel builds produce identical pair lists: every input pair draws
+from its own ``(seed, pair index)``-derived RNG, so the sampling stream
+does not depend on sharding.
 """
 
 from __future__ import annotations
 
 import json
 from collections import Counter
-from dataclasses import dataclass, field
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
@@ -21,7 +31,14 @@ from repro.core.synthesizer import NL2VISSynthesizer, SynthesizedPair
 from repro.core.tree_edits import TreeEditConfig, generate_candidates
 from repro.grammar.ast_nodes import VisQuery
 from repro.grammar.serialize import from_tokens, to_tokens
-from repro.spider.corpus import CorpusConfig, SpiderCorpus, build_spider_corpus
+from repro.perf.profiler import BuildProfiler, stage
+from repro.spider.corpus import (
+    CorpusConfig,
+    NLSQLPair,
+    SpiderCorpus,
+    build_spider_corpus,
+)
+from repro.storage.executor import ExecutionCache
 from repro.storage.schema import Database
 
 
@@ -37,6 +54,8 @@ class NVBenchConfig:
     filter_training_pairs: int = 150
     #: train the classifier stage (False = rules + teacher only)
     train_filter: bool = True
+    #: memoize query executions across candidates and build passes
+    use_cache: bool = True
     seed: int = 11
 
 
@@ -97,40 +116,138 @@ class NVBench:
 def build_nvbench(
     corpus: Optional[SpiderCorpus] = None,
     config: Optional[NVBenchConfig] = None,
+    workers: int = 1,
+    profiler: Optional[BuildProfiler] = None,
 ) -> NVBench:
-    """Run the full nl2sql-to-nl2vis pipeline and return the benchmark."""
+    """Run the full nl2sql-to-nl2vis pipeline and return the benchmark.
+
+    ``workers > 1`` shards the corpus by database (databases are fully
+    independent) over a process pool and merges results back in corpus
+    order; the output is bit-identical to the serial build.  Pass a
+    :class:`BuildProfiler` to receive per-stage timings and cache
+    hit/miss counters.
+    """
     config = config or NVBenchConfig()
     if corpus is None:
-        corpus = build_spider_corpus(config.corpus)
+        with stage(profiler, "corpus_build"):
+            corpus = build_spider_corpus(config.corpus)
 
-    chart_filter = _make_filter(corpus, config)
+    cache = ExecutionCache() if config.use_cache else None
+    with stage(profiler, "filter_train"):
+        chart_filter = _make_filter(corpus, config, cache=cache, profiler=profiler)
+    with stage(profiler, "synthesize"):
+        if workers <= 1:
+            indexed = _synthesize_items(
+                corpus.databases,
+                list(enumerate(corpus.pairs)),
+                chart_filter,
+                config,
+                cache=cache,
+                profiler=profiler,
+            )
+        else:
+            indexed = _parallel_synthesize(
+                corpus, chart_filter, config, workers, profiler
+            )
+    if profiler is not None and cache is not None:
+        profiler.count("execution_cache_hits", cache.hits)
+        profiler.count("execution_cache_misses", cache.misses)
+
+    bench = NVBench(corpus=corpus)
+    bench.pairs = [item for _, item in sorted(indexed, key=lambda entry: entry[0])]
+    return bench
+
+
+def _synthesize_items(
+    databases: Dict[str, Database],
+    items: List[Tuple[int, NLSQLPair]],
+    chart_filter: DeepEyeFilter,
+    config: NVBenchConfig,
+    cache: Optional[ExecutionCache],
+    profiler: Optional[BuildProfiler],
+) -> List[Tuple[int, SynthesizedPair]]:
+    """Synthesize (corpus index, pair) items; order-preserving."""
     synthesizer = NL2VISSynthesizer(
         chart_filter=chart_filter,
         tree_config=config.tree_edits,
         max_vis_per_query=config.max_vis_per_query,
         seed=config.seed,
+        cache=cache,
+        profiler=profiler,
     )
-    bench = NVBench(corpus=corpus)
-    for pair in corpus.pairs:
-        database = corpus.databases[pair.db_name]
-        synthesized = synthesizer.synthesize(pair.nl, pair.query, database)
+    out: List[Tuple[int, SynthesizedPair]] = []
+    for index, pair in items:
+        database = databases[pair.db_name]
+        rng = np.random.default_rng((config.seed, index))
+        synthesized = synthesizer.synthesize(pair.nl, pair.query, database, rng=rng)
         for item in synthesized:
-            bench.pairs.append(
-                SynthesizedPair(
-                    nl=item.nl,
-                    vis=item.vis,
-                    db_name=item.db_name,
-                    hardness=item.hardness,
-                    source_nl=pair.nl,
-                    source_sql=pair.sql,
-                    manually_edited=item.manually_edited,
-                    back_translated=item.back_translated,
-                )
+            out.append(
+                (index, replace(item, source_nl=pair.nl, source_sql=pair.sql))
             )
-    return bench
+    return out
 
 
-def _make_filter(corpus: SpiderCorpus, config: NVBenchConfig) -> DeepEyeFilter:
+def _build_shard(args: tuple) -> Tuple[List[Tuple[int, SynthesizedPair]], dict]:
+    """Process-pool worker: synthesize one shard of databases.
+
+    Each worker gets its own execution cache (shards never share a
+    database, so nothing is lost) and its own profiler; the coordinator
+    merges the returned reports.
+    """
+    databases, items, chart_filter, config = args
+    cache = ExecutionCache() if config.use_cache else None
+    profiler = BuildProfiler()
+    out = _synthesize_items(
+        databases, items, chart_filter, config, cache=cache, profiler=profiler
+    )
+    if cache is not None:
+        profiler.count("execution_cache_hits", cache.hits)
+        profiler.count("execution_cache_misses", cache.misses)
+    return out, profiler.report()
+
+
+def _parallel_synthesize(
+    corpus: SpiderCorpus,
+    chart_filter: DeepEyeFilter,
+    config: NVBenchConfig,
+    workers: int,
+    profiler: Optional[BuildProfiler],
+) -> List[Tuple[int, SynthesizedPair]]:
+    """Shard the corpus by database over a process pool and merge."""
+    by_db: Dict[str, List[Tuple[int, NLSQLPair]]] = {}
+    for index, pair in enumerate(corpus.pairs):
+        by_db.setdefault(pair.db_name, []).append((index, pair))
+    # Round-robin databases (in corpus order) across shards for balance.
+    shards: List[Dict[str, List[Tuple[int, NLSQLPair]]]] = [
+        {} for _ in range(min(workers, max(len(by_db), 1)))
+    ]
+    for slot, (db_name, items) in enumerate(by_db.items()):
+        shards[slot % len(shards)][db_name] = items
+    tasks = [
+        (
+            {name: corpus.databases[name] for name in shard},
+            [item for items in shard.values() for item in items],
+            chart_filter,
+            config,
+        )
+        for shard in shards
+        if shard
+    ]
+    indexed: List[Tuple[int, SynthesizedPair]] = []
+    with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
+        for out, report in pool.map(_build_shard, tasks):
+            indexed.extend(out)
+            if profiler is not None:
+                profiler.merge_report(report)
+    return indexed
+
+
+def _make_filter(
+    corpus: SpiderCorpus,
+    config: NVBenchConfig,
+    cache: Optional[ExecutionCache] = None,
+    profiler: Optional[BuildProfiler] = None,
+) -> DeepEyeFilter:
     if not config.train_filter:
         return DeepEyeFilter()
     rng = np.random.default_rng(config.seed)
@@ -139,12 +256,15 @@ def _make_filter(corpus: SpiderCorpus, config: NVBenchConfig) -> DeepEyeFilter:
         return DeepEyeFilter()
     indexes = rng.choice(len(corpus.pairs), size=sample_size, replace=False)
     charts = []
-    for index in indexes:
-        pair = corpus.pairs[int(index)]
-        database = corpus.databases[pair.db_name]
-        for candidate in generate_candidates(pair.query, database, config.tree_edits):
-            charts.append((candidate.vis, database))
-    return train_filter_from_candidates(charts, seed=config.seed)
+    with stage(profiler, "filter_candidates"):
+        for index in indexes:
+            pair = corpus.pairs[int(index)]
+            database = corpus.databases[pair.db_name]
+            for candidate in generate_candidates(pair.query, database, config.tree_edits):
+                charts.append((candidate.vis, database))
+    return train_filter_from_candidates(
+        charts, seed=config.seed, cache=cache, profiler=profiler
+    )
 
 
 # ----- JSON (de)serialization ---------------------------------------------
@@ -153,8 +273,6 @@ def _make_filter(corpus: SpiderCorpus, config: NVBenchConfig) -> DeepEyeFilter:
 def save_nvbench_pairs(bench: NVBench, path: str) -> None:
     """Write the (NL, VIS) pairs (not the databases) to JSON; VIS trees
     are stored in their canonical token form."""
-    from repro.core.hardness import Hardness  # local to avoid cycle at import
-
     payload = [
         {
             "nl": pair.nl,

@@ -18,7 +18,10 @@ from repro.core.hardness import Hardness, classify_hardness
 from repro.core.nl_edits import synthesize_nl_variants
 from repro.core.tree_edits import TreeEditConfig, VisCandidate, generate_candidates
 from repro.grammar.ast_nodes import SQLQuery, VisQuery
+from repro.perf.profiler import BuildProfiler, stage
 from repro.sqlparse.parser import parse_sql
+from repro.sqlparse.printer import to_sql
+from repro.storage.executor import ExecutionCache
 from repro.storage.schema import Database
 
 
@@ -76,6 +79,12 @@ class NL2VISSynthesizer:
         kept vis per input pair — the filter is deliberately harsh).
     seed:
         Seeds NL template sampling; the pipeline is deterministic.
+    cache:
+        Optional :class:`ExecutionCache` shared across candidates (and
+        with the filter-training pass) so each query body executes once.
+    profiler:
+        Optional :class:`BuildProfiler` receiving the ``candidates``,
+        ``featurize``, ``score``, and ``select`` stages.
     """
 
     def __init__(
@@ -85,11 +94,15 @@ class NL2VISSynthesizer:
         max_vis_per_query: int = 2,
         second_slot_threshold: float = 0.52,
         seed: int = 0,
+        cache: Optional[ExecutionCache] = None,
+        profiler: Optional[BuildProfiler] = None,
     ):
         self.chart_filter = chart_filter or DeepEyeFilter()
         self.tree_config = tree_config or TreeEditConfig()
         self.max_vis_per_query = max_vis_per_query
         self.second_slot_threshold = second_slot_threshold
+        self.cache = cache
+        self.profiler = profiler
         self._rng = np.random.default_rng(seed)
 
     def synthesize(
@@ -98,27 +111,34 @@ class NL2VISSynthesizer:
         sql: Union[str, SQLQuery],
         database: Database,
         n_variants: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
     ) -> List[SynthesizedPair]:
-        """Run both synthesis steps for one (NL, SQL) input pair."""
+        """Run both synthesis steps for one (NL, SQL) input pair.
+
+        An explicit *rng* makes the call independent of synthesizer state
+        — the parallel build derives one per input pair so that sharded
+        and serial builds sample identically.
+        """
+        rng = rng if rng is not None else self._rng
         query = parse_sql(sql, database) if isinstance(sql, str) else sql
         kept = self.good_candidates(query, database)
         pairs: List[SynthesizedPair] = []
+        sql_text = sql if isinstance(sql, str) else to_sql(sql, database)
         for candidate in kept:
             per_vis = n_variants
             if per_vis is None and candidate.edit.has_deletions:
                 # Deletion cases need "manual" NL revision (Section 3.1) —
                 # the paper's experts wrote ~1.9 variants for those versus
                 # ~3.7 on average, so we produce fewer too.
-                per_vis = int(self._rng.integers(1, 3))
+                per_vis = int(rng.integers(1, 3))
             variants = synthesize_nl_variants(
                 source_nl=nl,
                 edit=candidate.edit,
                 vis=candidate.vis,
-                rng=self._rng,
+                rng=rng,
                 n_variants=per_vis,
             )
             hardness = classify_hardness(candidate.vis)
-            sql_text = sql if isinstance(sql, str) else ""
             for variant in variants:
                 pairs.append(
                     SynthesizedPair(
@@ -145,35 +165,67 @@ class NL2VISSynthesizer:
         This mirrors nvBench's composition, where one SQL query typically
         yields a small number of *different* chart types.
         """
-        candidates = generate_candidates(query, database, self.tree_config)
+        with stage(self.profiler, "candidates"):
+            candidates = generate_candidates(query, database, self.tree_config)
+        with stage(self.profiler, "featurize"):
+            featurized = []
+            for candidate in candidates:
+                features = extract_features(candidate.vis, database, cache=self.cache)
+                if features is not None:
+                    featurized.append((candidate, features))
+        with stage(self.profiler, "score"):
+            scores = self.chart_filter.score_batch(
+                [features for _, features in featurized]
+            )
         scored = []
-        for candidate in candidates:
-            features = extract_features(candidate.vis, database)
-            if features is None:
-                continue
-            score = self.chart_filter.score(features)
+        for (candidate, _), score in zip(featurized, scores):
             if score >= 0.5:
                 rank = (
                     score * _TYPE_PRIOR[candidate.vis.vis_type]
                     - 0.15 * len(candidate.edit.deleted_attrs)
                 )
                 scored.append((rank, len(scored), candidate))
+        with stage(self.profiler, "select"):
+            kept = self._select_diverse(scored)
+        if self.profiler is not None:
+            self.profiler.count("candidates_enumerated", len(candidates))
+            self.profiler.count("candidates_kept", len(kept))
+        return kept
+
+    def _select_diverse(self, scored: List[tuple]) -> List[VisCandidate]:
+        """Greedy type-diverse selection over ``(rank, index, candidate)``.
+
+        The repeat discount only depends on how many charts of a type are
+        already kept, so candidates are pre-sorted once *per type* and the
+        loop compares only the head of each type's list — O(n log n)
+        overall instead of re-sorting the whole pool every pick.
+        """
+        by_type: dict = {}
+        for entry in scored:
+            by_type.setdefault(entry[2].vis.vis_type, []).append(entry)
+        for entries in by_type.values():
+            entries.sort(key=lambda entry: (-entry[0], entry[1]))
+        heads = dict.fromkeys(by_type, 0)
         kept: List[VisCandidate] = []
         taken: set = set()
         type_counts: dict = {}
-        remaining = list(scored)
-        while remaining and len(kept) < self.max_vis_per_query:
-            remaining.sort(
-                key=lambda item: (
-                    -item[0]
-                    * _REPEAT_DISCOUNT ** type_counts.get(item[2].vis.vis_type, 0),
-                    item[1],
-                )
-            )
-            rank, _, candidate = remaining.pop(0)
-            discounted = rank * _REPEAT_DISCOUNT ** type_counts.get(
-                candidate.vis.vis_type, 0
-            )
+        while len(kept) < self.max_vis_per_query:
+            best = None
+            best_key = None
+            for vis_type, entries in by_type.items():
+                position = heads[vis_type]
+                if position >= len(entries):
+                    continue
+                rank, index, candidate = entries[position]
+                discounted = rank * _REPEAT_DISCOUNT ** type_counts.get(vis_type, 0)
+                key = (discounted, -index)
+                if best_key is None or key > best_key:
+                    best_key = key
+                    best = (vis_type, discounted, candidate)
+            if best is None:
+                break
+            vis_type, discounted, candidate = best
+            heads[vis_type] += 1
             # Beyond the first pick, only keep clearly good charts — the
             # paper's filter keeps well under two vis per SQL query.
             if kept and discounted < self.second_slot_threshold:
@@ -183,8 +235,6 @@ class NL2VISSynthesizer:
             if key in taken:
                 continue
             taken.add(key)
-            type_counts[candidate.vis.vis_type] = (
-                type_counts.get(candidate.vis.vis_type, 0) + 1
-            )
+            type_counts[vis_type] = type_counts.get(vis_type, 0) + 1
             kept.append(candidate)
         return kept

@@ -1,0 +1,9 @@
+"""Performance layer: build profiling and execution caching.
+
+See ``docs/PERFORMANCE.md`` for the profiler API, the execution-cache
+semantics, and how to read a ``BENCH_build.json`` trajectory.
+"""
+
+from repro.perf.profiler import BuildProfiler, StageStats, stage
+
+__all__ = ["BuildProfiler", "StageStats", "stage"]

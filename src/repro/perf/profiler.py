@@ -1,0 +1,123 @@
+"""Timing instrumentation for the benchmark build pipeline.
+
+:class:`BuildProfiler` collects named stages (wall time + call counts)
+and free-form counters (cache hits, candidate counts, ...).  It is
+deliberately tiny: a stage is a ``with profiler.stage("name"):`` block,
+and the whole profile serializes to one JSON object so build runs can be
+compared across commits (``benchmarks/test_build_perf.py`` records such
+a trajectory in ``BENCH_build.json``).
+
+Stages may nest — ``synthesize`` encloses ``candidates``/``featurize``/
+``score`` — so child stage times are *included* in their parent's total;
+the report is a flat map, not a tree.
+
+Every instrumented entry point takes ``profiler=None`` and stays
+zero-overhead when no profiler is passed; use the module-level
+:func:`stage` helper to guard a block against a ``None`` profiler.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterator, Optional
+
+
+@dataclass
+class StageStats:
+    """Accumulated wall time and call count of one named stage."""
+
+    calls: int = 0
+    seconds: float = 0.0
+
+
+class BuildProfiler:
+    """Collects per-stage wall times, call counts, and counters."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self._created = clock()
+        self.stages: Dict[str, StageStats] = {}
+        self.counters: Dict[str, int] = {}
+
+    # ----- recording ---------------------------------------------------
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time one ``with`` block under *name*."""
+        start = self._clock()
+        try:
+            yield
+        finally:
+            self.record(name, self._clock() - start)
+
+    def record(self, name: str, seconds: float, calls: int = 1) -> None:
+        """Add *seconds* of wall time (and *calls* invocations) to a stage."""
+        stats = self.stages.setdefault(name, StageStats())
+        stats.calls += calls
+        stats.seconds += seconds
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment a named counter."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def merge_report(self, report: dict) -> None:
+        """Fold another profiler's :meth:`report` into this one.
+
+        Used by the parallel build to absorb per-worker profiles into the
+        coordinating profiler.
+        """
+        for name, stats in report.get("stages", {}).items():
+            self.record(name, stats["seconds"], calls=stats["calls"])
+        for name, amount in report.get("counters", {}).items():
+            self.count(name, amount)
+
+    # ----- reporting ---------------------------------------------------
+
+    @property
+    def elapsed(self) -> float:
+        """Wall time since this profiler was created."""
+        return self._clock() - self._created
+
+    def report(self) -> dict:
+        """The full profile as one JSON-serializable dict."""
+        return {
+            "total_seconds": self.elapsed,
+            "stages": {
+                name: {"calls": stats.calls, "seconds": stats.seconds}
+                for name, stats in sorted(self.stages.items())
+            },
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+    def write_json(self, path: str) -> dict:
+        """Write :meth:`report` to *path*; returns the report."""
+        report = self.report()
+        Path(path).write_text(json.dumps(report, indent=2))
+        return report
+
+    def summary(self) -> str:
+        """Human-readable multi-line stage/counter table."""
+        lines = []
+        for name, stats in sorted(
+            self.stages.items(), key=lambda item: -item[1].seconds
+        ):
+            lines.append(
+                f"{name:24s} {stats.seconds:8.3f}s  ({stats.calls} calls)"
+            )
+        for name, amount in sorted(self.counters.items()):
+            lines.append(f"{name:24s} {amount:8d}")
+        return "\n".join(lines)
+
+
+@contextmanager
+def stage(profiler: Optional[BuildProfiler], name: str) -> Iterator[None]:
+    """``profiler.stage(name)`` that tolerates ``profiler=None``."""
+    if profiler is None:
+        yield
+    else:
+        with profiler.stage(name):
+            yield

@@ -38,6 +38,65 @@ class ExecutionError(RuntimeError):
     """Raised when a structurally valid query cannot run on the data."""
 
 
+class ExecutionCache:
+    """Memoizes :meth:`Executor.execute` results across queries.
+
+    Keys are ``(db_name, canonical query-body tokens)`` — the ``Visualize``
+    subtree is stripped, so a bar and a pie chart over the same query body
+    share one execution.  Failures are cached too (negative caching), so a
+    query that cannot run is attempted once per corpus, not once per
+    candidate.  Cached :class:`ResultTable` objects are shared between
+    callers and must be treated as read-only.
+    """
+
+    _OK, _ERR = "ok", "err"
+
+    def __init__(self):
+        self._entries: Dict[tuple, Tuple[str, object]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key_of(db_name: str, query: Union[SQLQuery, VisQuery]) -> tuple:
+        """The canonical cache key for *query* over database *db_name*."""
+        from repro.grammar.serialize import to_tokens
+
+        tokens = to_tokens(query)
+        if isinstance(query, VisQuery):
+            tokens = tokens[2:]  # drop "visualize <type>": same data either way
+        return (db_name, tuple(tokens))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Dict[str, object]:
+        """Hit/miss counters plus the derived hit rate."""
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._entries),
+            "hit_rate": self.hits / total if total else 0.0,
+        }
+
+    def fetch(self, key: tuple) -> Optional[Tuple[str, object]]:
+        """The raw cached entry for *key*, counting a hit when present."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+        return entry
+
+    def store_result(self, key: tuple, result: "ResultTable") -> None:
+        """Cache a successful execution; counts one miss."""
+        self.misses += 1
+        self._entries[key] = (self._OK, result)
+
+    def store_error(self, key: tuple, message: str) -> None:
+        """Cache a failed execution; counts one miss."""
+        self.misses += 1
+        self._entries[key] = (self._ERR, message)
+
+
 @dataclass
 class ResultTable:
     """Execution output: labelled columns and rows in select order."""
@@ -79,13 +138,37 @@ _MISSING_BIN = object()
 
 
 class Executor:
-    """Executes AST queries against one :class:`Database`."""
+    """Executes AST queries against one :class:`Database`.
 
-    def __init__(self, database: Database):
+    An optional :class:`ExecutionCache` memoizes whole-query results (and
+    failures) keyed on the canonical query body, shared across Executor
+    instances over the same cache.
+    """
+
+    def __init__(self, database: Database, cache: Optional[ExecutionCache] = None):
         self.database = database
+        self.cache = cache
 
     def execute(self, query: Union[SQLQuery, VisQuery]) -> ResultTable:
         """Run *query* and return its result table."""
+        if self.cache is None:
+            return self._execute(query)
+        key = ExecutionCache.key_of(self.database.name, query)
+        entry = self.cache.fetch(key)
+        if entry is not None:
+            kind, payload = entry
+            if kind == ExecutionCache._ERR:
+                raise ExecutionError(payload)
+            return payload
+        try:
+            result = self._execute(query)
+        except ExecutionError as exc:
+            self.cache.store_error(key, str(exc))
+            raise
+        self.cache.store_result(key, result)
+        return result
+
+    def _execute(self, query: Union[SQLQuery, VisQuery]) -> ResultTable:
         body = query.body
         if isinstance(body, SetQuery):
             left = self.execute_core(body.left)

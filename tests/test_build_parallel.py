@@ -1,0 +1,90 @@
+"""Determinism of the parallel, cached benchmark build.
+
+The build must produce the same pair list no matter how it is executed:
+sharded over a process pool or serial, with or without the execution
+cache.  These are the guarantees that make ``workers=N`` and
+``use_cache`` pure performance knobs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.nvbench import NVBenchConfig, build_nvbench
+from repro.perf import BuildProfiler
+from repro.spider.corpus import CorpusConfig, build_spider_corpus
+
+
+@pytest.fixture(scope="module")
+def tiny_corpus():
+    return build_spider_corpus(
+        CorpusConfig(num_databases=3, pairs_per_database=4, row_scale=0.3, seed=3)
+    )
+
+
+def _config(use_cache: bool = True) -> NVBenchConfig:
+    return NVBenchConfig(
+        filter_training_pairs=12, use_cache=use_cache, seed=3
+    )
+
+
+class TestBuildDeterminism:
+    def test_workers4_matches_workers1(self, tiny_corpus):
+        serial = build_nvbench(corpus=tiny_corpus, config=_config(), workers=1)
+        parallel = build_nvbench(corpus=tiny_corpus, config=_config(), workers=4)
+        assert serial.pairs
+        assert parallel.pairs == serial.pairs
+
+    def test_cached_matches_uncached(self, tiny_corpus):
+        cached = build_nvbench(corpus=tiny_corpus, config=_config(use_cache=True))
+        uncached = build_nvbench(
+            corpus=tiny_corpus, config=_config(use_cache=False)
+        )
+        assert cached.pairs
+        assert cached.pairs == uncached.pairs
+
+    def test_more_workers_than_databases(self, tiny_corpus):
+        # Shard count is capped at the database count; empty shards never
+        # reach the pool.
+        serial = build_nvbench(corpus=tiny_corpus, config=_config(), workers=1)
+        oversubscribed = build_nvbench(
+            corpus=tiny_corpus, config=_config(), workers=16
+        )
+        assert oversubscribed.pairs == serial.pairs
+
+    def test_repeat_builds_identical(self, tiny_corpus):
+        first = build_nvbench(corpus=tiny_corpus, config=_config())
+        second = build_nvbench(corpus=tiny_corpus, config=_config())
+        assert first.pairs == second.pairs
+
+
+class TestBuildProfile:
+    def test_serial_profile_has_stages_and_cache_counters(self, tiny_corpus):
+        profiler = BuildProfiler()
+        build_nvbench(corpus=tiny_corpus, config=_config(), profiler=profiler)
+        report = profiler.report()
+        for name in ("filter_train", "synthesize", "featurize", "score"):
+            assert name in report["stages"]
+            assert report["stages"][name]["calls"] >= 1
+            assert report["stages"][name]["seconds"] >= 0.0
+        # The filter-training pass primes the cache, so synthesis hits it.
+        assert report["counters"]["execution_cache_hits"] > 0
+        assert report["counters"]["execution_cache_misses"] > 0
+
+    def test_parallel_profile_merges_worker_reports(self, tiny_corpus):
+        profiler = BuildProfiler()
+        build_nvbench(
+            corpus=tiny_corpus, config=_config(), workers=2, profiler=profiler
+        )
+        report = profiler.report()
+        assert report["stages"]["featurize"]["calls"] >= 1
+        assert report["counters"]["candidates_enumerated"] > 0
+
+    def test_profile_json_roundtrip(self, tiny_corpus, tmp_path):
+        import json
+
+        profiler = BuildProfiler()
+        build_nvbench(corpus=tiny_corpus, config=_config(), profiler=profiler)
+        path = tmp_path / "profile.json"
+        written = profiler.write_json(str(path))
+        assert json.loads(path.read_text()) == written

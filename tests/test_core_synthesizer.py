@@ -77,7 +77,12 @@ class TestSynthesizer:
         synthesizer = NL2VISSynthesizer(seed=1)
         pairs = synthesizer.synthesize("Origins and prices.", query, flight_db)
         assert pairs
-        assert all(pair.source_sql == "" for pair in pairs)
+        # A pre-parsed query is serialized back through the SQL printer,
+        # never silently dropped to "".
+        assert all(
+            pair.source_sql == "SELECT flight.origin, flight.price FROM flight"
+            for pair in pairs
+        )
 
     def test_unfilterable_query_yields_nothing(self, flight_db):
         # A query returning a single value cannot make a good chart.
