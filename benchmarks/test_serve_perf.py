@@ -1,0 +1,170 @@
+"""Inference-service performance harness (`BENCH_serve.json` trajectory).
+
+Runs the same request list against two live servers over real sockets:
+
+* **unbatched** — ``max_batch_size=1``: every request pays its own
+  forward pass, the seed-equivalent serving cost;
+* **batched** — ``max_batch_size=8``: concurrent requests coalesce into
+  one padded forward pass.
+
+Both servers run with the response cache disabled so every request hits
+the model.  Asserts the batched responses are bit-identical to a serial
+``translate_question`` reference (batching must never change outputs)
+and that batching raises throughput, then writes
+``results/BENCH_serve.json`` with p50/p99 latency, rps, and the realized
+batch-size distribution so the trajectory can be compared across
+commits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.core.nvbench import NVBenchConfig, build_nvbench
+from repro.neural.data import build_dataset
+from repro.neural.model import Seq2Vis
+from repro.serve import (
+    BackgroundServer,
+    InferenceServer,
+    LoadGenerator,
+    ModelRegistry,
+    NeuralTranslator,
+    ServerConfig,
+    translate_question,
+)
+from repro.spider.corpus import CorpusConfig
+
+from conftest import emit
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+QUESTION_STEMS = [
+    "how many rows per category",
+    "show the average price by type",
+    "total amount for each name sorted descending",
+    "plot a pie of counts per status",
+    "what is the number of items per year",
+    "compare the minimum score across groups",
+    "show the maximum value for each label",
+    "count the records grouped by kind",
+]
+
+
+def _load_report(server: InferenceServer, requests) -> tuple:
+    """Run the load generator against *server*; returns (report, bodies,
+    metrics snapshot)."""
+    with BackgroundServer(server) as background:
+        client = background.client()
+        generator = LoadGenerator(client, concurrency=8)
+        report, responses = generator.run(requests)
+        metrics = client.metrics()
+    return report, responses, metrics
+
+
+def test_batched_serving_throughput():
+    quick = os.environ.get("REPRO_BENCH_PROFILE") == "quick"
+    corpus_config = CorpusConfig(
+        num_databases=4 if quick else 6,
+        pairs_per_database=8,
+        row_scale=0.4,
+        seed=7,
+    )
+    bench = build_nvbench(config=NVBenchConfig(corpus=corpus_config, seed=7))
+    dataset = build_dataset(bench.pairs[:80], bench.databases)
+    model = Seq2Vis(
+        len(dataset.in_vocab), len(dataset.out_vocab), "attention",
+        32, 48, seed=11,
+    )
+    db_names = sorted(bench.databases)
+
+    n_requests = 32 if quick else 64
+    requests = [
+        {
+            "question": f"{QUESTION_STEMS[i % len(QUESTION_STEMS)]} ({i})",
+            "db": db_names[i % len(db_names)],
+            "use_cache": False,
+        }
+        for i in range(n_requests)
+    ]
+    reference = [
+        translate_question(
+            model, dataset.in_vocab, dataset.out_vocab,
+            request["question"], bench.databases[request["db"]],
+        )
+        for request in requests
+    ]
+
+    def make_server(max_batch_size: int) -> InferenceServer:
+        registry = ModelRegistry()
+        registry.register(
+            "attn", NeuralTranslator(model, dataset.in_vocab, dataset.out_vocab)
+        )
+        return InferenceServer(
+            registry,
+            bench.databases,
+            ServerConfig(
+                port=0,
+                max_batch_size=max_batch_size,
+                flush_interval=0.01,
+                cache_size=0,
+            ),
+        )
+
+    unbatched_report, unbatched_responses, _ = _load_report(
+        make_server(1), requests
+    )
+    batched_report, batched_responses, batched_metrics = _load_report(
+        make_server(8), requests
+    )
+
+    assert unbatched_report.errors == 0, unbatched_report.by_status
+    assert batched_report.errors == 0, batched_report.by_status
+    # Batching must never change what the model predicts.
+    for request, response, expected in zip(
+        requests, batched_responses, reference
+    ):
+        assert response["tokens"] == expected.tokens, request
+        assert response["vis"] == expected.vis_text
+    for response, expected in zip(unbatched_responses, reference):
+        assert response["tokens"] == expected.tokens
+
+    speedup = (
+        batched_report.rps / unbatched_report.rps
+        if unbatched_report.rps
+        else 0.0
+    )
+    trajectory = {
+        "requests": n_requests,
+        "concurrency": 8,
+        "databases": len(bench.databases),
+        "unbatched": unbatched_report.to_json(),
+        "batched": batched_report.to_json(),
+        "speedup": speedup,
+        "avg_batch_size": batched_metrics["avg_batch_size"],
+        "batch_size_buckets": batched_metrics["batch_size"]["buckets"],
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_serve.json").write_text(
+        json.dumps(trajectory, indent=2)
+    )
+
+    emit(
+        "BENCH serving throughput",
+        f"unbatched  {unbatched_report.rps:7.1f} rps  "
+        f"p50 {unbatched_report.p50_ms:6.1f}ms  "
+        f"p99 {unbatched_report.p99_ms:6.1f}ms\n"
+        f"batched    {batched_report.rps:7.1f} rps  "
+        f"p50 {batched_report.p50_ms:6.1f}ms  "
+        f"p99 {batched_report.p99_ms:6.1f}ms\n"
+        f"speedup    {speedup:7.2f}x\n"
+        f"avg batch  {trajectory['avg_batch_size']:7.2f}",
+    )
+
+    assert batched_metrics["avg_batch_size"] > 1.0, (
+        "micro-batcher never coalesced anything"
+    )
+    assert speedup > 1.0, (
+        f"batched serving only {speedup:.2f}x the unbatched throughput"
+    )

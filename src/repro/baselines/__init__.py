@@ -13,4 +13,11 @@
 from repro.baselines.deepeye_baseline import DeepEyeBaseline
 from repro.baselines.nl4dv_baseline import NL4DVBaseline
 
-__all__ = ["DeepEyeBaseline", "NL4DVBaseline"]
+#: Registry names → baseline classes, as served by ``repro.serve``'s
+#: :class:`~repro.serve.registry.ModelRegistry` next to neural models.
+BASELINES = {
+    "deepeye": DeepEyeBaseline,
+    "nl4dv": NL4DVBaseline,
+}
+
+__all__ = ["BASELINES", "DeepEyeBaseline", "NL4DVBaseline"]

@@ -7,6 +7,7 @@ Commands
 ``stats``            print Table-2/Table-3 style statistics for a benchmark
 ``train``            train a seq2vis variant on a benchmark; save the model
 ``translate``        translate an NL question with a saved model
+``serve``            run the batched HTTP inference service
 """
 
 from __future__ import annotations
@@ -130,20 +131,16 @@ def _cmd_train(args: argparse.Namespace) -> int:
     report = evaluate_model(model, test_set, bench)
     print(f"tree accuracy {report.tree_accuracy:.1%}  "
           f"result accuracy {report.result_accuracy:.1%}")
-    save_model(model, train_set.in_vocab, train_set.out_vocab, args.out)
-    print(f"saved model to {args.out}")
+    written = save_model(model, train_set.in_vocab, train_set.out_vocab, args.out)
+    print(f"saved model to {written}")
     return 0
 
 
 def _cmd_translate(args: argparse.Namespace) -> int:
-    from repro.grammar.serialize import from_tokens, to_text
-    from repro.neural.data import SEP_TOKEN, schema_tokens
-    from repro.neural.model import Batch
-    from repro.neural.persist import load_model
-    from repro.neural.slots import fill_value_slots
-    from repro.nlp.tokenize import tokenize_nl
+    import json
 
-    import numpy as np
+    from repro.neural.persist import load_model
+    from repro.serve import render_spec, translate_question
 
     corpus = load_corpus(args.corpus)
     if args.database not in corpus.databases:
@@ -153,26 +150,82 @@ def _cmd_translate(args: argparse.Namespace) -> int:
     database = corpus.databases[args.database]
     model, in_vocab, out_vocab = load_model(args.model)
 
-    src_tokens = tokenize_nl(args.question) + [SEP_TOKEN] + schema_tokens(database)
-    src_ids = np.array([in_vocab.encode(src_tokens)])
-    src_out = np.array([[out_vocab.id_of(t) for t in src_tokens]])
-    batch = Batch(
-        src_ids=src_ids,
-        src_mask=np.ones_like(src_ids, dtype=float),
-        src_out_ids=src_out,
-        tgt_in=np.zeros((1, 1), dtype=np.int64),
-        tgt_out=np.zeros((1, 1), dtype=np.int64),
-        tgt_mask=np.zeros((1, 1)),
+    result = translate_question(
+        model, in_vocab, out_vocab, args.question, database
     )
-    decoded = model.greedy_decode(batch, out_vocab.bos_id, out_vocab.eos_id)[0]
-    tokens = out_vocab.decode(decoded)
-    print("predicted tokens:", " ".join(tokens))
+    print("predicted tokens:", " ".join(result.tokens))
+    if result.tree is None:
+        print(f"(not a parseable vis tree: {result.error})")
+        return 0
+    print("predicted tree :", result.vis_text)
+    if args.format != "text":
+        spec = render_spec(result, database, args.format)
+        if isinstance(spec, str):
+            print(spec)
+        else:
+            print(json.dumps(spec, indent=2, default=str))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import InferenceServer, ModelRegistry, ServerConfig
+
+    corpus = load_corpus(args.corpus)
+    registry = ModelRegistry()
+    for spec in args.model or []:
+        name, _, path = spec.partition("=")
+        if not name or not path:
+            print(f"--model wants NAME=PATH, got {spec!r}", file=sys.stderr)
+            return 2
+        registry.load_npz(name, path)
+    if args.baselines or not len(registry):
+        registry.register_baselines()
+    if args.default:
+        try:
+            registry.set_default(args.default)
+        except KeyError:
+            print(f"unknown default model {args.default!r}; "
+                  f"registered: {registry.names()}", file=sys.stderr)
+            return 2
+    if args.warm:
+        for name, seconds in registry.warm(corpus.databases).items():
+            print(f"warmed {name} in {seconds * 1000:.1f} ms")
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_batch_size=args.max_batch_size,
+        flush_interval=args.flush_ms / 1000.0,
+        max_queue_depth=args.queue_depth,
+        request_timeout=args.timeout,
+        cache_size=args.cache_size,
+        default_format=args.format,
+    )
+    server = InferenceServer(registry, corpus.databases, config=config)
+
+    async def _main() -> None:
+        host, port = await server.start()
+        print(f"serving {registry.names()} on http://{host}:{port} "
+              f"(batch<={config.max_batch_size}, flush {args.flush_ms}ms, "
+              f"queue {config.max_queue_depth})")
+        try:
+            await server._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            # Runs inside the same loop on Ctrl-C: drain, then exit.
+            await server.shutdown()
+
     try:
-        tree = from_tokens(tokens)
-        tree = fill_value_slots(tree, args.question, database)
-        print("predicted tree :", to_text(tree))
-    except Exception as exc:  # noqa: BLE001 - report, don't crash
-        print(f"(not a parseable vis tree: {exc})")
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        # Pre-3.11 asyncio delivers Ctrl-C as a plain KeyboardInterrupt;
+        # 3.11+ cancels _main instead, which drains via its finally and
+        # returns here normally.
+        pass
+    print("server drained; bye")
     return 0
 
 
@@ -224,8 +277,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--corpus", required=True)
     p.add_argument("--model", required=True)
     p.add_argument("--database", required=True)
+    p.add_argument("--format", default="text",
+                   choices=("text", "vega-lite", "echarts", "plotly",
+                            "ascii", "ggplot"),
+                   help="also emit the rendered spec in this backend format")
     p.add_argument("question")
     p.set_defaults(func=_cmd_translate)
+
+    p = sub.add_parser("serve", help="run the HTTP inference service")
+    p.add_argument("--corpus", required=True,
+                   help="corpus JSON with the served databases")
+    p.add_argument("--model", action="append", metavar="NAME=PATH",
+                   help="register a saved seq2vis .npz (repeatable)")
+    p.add_argument("--baselines", action="store_true",
+                   help="also register the DeepEye/NL4DV baselines "
+                        "(automatic when no --model is given)")
+    p.add_argument("--default", help="model name requests use by default")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080)
+    p.add_argument("--max-batch-size", type=int, default=8,
+                   help="requests coalesced into one forward pass")
+    p.add_argument("--flush-ms", type=float, default=5.0,
+                   help="micro-batch flush deadline in milliseconds")
+    p.add_argument("--queue-depth", type=int, default=128,
+                   help="queued requests before returning 429")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="per-request deadline in seconds (504 past it)")
+    p.add_argument("--cache-size", type=int, default=1024,
+                   help="response-cache entries; 0 disables")
+    p.add_argument("--format", default="text",
+                   choices=("text", "vega-lite", "echarts", "plotly",
+                            "ascii", "ggplot"),
+                   help="default render format for responses")
+    p.add_argument("--warm", action="store_true",
+                   help="run one dummy request per model before serving")
+    p.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -113,6 +113,36 @@ class Seq2VisDataset:
         )
 
 
+def encode_source_batch(
+    src_token_lists: Sequence[Sequence[str]],
+    in_vocab: Vocabulary,
+    out_vocab: Vocabulary,
+) -> Batch:
+    """Pad already-tokenized source sequences into one inference batch.
+
+    The serving path uses this to coalesce concurrent translate requests
+    into a single forward pass: sequences are padded to the longest one,
+    ``src_out_ids`` carries the same tokens in output-vocab ids for the
+    copy mechanism, and the mask zeroes the padding so the decode is
+    bit-identical to running each request alone (the encoder blends
+    padded positions away exactly; attention masks them to 0).
+    """
+    if not src_token_lists:
+        raise ValueError("cannot encode an empty batch")
+    src_len = max(len(tokens) for tokens in src_token_lists)
+    batch = len(src_token_lists)
+    src_ids = np.full((batch, src_len), in_vocab.pad_id, dtype=np.int64)
+    src_out_ids = np.full((batch, src_len), out_vocab.unk_id, dtype=np.int64)
+    src_mask = np.zeros((batch, src_len))
+    for row, tokens in enumerate(src_token_lists):
+        ids = in_vocab.encode(tokens)
+        src_ids[row, : len(ids)] = ids
+        src_mask[row, : len(ids)] = 1.0
+        for col, token in enumerate(tokens):
+            src_out_ids[row, col] = out_vocab.id_of(token)
+    return Batch.for_inference(src_ids, src_mask, src_out_ids)
+
+
 def schema_tokens(database: Database) -> List[str]:
     """Qualified column-name tokens for the schema part of the input."""
     tokens = [

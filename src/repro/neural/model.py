@@ -37,6 +37,29 @@ class Batch:
     tgt_out: np.ndarray        # (B, T) decoder targets (... EOS)
     tgt_mask: np.ndarray       # (B, T)
 
+    @classmethod
+    def for_inference(
+        cls,
+        src_ids: np.ndarray,
+        src_mask: np.ndarray,
+        src_out_ids: np.ndarray,
+    ) -> "Batch":
+        """A decode-only batch: padded source arrays, dummy targets.
+
+        The encoder and both decode paths only read the ``src_*`` arrays
+        and the mask; the target arrays exist so the dataclass stays one
+        shape for training and serving.
+        """
+        batch = src_ids.shape[0]
+        return cls(
+            src_ids=src_ids,
+            src_mask=src_mask,
+            src_out_ids=src_out_ids,
+            tgt_in=np.zeros((batch, 1), dtype=np.int64),
+            tgt_out=np.zeros((batch, 1), dtype=np.int64),
+            tgt_mask=np.zeros((batch, 1)),
+        )
+
 
 class Seq2Vis(Module):
     """Encoder-decoder translation from NL tokens to VIS tokens."""

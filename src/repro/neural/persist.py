@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Tuple
+from typing import Tuple, Union
 
 import numpy as np
 
@@ -17,13 +17,31 @@ from repro.neural.model import Seq2Vis
 from repro.nlp.vocab import SPECIALS, Vocabulary
 
 
+def normalize_model_path(path: Union[str, Path]) -> Path:
+    """The path a model archive actually lives at.
+
+    ``np.savez`` silently appends ``.npz`` when the target lacks the
+    suffix, so a caller that passed ``models/attn`` would get a file at
+    ``models/attn.npz`` while believing it wrote ``models/attn``.  Both
+    :func:`save_model` and :func:`load_model` route through this helper
+    so the reported, written, and loaded paths always agree.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
 def save_model(
     model: Seq2Vis,
     in_vocab: Vocabulary,
     out_vocab: Vocabulary,
-    path: str,
-) -> None:
-    """Write *model* and its vocabularies to ``path`` (.npz)."""
+    path: Union[str, Path],
+) -> Path:
+    """Write *model* and its vocabularies to ``path`` (.npz).
+
+    Returns the path actually written (``.npz`` suffix normalized).
+    """
     meta = {
         "variant": model.variant,
         "embed_dim": int(model.embed_in.weight.data.shape[1]),
@@ -35,17 +53,24 @@ def save_model(
         f"param_{index}": param.data
         for index, param in enumerate(model.parameters())
     }
+    path = normalize_model_path(path)
     np.savez(path, meta=json.dumps(meta), **arrays)
+    return path
 
 
-def load_model(path: str) -> Tuple[Seq2Vis, Vocabulary, Vocabulary]:
-    """Load a model saved with :func:`save_model`."""
+def load_model(path: Union[str, Path]) -> Tuple[Seq2Vis, Vocabulary, Vocabulary]:
+    """Load a model saved with :func:`save_model`.
+
+    Accepts the path with or without the ``.npz`` suffix, mirroring what
+    :func:`save_model` accepts.
+    """
+    path = normalize_model_path(path)
     archive = np.load(path, allow_pickle=False)
     meta = json.loads(str(archive["meta"]))
     in_vocab = Vocabulary(t for t in meta["in_vocab"] if t not in SPECIALS)
     out_vocab = Vocabulary(t for t in meta["out_vocab"] if t not in SPECIALS)
     if in_vocab.tokens != meta["in_vocab"] or out_vocab.tokens != meta["out_vocab"]:
-        raise ValueError(f"vocabulary mismatch while loading {path!r}")
+        raise ValueError(f"vocabulary mismatch while loading {str(path)!r}")
     model = Seq2Vis(
         in_vocab_size=len(in_vocab),
         out_vocab_size=len(out_vocab),

@@ -1,9 +1,22 @@
-"""Performance layer: build profiling and execution caching.
+"""Performance layer: build profiling, execution caching, histograms.
 
 See ``docs/PERFORMANCE.md`` for the profiler API, the execution-cache
-semantics, and how to read a ``BENCH_build.json`` trajectory.
+semantics, and how to read a ``BENCH_build.json`` trajectory;
+``docs/SERVING.md`` covers the histogram-backed serving metrics.
 """
 
+from repro.perf.histogram import (
+    BATCH_SIZE_BUCKETS,
+    LATENCY_BUCKETS_MS,
+    Histogram,
+)
 from repro.perf.profiler import BuildProfiler, StageStats, stage
 
-__all__ = ["BuildProfiler", "StageStats", "stage"]
+__all__ = [
+    "BATCH_SIZE_BUCKETS",
+    "BuildProfiler",
+    "Histogram",
+    "LATENCY_BUCKETS_MS",
+    "StageStats",
+    "stage",
+]

@@ -1,0 +1,106 @@
+"""Fixed-bucket histograms for the serving layer's metrics.
+
+A :class:`Histogram` counts observations into configured upper-bound
+buckets (Prometheus style: each bucket counts values ``<= bound``, with
+an implicit ``+inf`` bucket at the end) and additionally keeps a bounded
+window of recent raw observations so percentiles stay exact for the
+request volumes the test/benchmark harnesses produce.  All methods are
+thread-safe — the inference server observes latencies from the event
+loop and batch sizes from executor threads concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Dict, List, Optional, Sequence
+
+#: Default latency buckets (milliseconds), log-ish spaced.
+LATENCY_BUCKETS_MS = (
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0,
+)
+
+#: Default batch-size buckets (requests per forward pass).
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+
+class Histogram:
+    """Counts observations into ``<= bound`` buckets; exact percentiles
+    over a bounded window of the most recent observations."""
+
+    def __init__(
+        self,
+        buckets: Sequence[float] = LATENCY_BUCKETS_MS,
+        window: int = 4096,
+    ):
+        if list(buckets) != sorted(buckets):
+            raise ValueError(f"bucket bounds must be ascending: {buckets!r}")
+        self._bounds: List[float] = [float(b) for b in buckets]
+        self._counts: List[int] = [0] * (len(self._bounds) + 1)
+        self._recent: deque = deque(maxlen=window)
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        with self._lock:
+            slot = len(self._bounds)
+            for index, bound in enumerate(self._bounds):
+                if value <= bound:
+                    slot = index
+                    break
+            self._counts[slot] += 1
+            self._recent.append(value)
+            self.count += 1
+            self.total += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        with self._lock:
+            return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The *q*-th percentile (0..100) over the recent window.
+
+        Nearest-rank on the retained window; 0.0 when empty.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            values = sorted(self._recent)
+        if not values:
+            return 0.0
+        rank = max(0, min(len(values) - 1, round(q / 100 * (len(values) - 1))))
+        return values[rank]
+
+    def buckets(self) -> Dict[str, int]:
+        """Bucket label → count, including the ``+inf`` overflow bucket."""
+        with self._lock:
+            labels = [f"le_{_label(bound)}" for bound in self._bounds] + ["le_inf"]
+            return dict(zip(labels, self._counts))
+
+    def summary(self) -> Dict[str, object]:
+        """One JSON-ready dict: count/mean/min/max/percentiles/buckets."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "buckets": self.buckets(),
+        }
+
+
+def _label(bound: float) -> str:
+    if float(bound).is_integer():
+        return str(int(bound))
+    return str(bound)

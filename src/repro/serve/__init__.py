@@ -1,0 +1,68 @@
+"""Online NL2VIS inference: model registry, micro-batching HTTP service.
+
+The serving layer the ROADMAP's "heavy traffic" north star asks for:
+
+* :mod:`repro.serve.translate` — the single shared inference path
+  (tokenize → encode → decode → slot-fill → parse → render) used by
+  both the CLI and the server;
+* :mod:`repro.serve.registry` — named, hot-swappable translators
+  (saved seq2vis models and the rule-based baselines);
+* :mod:`repro.serve.batcher` — micro-batching queue with backpressure;
+* :mod:`repro.serve.cache` — LRU response cache over the execution cache;
+* :mod:`repro.serve.server` — the asyncio HTTP service
+  (``POST /translate``, ``GET /healthz``, ``GET /metrics``);
+* :mod:`repro.serve.client` — blocking client + load generator.
+
+Start one with ``python -m repro serve --corpus corpus.json --model
+attn=model.npz`` (see ``docs/SERVING.md``).
+"""
+
+from repro.serve.batcher import MicroBatcher, QueueFullError, ServerDrainingError
+from repro.serve.cache import ResponseCache
+from repro.serve.client import LoadGenerator, LoadReport, ServeClient, ServeError
+from repro.serve.metrics import ServeMetrics
+from repro.serve.runner import BackgroundServer
+from repro.serve.registry import (
+    BaselineTranslator,
+    ModelRegistry,
+    NeuralTranslator,
+    Translator,
+    UnknownModelError,
+)
+from repro.serve.server import InferenceServer, ServerConfig
+from repro.serve.translate import (
+    FORMATS,
+    TranslateResult,
+    normalize_question,
+    render_spec,
+    source_tokens,
+    translate_batch,
+    translate_question,
+)
+
+__all__ = [
+    "FORMATS",
+    "BackgroundServer",
+    "BaselineTranslator",
+    "InferenceServer",
+    "LoadGenerator",
+    "LoadReport",
+    "MicroBatcher",
+    "ModelRegistry",
+    "NeuralTranslator",
+    "QueueFullError",
+    "ResponseCache",
+    "ServeClient",
+    "ServeError",
+    "ServeMetrics",
+    "ServerConfig",
+    "ServerDrainingError",
+    "Translator",
+    "TranslateResult",
+    "UnknownModelError",
+    "normalize_question",
+    "render_spec",
+    "source_tokens",
+    "translate_batch",
+    "translate_question",
+]

@@ -1,0 +1,80 @@
+"""LRU response cache for the inference server.
+
+Keyed on ``(model, db, normalized question, format)`` — the full
+response body is cached, so a repeat question skips the model forward
+pass *and* the chart-data execution.  This sits above the
+:class:`~repro.storage.executor.ExecutionCache`: distinct questions
+that decode to the same query body still share one execution below.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from repro.serve.translate import normalize_question
+
+CacheKey = Tuple[str, str, str, str]
+
+
+class ResponseCache:
+    """A bounded, thread-safe LRU mapping of request keys to responses.
+
+    ``maxsize <= 0`` disables caching entirely (every get misses, puts
+    are dropped) so one code path serves both configurations.
+    """
+
+    def __init__(self, maxsize: int = 1024):
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[CacheKey, dict]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key_of(model: str, db_name: str, question: str, fmt: str) -> CacheKey:
+        """The canonical cache key for one translate request."""
+        return (model, db_name, normalize_question(question), fmt)
+
+    def get(self, key: CacheKey) -> Optional[dict]:
+        """The cached response for *key*, refreshed to most-recent."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: CacheKey, response: dict) -> None:
+        """Store *response*, evicting the least-recently-used overflow."""
+        if self.maxsize <= 0:
+            return
+        with self._lock:
+            self._entries[key] = response
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (counters survive)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, object]:
+        """Hit/miss counters plus size and derived hit rate."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+                "hit_rate": self.hits / total if total else 0.0,
+            }

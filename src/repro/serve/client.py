@@ -1,0 +1,194 @@
+"""Client for the inference service, plus a threaded load generator.
+
+:class:`ServeClient` is a small blocking JSON-over-HTTP client (stdlib
+``http.client``, one connection per call) used by the tests, the
+benchmark harness, and anything scripting against a running
+``python -m repro serve``.  :class:`LoadGenerator` fans a request list
+over worker threads and reports throughput and latency percentiles —
+the numbers ``BENCH_serve.json`` tracks across commits.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.perf import LATENCY_BUCKETS_MS, Histogram
+
+
+class ServeError(RuntimeError):
+    """A non-200 response from the service."""
+
+    def __init__(self, status: int, body: dict):
+        super().__init__(f"HTTP {status}: {body.get('error', body)}")
+        self.status = status
+        self.body = body
+
+
+class ServeClient:
+    """Blocking client for one server address."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ----- raw request -------------------------------------------------
+
+    def request(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> Tuple[int, dict]:
+        """One HTTP exchange; returns (status, decoded JSON body)."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = json.dumps(payload).encode("utf-8") if payload is not None else None
+            headers = {"Connection": "close"}
+            if body is not None:
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            return response.status, json.loads(raw.decode("utf-8"))
+        finally:
+            connection.close()
+
+    def _checked(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        status, body = self.request(method, path, payload)
+        if status != 200:
+            raise ServeError(status, body)
+        return body
+
+    # ----- endpoints ---------------------------------------------------
+
+    def healthz(self) -> dict:
+        """The /healthz document."""
+        return self._checked("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        """The /metrics document."""
+        return self._checked("GET", "/metrics")
+
+    def translate(
+        self,
+        question: str,
+        db: str,
+        model: Optional[str] = None,
+        fmt: Optional[str] = None,
+        use_cache: bool = True,
+    ) -> dict:
+        """Translate one question; raises :class:`ServeError` on non-200."""
+        payload: Dict[str, object] = {
+            "question": question,
+            "db": db,
+            "use_cache": use_cache,
+        }
+        if model is not None:
+            payload["model"] = model
+        if fmt is not None:
+            payload["format"] = fmt
+        return self._checked("POST", "/translate", payload)
+
+
+@dataclass
+class LoadReport:
+    """What one load-generator run measured."""
+
+    requests: int
+    errors: int
+    seconds: float
+    rps: float
+    p50_ms: float
+    p99_ms: float
+    mean_ms: float
+    by_status: Dict[int, int] = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        """JSON-ready form for ``BENCH_serve.json``."""
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "seconds": self.seconds,
+            "rps": self.rps,
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+            "mean_ms": self.mean_ms,
+            "by_status": {str(k): v for k, v in sorted(self.by_status.items())},
+        }
+
+
+class LoadGenerator:
+    """Replays a request list against a server from worker threads."""
+
+    def __init__(self, client: ServeClient, concurrency: int = 8):
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        self.client = client
+        self.concurrency = concurrency
+
+    def run(
+        self, requests: List[dict]
+    ) -> Tuple[LoadReport, List[Optional[dict]]]:
+        """Fire every request (each a ``translate`` kwargs dict).
+
+        Returns the aggregate report plus per-request response bodies in
+        request order (``None`` where the request errored) so callers
+        can compare outputs against a serial reference run.
+        """
+        responses: List[Optional[dict]] = [None] * len(requests)
+        statuses: List[Optional[int]] = [None] * len(requests)
+        histogram = Histogram(LATENCY_BUCKETS_MS, window=max(len(requests), 1))
+        cursor = {"next": 0}
+        cursor_lock = threading.Lock()
+
+        def worker() -> None:
+            while True:
+                with cursor_lock:
+                    index = cursor["next"]
+                    if index >= len(requests):
+                        return
+                    cursor["next"] = index + 1
+                started = time.perf_counter()
+                try:
+                    responses[index] = self.client.translate(**requests[index])
+                    statuses[index] = 200
+                except ServeError as exc:
+                    statuses[index] = exc.status
+                except Exception:  # noqa: BLE001 - connection-level failure
+                    statuses[index] = -1
+                histogram.observe((time.perf_counter() - started) * 1000.0)
+
+        threads = [
+            threading.Thread(target=worker, name=f"load-{i}")
+            for i in range(min(self.concurrency, max(len(requests), 1)))
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        seconds = time.perf_counter() - started
+
+        by_status: Dict[int, int] = {}
+        for status in statuses:
+            if status is not None:
+                by_status[status] = by_status.get(status, 0) + 1
+        errors = sum(
+            count for status, count in by_status.items() if status != 200
+        )
+        report = LoadReport(
+            requests=len(requests),
+            errors=errors,
+            seconds=seconds,
+            rps=len(requests) / seconds if seconds > 0 else 0.0,
+            p50_ms=histogram.percentile(50),
+            p99_ms=histogram.percentile(99),
+            mean_ms=histogram.mean,
+            by_status=by_status,
+        )
+        return report, responses

@@ -1,0 +1,90 @@
+"""Request metrics for the inference server.
+
+Counters ride on a :class:`~repro.perf.BuildProfiler` (the same
+counter/stage vocabulary the build pipeline uses, so ``/metrics`` output
+reads like a ``BENCH_build.json`` profile); latency and batch-size
+distributions use :class:`~repro.perf.Histogram`.  Everything is
+thread-safe: the event loop observes request latencies while executor
+threads observe batch sizes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from repro.perf import (
+    BATCH_SIZE_BUCKETS,
+    LATENCY_BUCKETS_MS,
+    BuildProfiler,
+    Histogram,
+)
+
+
+class ServeMetrics:
+    """Aggregated serving telemetry, exported as one JSON dict."""
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self._started = clock()
+        self.profiler = BuildProfiler(clock)
+        self.latency_ms = Histogram(LATENCY_BUCKETS_MS)
+        self.batch_sizes = Histogram(BATCH_SIZE_BUCKETS)
+
+    # ----- recording ---------------------------------------------------
+
+    def observe_request(self, status: int, seconds: float) -> None:
+        """Record one finished HTTP request (any endpoint outcome)."""
+        self.profiler.count("requests_total")
+        self.profiler.count(f"requests_{status}")
+        self.latency_ms.observe(seconds * 1000.0)
+
+    def observe_batch(self, size: int, seconds: float) -> None:
+        """Record one model forward pass over *size* coalesced requests."""
+        self.profiler.count("batches_total")
+        self.profiler.count("batched_requests", size)
+        self.profiler.record("model_forward", seconds)
+        self.batch_sizes.observe(size)
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment a free-form counter (cache hits, drops, ...)."""
+        self.profiler.count(name, amount)
+
+    # ----- reporting ---------------------------------------------------
+
+    @property
+    def uptime(self) -> float:
+        """Seconds since the metrics object (≈ the server) was created."""
+        return self._clock() - self._started
+
+    def report(
+        self,
+        response_cache=None,
+        execution_cache=None,
+        queue_depth: Optional[int] = None,
+        queue_capacity: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """The full ``/metrics`` document."""
+        counters = self.profiler.report()
+        batches = self.batch_sizes.summary()
+        total = counters["counters"].get("batched_requests", 0)
+        report: Dict[str, object] = {
+            "uptime_seconds": self.uptime,
+            "counters": counters["counters"],
+            "stages": counters["stages"],
+            "latency_ms": self.latency_ms.summary(),
+            "batch_size": batches,
+            "avg_batch_size": (
+                total / batches["count"] if batches["count"] else 0.0
+            ),
+        }
+        if response_cache is not None:
+            report["response_cache"] = response_cache.stats()
+        if execution_cache is not None:
+            report["execution_cache"] = execution_cache.stats()
+        if queue_depth is not None:
+            report["queue"] = {
+                "depth": queue_depth,
+                "capacity": queue_capacity,
+            }
+        return report

@@ -1,0 +1,232 @@
+"""Model registry: many translators behind one interface, hot-swappable.
+
+A :class:`Translator` turns (question, database) requests into
+:class:`~repro.serve.translate.TranslateResult` lists.  Two concrete
+kinds exist:
+
+* :class:`NeuralTranslator` — a saved seq2vis ``.npz`` model; genuinely
+  batched (one padded numpy forward pass per request group);
+* :class:`BaselineTranslator` — the DeepEye / NL4DV rule-based systems
+  from Section 4.4, looped per request (they have no batch dimension).
+
+The :class:`ModelRegistry` maps names to translators, supports hot-swap
+(re-register under the same name; in-flight batches finish on the old
+object), and can warm every model with a dummy request so first real
+traffic doesn't pay allocation cost.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.grammar.ast_nodes import VisQuery
+from repro.grammar.serialize import to_tokens
+from repro.serve.translate import TranslateResult, translate_batch
+from repro.storage.schema import Database
+
+
+class UnknownModelError(KeyError):
+    """Raised when a request names a model the registry does not hold."""
+
+
+class Translator:
+    """Interface every served model implements."""
+
+    #: "neural" or "baseline" — surfaced in /healthz.
+    kind: str = "unknown"
+
+    def translate_requests(
+        self, requests: Sequence[Tuple[str, Database]]
+    ) -> List[TranslateResult]:
+        """Results positionally aligned with *requests*."""
+        raise NotImplementedError
+
+    def info(self) -> Dict[str, object]:
+        """JSON-ready description for the health endpoint."""
+        return {"kind": self.kind}
+
+
+class NeuralTranslator(Translator):
+    """A loaded seq2vis model plus its vocabularies."""
+
+    kind = "neural"
+
+    def __init__(self, model, in_vocab, out_vocab, source: str = "memory"):
+        self.model = model
+        self.in_vocab = in_vocab
+        self.out_vocab = out_vocab
+        self.source = source
+
+    @classmethod
+    def from_npz(cls, path: str) -> "NeuralTranslator":
+        """Load a model archive saved by :func:`repro.neural.persist.save_model`."""
+        from repro.neural.persist import load_model, normalize_model_path
+
+        model, in_vocab, out_vocab = load_model(path)
+        return cls(
+            model, in_vocab, out_vocab,
+            source=str(normalize_model_path(path)),
+        )
+
+    def translate_requests(
+        self, requests: Sequence[Tuple[str, Database]]
+    ) -> List[TranslateResult]:
+        return translate_batch(
+            self.model, self.in_vocab, self.out_vocab, requests
+        )
+
+    def info(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "variant": self.model.variant,
+            "hidden_dim": self.model.hidden_dim,
+            "source": self.source,
+        }
+
+
+class BaselineTranslator(Translator):
+    """A rule-based baseline served behind the same interface."""
+
+    kind = "baseline"
+
+    def __init__(
+        self,
+        name: str,
+        predict: Callable[[str, Database], Union[Optional[VisQuery], List[VisQuery]]],
+    ):
+        self.name = name
+        self._predict = predict
+
+    @classmethod
+    def from_name(cls, name: str) -> "BaselineTranslator":
+        """Instantiate one of :data:`repro.baselines.BASELINES` by name."""
+        from repro.baselines import BASELINES
+
+        if name not in BASELINES:
+            raise UnknownModelError(
+                f"unknown baseline {name!r}; pick from {sorted(BASELINES)}"
+            )
+        return cls(name, BASELINES[name]().predict)
+
+    def translate_requests(
+        self, requests: Sequence[Tuple[str, Database]]
+    ) -> List[TranslateResult]:
+        results = []
+        for question, database in requests:
+            prediction = self._predict(question, database)
+            if isinstance(prediction, list):
+                prediction = prediction[0] if prediction else None
+            result = TranslateResult(question=question, db_name=database.name)
+            if prediction is None:
+                result.error = f"{self.name} produced no visualization"
+            else:
+                result.tree = prediction
+                result.tokens = to_tokens(prediction)
+            results.append(result)
+        return results
+
+    def info(self) -> Dict[str, object]:
+        return {"kind": self.kind, "baseline": self.name}
+
+
+class ModelRegistry:
+    """Thread-safe name → :class:`Translator` mapping with a default."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._models: Dict[str, Translator] = {}
+        self._default: Optional[str] = None
+
+    def register(
+        self, name: str, translator: Translator, default: bool = False
+    ) -> None:
+        """Add or hot-swap a translator under *name*.
+
+        The swap is atomic: requests already holding the old translator
+        finish on it, new lookups get the replacement.
+        """
+        with self._lock:
+            first = not self._models
+            self._models[name] = translator
+            if default or first:
+                self._default = name
+
+    def unregister(self, name: str) -> None:
+        """Remove a model; the default falls back to any remaining one."""
+        with self._lock:
+            self._models.pop(name, None)
+            if self._default == name:
+                self._default = next(iter(sorted(self._models)), None)
+
+    def load_npz(self, name: str, path: str, default: bool = False) -> None:
+        """Load a saved seq2vis archive and register it under *name*."""
+        self.register(name, NeuralTranslator.from_npz(path), default=default)
+
+    def register_baselines(self) -> None:
+        """Register every rule-based baseline under its canonical name."""
+        from repro.baselines import BASELINES
+
+        for name in BASELINES:
+            self.register(name, BaselineTranslator.from_name(name))
+
+    @property
+    def default_model(self) -> Optional[str]:
+        """Name used when a request does not pick a model."""
+        with self._lock:
+            return self._default
+
+    def set_default(self, name: str) -> None:
+        """Point the default at an already-registered model."""
+        with self._lock:
+            if name not in self._models:
+                raise UnknownModelError(f"unknown model {name!r}")
+            self._default = name
+
+    def get(self, name: Optional[str] = None) -> Translator:
+        """The translator for *name* (or the default when ``None``)."""
+        with self._lock:
+            key = name if name is not None else self._default
+            if key is None or key not in self._models:
+                raise UnknownModelError(
+                    f"unknown model {key!r}; registered: {sorted(self._models)}"
+                )
+            return self._models[key]
+
+    def names(self) -> List[str]:
+        """Registered model names, sorted."""
+        with self._lock:
+            return sorted(self._models)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._models)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._models
+
+    def info(self) -> Dict[str, Dict[str, object]]:
+        """Name → translator description for /healthz."""
+        with self._lock:
+            items = list(self._models.items())
+        return {name: translator.info() for name, translator in items}
+
+    def warm(
+        self,
+        databases: Dict[str, Database],
+        question: str = "show the number of rows per category",
+    ) -> Dict[str, float]:
+        """Run one dummy request through every model; returns seconds per
+        model.  First real traffic then skips cold-start allocations."""
+        if not databases:
+            return {}
+        database = databases[sorted(databases)[0]]
+        timings: Dict[str, float] = {}
+        for name in self.names():
+            translator = self.get(name)
+            start = time.perf_counter()
+            translator.translate_requests([(question, database)])
+            timings[name] = time.perf_counter() - start
+        return timings

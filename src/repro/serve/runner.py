@@ -1,0 +1,74 @@
+"""Run an :class:`InferenceServer` on a background thread.
+
+The server is asyncio-native; tests, benchmarks, and notebook users are
+usually synchronous.  :class:`BackgroundServer` owns a private event
+loop on a daemon thread, starts the server there, and exposes the bound
+address — so blocking :class:`~repro.serve.client.ServeClient` calls can
+be made from the caller's thread.  Use it as a context manager to get
+drain-on-exit for free.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional, Tuple
+
+from repro.serve.client import ServeClient
+from repro.serve.server import InferenceServer
+
+
+class BackgroundServer:
+    """Starts/stops an inference server on its own event-loop thread."""
+
+    def __init__(self, server: InferenceServer, startup_timeout: float = 30.0):
+        self.server = server
+        self.startup_timeout = startup_timeout
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> Tuple[str, int]:
+        """Launch the loop thread and the server; returns (host, port)."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def run() -> None:
+            asyncio.set_event_loop(self._loop)
+            started.set()
+            self._loop.run_forever()
+
+        self._thread = threading.Thread(
+            target=run, name="inference-server", daemon=True
+        )
+        self._thread.start()
+        started.wait(self.startup_timeout)
+        future = asyncio.run_coroutine_threadsafe(self.server.start(), self._loop)
+        return future.result(self.startup_timeout)
+
+    def stop(self) -> None:
+        """Drain the server, stop the loop, join the thread."""
+        if self._loop is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.shutdown(), self._loop
+        )
+        future.result(self.startup_timeout)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(self.startup_timeout)
+        self._loop.close()
+        self._loop = None
+        self._thread = None
+
+    def client(self, timeout: float = 30.0) -> ServeClient:
+        """A blocking client bound to this server's address."""
+        return ServeClient(self.server.host, self.server.port, timeout=timeout)
+
+    def __enter__(self) -> "BackgroundServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

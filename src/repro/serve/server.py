@@ -1,0 +1,352 @@
+"""The asyncio NL2VIS inference server.
+
+A deliberately small HTTP/1.1 implementation over ``asyncio`` streams —
+no third-party framework, no ``http.server`` — exposing three endpoints:
+
+* ``POST /translate`` — JSON ``{"question", "db", "model"?, "format"?,
+  "use_cache"?}`` → decoded VisQuery plus a rendered spec;
+* ``GET /healthz``   — liveness, registered models, queue depth;
+* ``GET /metrics``   — latency histograms, batch-size distribution,
+  cache hit rates (see :mod:`repro.serve.metrics`).
+
+Request flow: response-cache lookup → micro-batcher (padded forward
+pass shared with concurrent requests) → value-slot fill + parse →
+spec rendering through the shared :class:`ExecutionCache`.  Overload
+returns 429, per-request timeouts 504, and shutdown drains the queue
+before the socket closes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.serve.batcher import MicroBatcher, QueueFullError, ServerDrainingError
+from repro.serve.cache import ResponseCache
+from repro.serve.metrics import ServeMetrics
+from repro.serve.registry import ModelRegistry, UnknownModelError
+from repro.serve.translate import FORMATS, TranslateResult, render_spec
+from repro.storage.executor import ExecutionCache
+from repro.storage.schema import Database
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+@dataclass
+class ServerConfig:
+    """Knobs for batching, backpressure, caching, and timeouts."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                  # 0 = pick a free ephemeral port
+    max_batch_size: int = 8        # requests coalesced per forward pass
+    flush_interval: float = 0.005  # seconds to wait for batch stragglers
+    max_queue_depth: int = 128     # queued requests before 429
+    request_timeout: float = 30.0  # seconds per request before 504
+    cache_size: int = 1024         # response-cache entries (<=0 disables)
+    default_format: str = "text"
+    max_body_bytes: int = 1 << 20
+
+
+class _HTTPError(Exception):
+    """Internal: abort request handling with a status + message."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class InferenceServer:
+    """Serves a :class:`ModelRegistry` over corpus databases."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        databases: Dict[str, Database],
+        config: Optional[ServerConfig] = None,
+        execution_cache: Optional[ExecutionCache] = None,
+    ):
+        self.registry = registry
+        self.databases = databases
+        self.config = config or ServerConfig()
+        if self.config.default_format not in FORMATS:
+            raise ValueError(
+                f"unknown default format {self.config.default_format!r}; "
+                f"pick from {FORMATS}"
+            )
+        self.metrics = ServeMetrics()
+        self.response_cache = ResponseCache(self.config.cache_size)
+        self.execution_cache = execution_cache or ExecutionCache()
+        self.batcher = MicroBatcher(
+            self._run_group,
+            max_batch_size=self.config.max_batch_size,
+            flush_interval=self.config.flush_interval,
+            max_queue_depth=self.config.max_queue_depth,
+            metrics=self.metrics,
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self.host = self.config.host
+        self.port = self.config.port
+
+    # ----- lifecycle ---------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind the socket and launch the batcher; returns (host, port)."""
+        await self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        return self.host, self.port
+
+    async def shutdown(self) -> None:
+        """Graceful drain: stop accepting, finish queued work, close."""
+        if self._server is not None:
+            self._server.close()
+        await self.batcher.drain()
+        if self._server is not None:
+            await self._server.wait_closed()
+            self._server = None
+
+    async def run(self) -> None:
+        """Start and serve until cancelled, then drain."""
+        await self.start()
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await self.shutdown()
+
+    @property
+    def url(self) -> str:
+        """Base URL once started."""
+        return f"http://{self.host}:{self.port}"
+
+    # ----- model execution (runs on executor threads) -------------------
+
+    def _run_group(self, model_name: str, items) -> list:
+        translator = self.registry.get(model_name)
+        return translator.translate_requests(items)
+
+    # ----- connection handling -----------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, target, headers, body = request
+                loop = asyncio.get_running_loop()
+                start = loop.time()
+                try:
+                    status, payload = await self._route(method, target, body)
+                except _HTTPError as exc:
+                    status, payload = exc.status, {"error": str(exc)}
+                except Exception as exc:  # noqa: BLE001 - 500, keep serving
+                    status, payload = 500, {"error": f"internal error: {exc}"}
+                elapsed = loop.time() - start
+                self.metrics.observe_request(status, elapsed)
+                if status == 200 and isinstance(payload, dict):
+                    payload.setdefault("latency_ms", elapsed * 1000.0)
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower() != "close"
+                )
+                self._write_response(writer, status, payload, keep_alive)
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise _HTTPError(400, f"malformed request line: {parts!r}")
+        method, target = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length_text = headers.get("content-length", "0") or "0"
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise _HTTPError(400, f"bad Content-Length: {length_text!r}") from None
+        if length > self.config.max_body_bytes:
+            raise _HTTPError(413, f"body of {length} bytes exceeds limit")
+        body = await reader.readexactly(length) if length else b""
+        return method, target, headers, body
+
+    @staticmethod
+    def _write_response(
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        keep_alive: bool,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+
+    # ----- routing ------------------------------------------------------
+
+    async def _route(
+        self, method: str, target: str, body: bytes
+    ) -> Tuple[int, dict]:
+        path = target.split("?", 1)[0]
+        if path == "/healthz":
+            if method != "GET":
+                raise _HTTPError(405, "healthz only supports GET")
+            return 200, self._healthz()
+        if path == "/metrics":
+            if method != "GET":
+                raise _HTTPError(405, "metrics only supports GET")
+            return 200, self.metrics.report(
+                response_cache=self.response_cache,
+                execution_cache=self.execution_cache,
+                queue_depth=self.batcher.depth,
+                queue_capacity=self.config.max_queue_depth,
+            )
+        if path == "/translate":
+            if method != "POST":
+                raise _HTTPError(405, "translate only supports POST")
+            return await self._translate(body)
+        raise _HTTPError(404, f"no such endpoint: {path}")
+
+    def _healthz(self) -> dict:
+        return {
+            "status": "draining" if self.batcher.draining else "ok",
+            "models": self.registry.info(),
+            "default_model": self.registry.default_model,
+            "databases": len(self.databases),
+            "queue_depth": self.batcher.depth,
+            "uptime_seconds": self.metrics.uptime,
+        }
+
+    async def _translate(self, body: bytes) -> Tuple[int, dict]:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HTTPError(400, f"body is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise _HTTPError(400, "body must be a JSON object")
+
+        question = payload.get("question")
+        if not isinstance(question, str) or not question.strip():
+            raise _HTTPError(400, "missing or empty 'question'")
+        db_name = payload.get("db")
+        if not isinstance(db_name, str) or not db_name:
+            raise _HTTPError(400, "missing 'db'")
+        database = self.databases.get(db_name)
+        if database is None:
+            raise _HTTPError(
+                404,
+                f"unknown database {db_name!r}; choices: "
+                f"{sorted(self.databases)[:10]}",
+            )
+        model_name = payload.get("model") or self.registry.default_model
+        if model_name is None or model_name not in self.registry:
+            raise _HTTPError(
+                404,
+                f"unknown model {model_name!r}; registered: "
+                f"{self.registry.names()}",
+            )
+        fmt = payload.get("format") or self.config.default_format
+        if fmt not in FORMATS:
+            raise _HTTPError(
+                400, f"unknown format {fmt!r}; pick from {FORMATS}"
+            )
+        use_cache = bool(payload.get("use_cache", True))
+
+        cache_key = ResponseCache.key_of(model_name, db_name, question, fmt)
+        if use_cache:
+            cached = self.response_cache.get(cache_key)
+            if cached is not None:
+                self.metrics.count("response_cache_hits")
+                return 200, {**cached, "cached": True}
+            self.metrics.count("response_cache_misses")
+
+        try:
+            result: TranslateResult = await self.batcher.submit(
+                model_name,
+                (question, database),
+                timeout=self.config.request_timeout,
+            )
+        except QueueFullError as exc:
+            self.metrics.count("rejected_queue_full")
+            raise _HTTPError(429, str(exc)) from None
+        except ServerDrainingError as exc:
+            raise _HTTPError(503, str(exc)) from None
+        except asyncio.TimeoutError:
+            self.metrics.count("rejected_timeout")
+            raise _HTTPError(
+                504,
+                f"request missed its {self.config.request_timeout}s deadline",
+            ) from None
+        except UnknownModelError as exc:
+            raise _HTTPError(404, str(exc)) from None
+
+        spec = None
+        render_error = None
+        if result.ok:
+            try:
+                spec = await asyncio.get_running_loop().run_in_executor(
+                    None,
+                    lambda: render_spec(
+                        result, database, fmt, cache=self.execution_cache
+                    ),
+                )
+            except Exception as exc:  # noqa: BLE001 - spec is best-effort
+                render_error = f"render failed: {exc}"
+
+        response = {
+            **result.to_json(),
+            "model": model_name,
+            "format": fmt,
+            "spec": spec,
+            "render_error": render_error,
+            "cached": False,
+        }
+        if use_cache:
+            self.response_cache.put(cache_key, dict(response))
+        return 200, response

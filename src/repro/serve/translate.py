@@ -1,0 +1,183 @@
+"""The one true NL→VIS inference path, shared by CLI and server.
+
+``translate_batch`` runs the whole pipeline for a list of (question,
+database) requests in a single padded forward pass: tokenize → schema
+tokens → encode → greedy decode → value-slot fill → token parse.  The
+one-shot CLI and the micro-batching server both call into here, so a
+batched server response is produced by the identical code a single
+``python -m repro translate`` runs — the basis of the determinism tests.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.grammar.ast_nodes import VisQuery
+from repro.grammar.serialize import from_tokens, to_text
+from repro.neural.data import (
+    MAX_NL_TOKENS,
+    SEP_TOKEN,
+    encode_source_batch,
+    schema_tokens,
+)
+from repro.neural.model import Seq2Vis
+from repro.neural.slots import fill_value_slots
+from repro.nlp.tokenize import tokenize_nl
+from repro.nlp.vocab import Vocabulary
+from repro.storage.executor import ExecutionCache
+from repro.storage.schema import Database
+
+#: Render formats ``render_spec`` understands; ``text`` is the canonical
+#: linearized tree, the rest are the ``repro.vis`` backends.
+FORMATS = ("text", "vega-lite", "echarts", "plotly", "ascii", "ggplot")
+
+_WHITESPACE_RE = re.compile(r"\s+")
+
+
+def normalize_question(question: str) -> str:
+    """Canonical cache form of an NL question.
+
+    Case and whitespace do not change what the pipeline predicts in any
+    meaningful way (tokenization lowercases; value matching is
+    case-insensitive), so ``"Show  Prices"`` and ``"show prices"`` share
+    one cache slot.
+    """
+    return _WHITESPACE_RE.sub(" ", question).strip().casefold()
+
+
+@dataclass
+class TranslateResult:
+    """One request's decoded output with provenance."""
+
+    question: str
+    db_name: str
+    tokens: List[str] = field(default_factory=list)
+    tree: Optional[VisQuery] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the decode parsed into a query tree."""
+        return self.tree is not None
+
+    @property
+    def vis_text(self) -> Optional[str]:
+        """The filled tree's canonical text form (``None`` on error)."""
+        if self.tree is None:
+            return None
+        return to_text(self.tree)
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-ready summary (the server's response body core)."""
+        return {
+            "question": self.question,
+            "db": self.db_name,
+            "tokens": list(self.tokens),
+            "vis": self.vis_text,
+            "error": self.error,
+        }
+
+
+def source_tokens(question: str, database: Database) -> List[str]:
+    """The model's input sequence: NL tokens, separator, schema tokens.
+
+    Caps the NL part at ``MAX_NL_TOKENS`` exactly as training-time
+    encoding does (:func:`repro.neural.data.encode_example`).
+    """
+    return (
+        tokenize_nl(question)[:MAX_NL_TOKENS]
+        + [SEP_TOKEN]
+        + schema_tokens(database)
+    )
+
+
+def _finish(
+    question: str, database: Database, tokens: List[str]
+) -> TranslateResult:
+    """Parse decoded tokens and fill value slots; never raises."""
+    result = TranslateResult(
+        question=question, db_name=database.name, tokens=tokens
+    )
+    try:
+        tree = from_tokens(tokens)
+        tree = fill_value_slots(tree, question, database)
+    except Exception as exc:  # noqa: BLE001 - report, don't crash the batch
+        result.error = str(exc)
+        return result
+    if not isinstance(tree, VisQuery):
+        result.error = "decoded query is not a visualization"
+        return result
+    result.tree = tree
+    return result
+
+
+def translate_batch(
+    model: Seq2Vis,
+    in_vocab: Vocabulary,
+    out_vocab: Vocabulary,
+    requests: Sequence[Tuple[str, Database]],
+) -> List[TranslateResult]:
+    """Translate many (question, database) requests in one forward pass.
+
+    Requests over *different* databases batch fine — each row's input
+    sequence carries its own schema tokens.  Results are positionally
+    aligned with *requests*.
+    """
+    if not requests:
+        return []
+    batch = encode_source_batch(
+        [source_tokens(question, database) for question, database in requests],
+        in_vocab,
+        out_vocab,
+    )
+    decoded = model.greedy_decode(batch, out_vocab.bos_id, out_vocab.eos_id)
+    return [
+        _finish(question, database, out_vocab.decode(ids))
+        for (question, database), ids in zip(requests, decoded)
+    ]
+
+
+def translate_question(
+    model: Seq2Vis,
+    in_vocab: Vocabulary,
+    out_vocab: Vocabulary,
+    question: str,
+    database: Database,
+) -> TranslateResult:
+    """Translate one question — a batch of one, same code path."""
+    return translate_batch(
+        model, in_vocab, out_vocab, [(question, database)]
+    )[0]
+
+
+def render_spec(
+    result: TranslateResult,
+    database: Database,
+    fmt: str,
+    cache: Optional[ExecutionCache] = None,
+) -> Union[str, dict, None]:
+    """Render a successful result in one of :data:`FORMATS`.
+
+    ``text`` needs no execution; every other format executes the chart
+    data (through *cache* when given) via the ``repro.vis`` backends.
+    Returns ``None`` when the result has no tree.
+    """
+    if fmt not in FORMATS:
+        raise ValueError(f"unknown format {fmt!r}; pick from {FORMATS}")
+    if result.tree is None:
+        return None
+    if fmt == "text":
+        return to_text(result.tree)
+    from repro.vis import to_ascii, to_echarts, to_ggplot, to_plotly, to_vega_lite
+
+    if fmt == "vega-lite":
+        return to_vega_lite(result.tree, database, cache=cache)
+    if fmt == "echarts":
+        return to_echarts(result.tree, database, cache=cache)
+    if fmt == "plotly":
+        return to_plotly(result.tree, database, cache=cache)
+    if fmt == "ggplot":
+        return to_ggplot(result.tree, database, cache=cache)
+    return to_ascii(result.tree, database, cache=cache)

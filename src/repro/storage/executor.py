@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import math
 import re
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -47,12 +48,16 @@ class ExecutionCache:
     query that cannot run is attempted once per corpus, not once per
     candidate.  Cached :class:`ResultTable` objects are shared between
     callers and must be treated as read-only.
+
+    All mutating operations take an internal lock, so one cache can be
+    shared by the inference server's batch-executor threads.
     """
 
     _OK, _ERR = "ok", "err"
 
     def __init__(self):
         self._entries: Dict[tuple, Tuple[str, object]] = {}
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
@@ -69,32 +74,45 @@ class ExecutionCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]  # locks cannot cross process boundaries
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     def stats(self) -> Dict[str, object]:
         """Hit/miss counters plus the derived hit rate."""
-        total = self.hits + self.misses
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "size": len(self._entries),
-            "hit_rate": self.hits / total if total else 0.0,
-        }
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "size": len(self._entries),
+                "hit_rate": self.hits / total if total else 0.0,
+            }
 
     def fetch(self, key: tuple) -> Optional[Tuple[str, object]]:
         """The raw cached entry for *key*, counting a hit when present."""
-        entry = self._entries.get(key)
-        if entry is not None:
-            self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.hits += 1
+            return entry
 
     def store_result(self, key: tuple, result: "ResultTable") -> None:
         """Cache a successful execution; counts one miss."""
-        self.misses += 1
-        self._entries[key] = (self._OK, result)
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = (self._OK, result)
 
     def store_error(self, key: tuple, message: str) -> None:
         """Cache a failed execution; counts one miss."""
-        self.misses += 1
-        self._entries[key] = (self._ERR, message)
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = (self._ERR, message)
 
 
 @dataclass

@@ -8,9 +8,10 @@ scatters as a dot grid; pies as a proportion table.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.grammar.ast_nodes import VisQuery
+from repro.storage.executor import ExecutionCache
 from repro.storage.schema import Database
 from repro.vis.data import VisData, render_data
 
@@ -18,9 +19,15 @@ BAR_CHAR = "█"
 DOT_CHAR = "*"
 
 
-def to_ascii(vis: VisQuery, database: Database, width: int = 50, height: int = 12) -> str:
+def to_ascii(
+    vis: VisQuery,
+    database: Database,
+    width: int = 50,
+    height: int = 12,
+    cache: Optional[ExecutionCache] = None,
+) -> str:
     """Render *vis* as monospaced text, ``width`` cells at most."""
-    data = render_data(vis, database)
+    data = render_data(vis, database, cache=cache)
     if vis.vis_type in ("bar", "stacked bar"):
         return _bars(data, width)
     if vis.vis_type == "pie":

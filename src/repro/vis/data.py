@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.grammar.ast_nodes import Attribute, VisQuery
-from repro.storage.executor import Executor
+from repro.storage.executor import ExecutionCache, Executor
 from repro.storage.schema import Database
 
 
@@ -72,13 +72,19 @@ def _channel(attr: Attribute, database: Database) -> str:
     return {"C": "nominal", "T": "temporal", "Q": "quantitative"}[ctype]
 
 
-def render_data(vis: VisQuery, database: Database) -> VisData:
+def render_data(
+    vis: VisQuery,
+    database: Database,
+    cache: Optional[ExecutionCache] = None,
+) -> VisData:
     """Execute *vis* and package the chart data.
 
     Binned temporal axes come back as bin labels (strings), so their
-    channel is reported as nominal-ordinal rather than temporal.
+    channel is reported as nominal-ordinal rather than temporal.  An
+    optional :class:`ExecutionCache` memoizes the execution across calls
+    (the inference server layers its response cache over this one).
     """
-    result = Executor(database).execute(vis)
+    result = Executor(database, cache=cache).execute(vis)
     core = vis.primary_core
     select = core.select
     x_attr, y_attr = select[0], select[1]

@@ -7,16 +7,21 @@ per color value; pies become the ``{name, value}`` list ECharts expects.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.grammar.ast_nodes import VisQuery
+from repro.storage.executor import ExecutionCache
 from repro.storage.schema import Database
 from repro.vis.data import render_data
 
 
-def to_echarts(vis: VisQuery, database: Database) -> Dict:
+def to_echarts(
+    vis: VisQuery,
+    database: Database,
+    cache: Optional[ExecutionCache] = None,
+) -> Dict:
     """Compile *vis* to a renderable ECharts option dict."""
-    data = render_data(vis, database)
+    data = render_data(vis, database, cache=cache)
 
     if vis.vis_type == "pie":
         return {

@@ -9,16 +9,21 @@ the chart type.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.grammar.ast_nodes import VisQuery
+from repro.storage.executor import ExecutionCache
 from repro.storage.schema import Database
 from repro.vis.data import VisData, render_data
 
 
-def to_ggplot(vis: VisQuery, database: Database) -> str:
+def to_ggplot(
+    vis: VisQuery,
+    database: Database,
+    cache: Optional[ExecutionCache] = None,
+) -> str:
     """Compile *vis* to a runnable ggplot2 R script."""
-    data = render_data(vis, database)
+    data = render_data(vis, database, cache=cache)
     lines: List[str] = ["library(ggplot2)", ""]
     lines.extend(_data_frame(data))
     lines.append("")

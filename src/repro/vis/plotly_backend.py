@@ -7,9 +7,10 @@ renders directly.  Three-channel charts become one trace per series.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.grammar.ast_nodes import VisQuery
+from repro.storage.executor import ExecutionCache
 from repro.storage.schema import Database
 from repro.vis.data import render_data
 
@@ -30,9 +31,13 @@ _MODES = {
 }
 
 
-def to_plotly(vis: VisQuery, database: Database) -> Dict:
+def to_plotly(
+    vis: VisQuery,
+    database: Database,
+    cache: Optional[ExecutionCache] = None,
+) -> Dict:
     """Compile *vis* to a Plotly figure dict."""
-    data = render_data(vis, database)
+    data = render_data(vis, database, cache=cache)
 
     if vis.vis_type == "pie":
         return {

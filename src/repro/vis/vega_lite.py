@@ -8,9 +8,10 @@ channels.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.grammar.ast_nodes import VisQuery
+from repro.storage.executor import ExecutionCache
 from repro.storage.schema import Database
 from repro.vis.data import VisData, render_data
 
@@ -27,9 +28,13 @@ _MARKS = {
 }
 
 
-def to_vega_lite(vis: VisQuery, database: Database) -> Dict:
+def to_vega_lite(
+    vis: VisQuery,
+    database: Database,
+    cache: Optional[ExecutionCache] = None,
+) -> Dict:
     """Compile *vis* to a renderable Vega-Lite spec dict."""
-    data = render_data(vis, database)
+    data = render_data(vis, database, cache=cache)
     spec: Dict = {
         "$schema": SCHEMA_URL,
         "mark": _MARKS[vis.vis_type],

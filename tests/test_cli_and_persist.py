@@ -6,8 +6,8 @@ import pytest
 from repro.cli import main
 from repro.neural.data import build_dataset
 from repro.neural.model import Seq2Vis
-from repro.neural.persist import load_model, save_model
-from repro.nlp.vocab import Vocabulary
+from repro.neural.persist import load_model, normalize_model_path, save_model
+from repro.nlp.vocab import SPECIALS, Vocabulary
 
 
 class TestPersistence:
@@ -28,6 +28,39 @@ class TestPersistence:
         assert out2.tokens == out_vocab.tokens
         for original, restored in zip(model.parameters(), loaded.parameters()):
             np.testing.assert_array_equal(original.data, restored.data)
+
+    def test_suffixless_path_round_trips(self, tmp_path):
+        model, in_vocab, out_vocab = self._model_and_vocabs()
+        bare = tmp_path / "attn-model"
+        written = save_model(model, in_vocab, out_vocab, str(bare))
+        assert written == bare.with_name("attn-model.npz")
+        assert written.exists()
+        assert not bare.exists()
+        # Load works with either spelling of the path.
+        for spec in (str(bare), str(written)):
+            loaded, in2, out2 = load_model(spec)
+            assert in2.tokens == in_vocab.tokens
+            assert out2.tokens == out_vocab.tokens
+            for original, restored in zip(model.parameters(), loaded.parameters()):
+                np.testing.assert_array_equal(original.data, restored.data)
+
+    def test_normalize_model_path(self):
+        from pathlib import Path
+
+        assert normalize_model_path("m") == Path("m.npz")
+        assert normalize_model_path("m.npz") == Path("m.npz")
+        assert normalize_model_path("dir.v2/m") == Path("dir.v2/m.npz")
+        assert normalize_model_path("m.ckpt") == Path("m.ckpt.npz")
+
+    def test_round_trip_keeps_specials_unique(self, tmp_path):
+        model, in_vocab, out_vocab = self._model_and_vocabs()
+        path = str(tmp_path / "model")
+        written = save_model(model, in_vocab, out_vocab, path)
+        _, in2, out2 = load_model(written)
+        for vocab in (in2, out2):
+            specials = [t for t in vocab.tokens if t in SPECIALS]
+            assert specials == list(vocab.tokens[: len(specials)])
+            assert len(specials) == len(set(specials)), "specials duplicated"
 
     def test_loaded_model_decodes_identically(self, tmp_path, small_nvbench):
         pairs = small_nvbench.pairs[:40]
@@ -69,7 +102,9 @@ class TestCLI:
     def test_train_and_translate(self, tmp_path, capsys):
         corpus_path = str(tmp_path / "corpus.json")
         pairs_path = str(tmp_path / "bench.json")
-        model_path = str(tmp_path / "model.npz")
+        # Deliberately suffixless: train must report (and translate must
+        # accept) the normalized .npz path.
+        model_path = str(tmp_path / "model")
         main(["build-corpus", "--databases", "3", "--pairs-per-db", "5",
               "--row-scale", "0.3", "--seed", "4", "--out", corpus_path])
         main(["build-benchmark", "--corpus", corpus_path, "--out", pairs_path])
@@ -79,7 +114,9 @@ class TestCLI:
             "--hidden-dim", "24", "--out", model_path,
         ])
         assert code == 0
-        capsys.readouterr()
+        out = capsys.readouterr().out
+        assert f"saved model to {model_path}.npz" in out
+        assert (tmp_path / "model.npz").exists()
 
         from repro.spider.corpus import load_corpus
 
@@ -91,6 +128,15 @@ class TestCLI:
         assert code == 0
         out = capsys.readouterr().out
         assert "predicted tokens:" in out
+
+        for fmt in ("vega-lite", "ascii"):
+            code = main([
+                "translate", "--corpus", corpus_path, "--model", model_path,
+                "--database", db_name, "--format", fmt,
+                "how many items per category?",
+            ])
+            assert code == 0
+            capsys.readouterr()
 
     def test_translate_unknown_database(self, tmp_path, capsys):
         corpus_path = str(tmp_path / "corpus.json")

@@ -1,0 +1,545 @@
+"""Tests for the ``repro.serve`` inference service.
+
+Covers the shared translate path (batched vs. single determinism), the
+model registry, the micro-batcher's coalescing/backpressure/drain
+behaviour, the LRU response cache, the perf histogram, and the HTTP
+server end to end over real sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.neural.data import build_dataset, encode_source_batch
+from repro.neural.model import Seq2Vis
+from repro.perf import Histogram
+from repro.serve import (
+    BackgroundServer,
+    BaselineTranslator,
+    InferenceServer,
+    LoadGenerator,
+    MicroBatcher,
+    ModelRegistry,
+    NeuralTranslator,
+    QueueFullError,
+    ResponseCache,
+    ServeError,
+    ServerConfig,
+    ServerDrainingError,
+    Translator,
+    TranslateResult,
+    UnknownModelError,
+    normalize_question,
+    render_spec,
+    translate_batch,
+    translate_question,
+)
+
+QUESTIONS = [
+    "how many rows per category?",
+    "show the average price by type",
+    "total amount for each name, sorted descending",
+    "plot a pie of counts per status",
+    "what is the number of items per year?",
+    "compare the minimum score across groups",
+]
+
+
+@pytest.fixture(scope="module")
+def stack(small_nvbench):
+    """A dataset, a deterministic model, and the benchmark databases."""
+    dataset = build_dataset(small_nvbench.pairs[:60], small_nvbench.databases)
+    model = Seq2Vis(
+        len(dataset.in_vocab), len(dataset.out_vocab), "attention", 16, 24, seed=2
+    )
+    return model, dataset, small_nvbench.databases
+
+
+@pytest.fixture(scope="module")
+def registry(stack):
+    model, dataset, _ = stack
+    reg = ModelRegistry()
+    reg.register(
+        "attn", NeuralTranslator(model, dataset.in_vocab, dataset.out_vocab)
+    )
+    reg.register_baselines()
+    reg.set_default("attn")
+    return reg
+
+
+@pytest.fixture(scope="module")
+def running(registry, stack):
+    """One shared server over real sockets for the e2e tests."""
+    _, _, databases = stack
+    server = InferenceServer(
+        registry,
+        databases,
+        ServerConfig(port=0, max_batch_size=4, flush_interval=0.02),
+    )
+    with BackgroundServer(server) as background:
+        yield server, background.client()
+
+
+class TestTranslatePath:
+    def test_batched_matches_single(self, stack):
+        model, dataset, databases = stack
+        names = sorted(databases)
+        requests = [
+            (question, databases[names[i % len(names)]])
+            for i, question in enumerate(QUESTIONS)
+        ]
+        batched = translate_batch(
+            model, dataset.in_vocab, dataset.out_vocab, requests
+        )
+        for (question, database), via_batch in zip(requests, batched):
+            alone = translate_question(
+                model, dataset.in_vocab, dataset.out_vocab, question, database
+            )
+            assert via_batch.tokens == alone.tokens
+            assert via_batch.vis_text == alone.vis_text
+            assert via_batch.db_name == database.name
+
+    def test_padding_is_exact_at_model_level(self, stack):
+        model, dataset, _ = stack
+        examples = dataset.examples[:3]
+        token_lists = [e.src_tokens for e in examples]
+        assert len({len(tokens) for tokens in token_lists}) > 1, (
+            "fixture should exercise real padding"
+        )
+        batch = encode_source_batch(
+            token_lists, dataset.in_vocab, dataset.out_vocab
+        )
+        together = model.greedy_decode(
+            batch, dataset.out_vocab.bos_id, dataset.out_vocab.eos_id
+        )
+        for tokens, expected in zip(token_lists, together):
+            single = encode_source_batch(
+                [tokens], dataset.in_vocab, dataset.out_vocab
+            )
+            alone = model.greedy_decode(
+                single, dataset.out_vocab.bos_id, dataset.out_vocab.eos_id
+            )[0]
+            assert alone == expected
+
+    def test_empty_batch_rejected(self, stack):
+        model, dataset, _ = stack
+        assert translate_batch(model, dataset.in_vocab, dataset.out_vocab, []) == []
+        with pytest.raises(ValueError):
+            encode_source_batch([], dataset.in_vocab, dataset.out_vocab)
+
+    def test_normalize_question(self):
+        assert normalize_question("  Show\tME   prices ") == "show me prices"
+        assert normalize_question("a b") == normalize_question("A  B")
+
+    def test_render_spec_all_formats(self, flight_db):
+        baseline = BaselineTranslator.from_name("deepeye")
+        result = baseline.translate_requests(
+            [("show the price for each origin", flight_db)]
+        )[0]
+        assert result.ok, result.error
+        assert render_spec(result, flight_db, "text") == result.vis_text
+        assert "$schema" in render_spec(result, flight_db, "vega-lite")
+        assert "series" in render_spec(result, flight_db, "echarts")
+        assert "data" in render_spec(result, flight_db, "plotly")
+        assert isinstance(render_spec(result, flight_db, "ascii"), str)
+        assert "ggplot" in render_spec(result, flight_db, "ggplot")
+        with pytest.raises(ValueError):
+            render_spec(result, flight_db, "png")
+
+    def test_render_spec_none_for_failed_parse(self, flight_db):
+        failed = TranslateResult(
+            question="q", db_name="flights", tokens=["nonsense"],
+            error="boom",
+        )
+        assert render_spec(failed, flight_db, "vega-lite") is None
+
+
+class TestRegistry:
+    def test_first_registration_becomes_default(self, stack):
+        model, dataset, _ = stack
+        reg = ModelRegistry()
+        assert reg.default_model is None
+        reg.register(
+            "m", NeuralTranslator(model, dataset.in_vocab, dataset.out_vocab)
+        )
+        assert reg.default_model == "m"
+        assert "m" in reg and len(reg) == 1
+
+    def test_hot_swap_replaces_instance(self, stack):
+        model, dataset, _ = stack
+        reg = ModelRegistry()
+        first = NeuralTranslator(model, dataset.in_vocab, dataset.out_vocab)
+        second = NeuralTranslator(model, dataset.in_vocab, dataset.out_vocab)
+        reg.register("m", first)
+        reg.register("m", second)
+        assert reg.get("m") is second
+        assert len(reg) == 1
+
+    def test_unknown_model_raises(self):
+        reg = ModelRegistry()
+        with pytest.raises(UnknownModelError):
+            reg.get("missing")
+        with pytest.raises(UnknownModelError):
+            reg.set_default("missing")
+        with pytest.raises(UnknownModelError):
+            BaselineTranslator.from_name("not-a-baseline")
+
+    def test_unregister_moves_default(self, stack):
+        model, dataset, _ = stack
+        reg = ModelRegistry()
+        reg.register(
+            "a", NeuralTranslator(model, dataset.in_vocab, dataset.out_vocab)
+        )
+        reg.register_baselines()
+        reg.set_default("a")
+        reg.unregister("a")
+        assert reg.default_model in reg.names()
+        assert "a" not in reg
+
+    def test_warm_touches_every_model(self, registry, stack):
+        _, _, databases = stack
+        timings = registry.warm(databases)
+        assert set(timings) == set(registry.names())
+        assert all(seconds >= 0 for seconds in timings.values())
+
+    def test_baseline_translator_reports_no_prediction(self, flight_db):
+        baseline = BaselineTranslator("nl4dv", lambda nl, db: None)
+        result = baseline.translate_requests([("??", flight_db)])[0]
+        assert not result.ok
+        assert "no visualization" in result.error
+
+    def test_info_shapes(self, registry):
+        info = registry.info()
+        assert info["attn"]["kind"] == "neural"
+        assert info["deepeye"]["kind"] == "baseline"
+
+
+class TestResponseCache:
+    def test_key_normalizes_question(self):
+        a = ResponseCache.key_of("m", "db", "Show  Prices", "text")
+        b = ResponseCache.key_of("m", "db", "show prices", "text")
+        c = ResponseCache.key_of("m", "db", "show prices", "vega-lite")
+        assert a == b
+        assert a != c
+
+    def test_lru_eviction(self):
+        cache = ResponseCache(maxsize=2)
+        k1, k2, k3 = (("m", "d", str(i), "text") for i in range(3))
+        cache.put(k1, {"n": 1})
+        cache.put(k2, {"n": 2})
+        assert cache.get(k1) == {"n": 1}  # refresh k1
+        cache.put(k3, {"n": 3})           # evicts k2
+        assert cache.get(k2) is None
+        assert cache.get(k1) == {"n": 1}
+        assert cache.get(k3) == {"n": 3}
+        stats = cache.stats()
+        assert stats["size"] == 2
+        assert stats["hits"] == 3 and stats["misses"] == 1
+
+    def test_disabled_cache_never_stores(self):
+        cache = ResponseCache(maxsize=0)
+        key = ResponseCache.key_of("m", "d", "q", "text")
+        cache.put(key, {"n": 1})
+        assert cache.get(key) is None
+        assert len(cache) == 0
+
+
+class TestHistogram:
+    def test_buckets_and_percentiles(self):
+        hist = Histogram((1.0, 10.0))
+        for value in (0.5, 5.0, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.buckets() == {"le_1": 1, "le_10": 2, "le_inf": 1}
+        assert hist.count == 4
+        assert hist.min == 0.5 and hist.max == 50.0
+        assert hist.percentile(0) == 0.5
+        assert hist.percentile(100) == 50.0
+        summary = hist.summary()
+        assert summary["count"] == 4
+        assert summary["p50"] in (5.0,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Histogram((10.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram((1.0,)).percentile(150)
+
+    def test_empty(self):
+        hist = Histogram((1.0,))
+        assert hist.mean == 0.0
+        assert hist.percentile(50) == 0.0
+
+
+class _Recorder:
+    """Batch handler that records group sizes."""
+
+    def __init__(self, delay: float = 0.0):
+        self.sizes = []
+        self.delay = delay
+
+    def __call__(self, key, items):
+        if self.delay:
+            time.sleep(self.delay)
+        self.sizes.append(len(items))
+        return [f"{key}:{item}" for item in items]
+
+
+class TestMicroBatcher:
+    def test_coalesces_concurrent_submits(self):
+        async def scenario():
+            recorder = _Recorder()
+            batcher = MicroBatcher(
+                recorder, max_batch_size=8, flush_interval=0.05
+            )
+            await batcher.start()
+            results = await asyncio.gather(
+                *(batcher.submit("m", i) for i in range(6))
+            )
+            await batcher.drain()
+            return recorder, results
+
+        recorder, results = asyncio.run(scenario())
+        assert results == [f"m:{i}" for i in range(6)]
+        assert max(recorder.sizes) > 1, "no coalescing happened"
+
+    def test_groups_by_key(self):
+        async def scenario():
+            recorder = _Recorder()
+            batcher = MicroBatcher(
+                recorder, max_batch_size=8, flush_interval=0.05
+            )
+            await batcher.start()
+            results = await asyncio.gather(
+                batcher.submit("a", 1),
+                batcher.submit("b", 2),
+                batcher.submit("a", 3),
+            )
+            await batcher.drain()
+            return results
+
+        assert asyncio.run(scenario()) == ["a:1", "b:2", "a:3"]
+
+    def test_queue_full_rejects(self):
+        async def scenario():
+            batcher = MicroBatcher(
+                _Recorder(), max_batch_size=1, max_queue_depth=2
+            )
+            # Flusher never started: the queue can only fill up.
+            waiting = [
+                asyncio.ensure_future(batcher.submit("m", i)) for i in range(2)
+            ]
+            await asyncio.sleep(0)
+            with pytest.raises(QueueFullError):
+                await batcher.submit("m", 99)
+            for task in waiting:
+                task.cancel()
+            return True
+
+        assert asyncio.run(scenario())
+
+    def test_drain_finishes_accepted_work_then_rejects(self):
+        async def scenario():
+            recorder = _Recorder()
+            batcher = MicroBatcher(
+                recorder, max_batch_size=4, flush_interval=0.01
+            )
+            await batcher.start()
+            pending = asyncio.ensure_future(batcher.submit("m", "x"))
+            await asyncio.sleep(0)
+            await batcher.drain()
+            assert pending.result() == "m:x"
+            with pytest.raises(ServerDrainingError):
+                await batcher.submit("m", "y")
+            return True
+
+        assert asyncio.run(scenario())
+
+    def test_handler_exception_propagates(self):
+        async def scenario():
+            def broken(key, items):
+                raise UnknownModelError("nope")
+
+            batcher = MicroBatcher(broken, flush_interval=0.01)
+            await batcher.start()
+            with pytest.raises(UnknownModelError):
+                await batcher.submit("m", 1)
+            await batcher.drain()
+            return True
+
+        assert asyncio.run(scenario())
+
+    def test_per_request_timeout(self):
+        async def scenario():
+            batcher = MicroBatcher(
+                _Recorder(delay=0.5), flush_interval=0.001
+            )
+            await batcher.start()
+            with pytest.raises(asyncio.TimeoutError):
+                await batcher.submit("m", 1, timeout=0.05)
+            await batcher.drain()
+            return True
+
+        assert asyncio.run(scenario())
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(_Recorder(), max_batch_size=0)
+
+
+class TestServerEndToEnd:
+    def test_healthz_shape(self, running):
+        server, client = running
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["default_model"] == "attn"
+        assert set(health["models"]) >= {"attn", "deepeye", "nl4dv"}
+        assert health["databases"] == len(server.databases)
+        assert health["queue_depth"] >= 0
+        assert health["uptime_seconds"] > 0
+
+    def test_metrics_shape(self, running, stack):
+        _, _, databases = stack
+        _, client = running
+        client.translate(QUESTIONS[0], sorted(databases)[0], use_cache=False)
+        metrics = client.metrics()
+        for key in (
+            "uptime_seconds", "counters", "latency_ms", "batch_size",
+            "response_cache", "execution_cache", "queue", "avg_batch_size",
+        ):
+            assert key in metrics, key
+        assert metrics["latency_ms"]["count"] > 0
+        assert "le_inf" in metrics["latency_ms"]["buckets"]
+        assert metrics["counters"]["requests_total"] > 0
+        assert metrics["queue"]["capacity"] == 128
+
+    def test_batched_server_matches_serial_reference(self, running, stack):
+        model, dataset, databases = stack
+        server, client = running
+        names = sorted(databases)
+        requests = [
+            {
+                "question": f"{question} ({index})",
+                "db": names[index % len(names)],
+                "use_cache": False,
+            }
+            for index, question in enumerate(QUESTIONS * 2)
+        ]
+        expected = [
+            translate_question(
+                model,
+                dataset.in_vocab,
+                dataset.out_vocab,
+                request["question"],
+                databases[request["db"]],
+            )
+            for request in requests
+        ]
+        generator = LoadGenerator(client, concurrency=6)
+        report, responses = generator.run(requests)
+        assert report.errors == 0, report.by_status
+        for request, response, reference in zip(requests, responses, expected):
+            assert response is not None
+            assert response["tokens"] == reference.tokens, request
+            assert response["vis"] == reference.vis_text
+            assert response["cached"] is False
+        metrics = client.metrics()
+        assert metrics["batch_size"]["count"] > 0
+        assert metrics["counters"]["batched_requests"] >= len(requests)
+
+    def test_response_cache_round_trip(self, running, stack):
+        _, _, databases = stack
+        _, client = running
+        db = sorted(databases)[0]
+        first = client.translate("how many rows per category today?", db)
+        again = client.translate("How many  rows per category today?", db)
+        assert first["cached"] is False
+        assert again["cached"] is True
+        assert again["tokens"] == first["tokens"]
+
+    def test_baseline_model_with_rendering(self, running, stack):
+        _, _, databases = stack
+        _, client = running
+        db = sorted(databases)[0]
+        response = client.translate(
+            "show everything", db, model="deepeye", fmt="vega-lite"
+        )
+        if response["error"] is None:
+            assert response["spec"]["$schema"].startswith("https://vega")
+        assert response["model"] == "deepeye"
+        assert response["format"] == "vega-lite"
+
+    def test_http_errors(self, running, stack):
+        _, _, databases = stack
+        _, client = running
+        db = sorted(databases)[0]
+        with pytest.raises(ServeError) as err:
+            client.translate("q?", "no-such-db")
+        assert err.value.status == 404
+        with pytest.raises(ServeError) as err:
+            client.translate("q?", db, model="no-such-model")
+        assert err.value.status == 404
+        with pytest.raises(ServeError) as err:
+            client.translate("q?", db, fmt="png")
+        assert err.value.status == 400
+        with pytest.raises(ServeError) as err:
+            client.translate("   ", db)
+        assert err.value.status == 400
+        assert client.request("GET", "/translate")[0] == 405
+        assert client.request("POST", "/healthz")[0] == 405
+        assert client.request("GET", "/nope")[0] == 404
+        status, body = client.request("POST", "/translate", None)
+        assert status == 400 and "JSON" in body["error"]
+
+    def test_queue_overflow_returns_429(self, stack):
+        _, _, databases = stack
+
+        class Slow(Translator):
+            kind = "slow"
+
+            def translate_requests(self, requests):
+                time.sleep(0.3)
+                return [
+                    TranslateResult(question=q, db_name=d.name, error="slow")
+                    for q, d in requests
+                ]
+
+        registry = ModelRegistry()
+        registry.register("slow", Slow())
+        server = InferenceServer(
+            registry,
+            databases,
+            ServerConfig(
+                port=0, max_batch_size=1, max_queue_depth=1,
+                flush_interval=0.001, cache_size=0,
+            ),
+        )
+        db = sorted(databases)[0]
+        with BackgroundServer(server) as background:
+            client = background.client()
+            generator = LoadGenerator(client, concurrency=6)
+            report, _ = generator.run(
+                [
+                    {"question": f"q {i}", "db": db, "use_cache": False}
+                    for i in range(6)
+                ]
+            )
+        assert report.by_status.get(429, 0) >= 1, report.by_status
+        assert report.by_status.get(200, 0) >= 1, report.by_status
+
+    def test_graceful_drain_completes_inflight(self, registry, stack):
+        _, _, databases = stack
+        server = InferenceServer(
+            registry, databases, ServerConfig(port=0, cache_size=0)
+        )
+        background = BackgroundServer(server)
+        background.start()
+        client = background.client()
+        db = sorted(databases)[0]
+        assert client.translate("count rows per type", db)["question"]
+        background.stop()
+        assert server.batcher.draining
+        with pytest.raises(Exception):
+            client.healthz()
