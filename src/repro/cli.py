@@ -114,6 +114,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
     )
     from repro.neural.persist import save_model
     from repro.neural.trainer import TrainConfig, train_model
+    from repro.perf import TrainProfiler
 
     bench = _load_bench(args.corpus, args.pairs)
     config = ExperimentConfig(
@@ -122,17 +123,27 @@ def _cmd_train(args: argparse.Namespace) -> int:
         train=TrainConfig(
             epochs=args.epochs, batch_size=args.batch_size,
             lr=args.lr, patience=args.patience, verbose=True,
+            dtype=args.dtype,
         ),
     )
     train_set, val_set, test_set = make_datasets(bench, config)
     model = build_model(args.variant, train_set, config)
-    print(f"training seq2vis ({args.variant}) on {len(train_set)} pairs ...")
-    train_model(model, train_set, val_set, config.train)
+    print(f"training seq2vis ({args.variant}, {args.dtype}) "
+          f"on {len(train_set)} pairs ...")
+    profiler = TrainProfiler() if args.profile else None
+    result = train_model(model, train_set, val_set, config.train,
+                         profile=profiler)
     report = evaluate_model(model, test_set, bench)
     print(f"tree accuracy {report.tree_accuracy:.1%}  "
           f"result accuracy {report.result_accuracy:.1%}")
-    written = save_model(model, train_set.in_vocab, train_set.out_vocab, args.out)
+    written = save_model(model, train_set.in_vocab, train_set.out_vocab,
+                         args.out, optimizer=result.optimizer)
     print(f"saved model to {written}")
+    # Model first so a bad --profile path cannot lose the training run.
+    if profiler is not None:
+        profiler.write_json(args.profile)
+        print(f"wrote train profile to {args.profile} "
+              f"({profiler.tokens_per_sec:.0f} tokens/sec)")
     return 0
 
 
@@ -270,6 +281,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--patience", type=int, default=5)
     p.add_argument("--embed-dim", type=int, default=56)
     p.add_argument("--hidden-dim", type=int, default=96)
+    p.add_argument("--dtype", choices=("float32", "float64"),
+                   default="float32",
+                   help="training dtype (float64 reproduces the reference "
+                        "numerics exactly)")
+    p.add_argument("--profile",
+                   help="write a JSON training profile (tokens/sec, "
+                        "step-time histogram, per-epoch breakdown)")
     p.add_argument("--out", required=True)
     p.set_defaults(func=_cmd_train)
 

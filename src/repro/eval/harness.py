@@ -177,7 +177,9 @@ def evaluate_model(
     for start in range(0, len(examples), batch_size):
         chunk = examples[start : start + batch_size]
         batch = test_set.batch_of(chunk)
-        decoded = model.greedy_decode(batch, out_vocab.bos_id, out_vocab.eos_id)
+        decoded = model.greedy_decode_batch(
+            batch, out_vocab.bos_id, out_vocab.eos_id
+        )
         for ids, example in zip(decoded, chunk):
             pair = example.pair
             database = bench.databases[pair.db_name]
@@ -217,11 +219,16 @@ def train_and_evaluate(
     variant: str = "attention",
     config: Optional[ExperimentConfig] = None,
     pairs: Optional[Sequence[SynthesizedPair]] = None,
+    profile=None,
 ) -> Tuple[Seq2Vis, EvaluationReport]:
-    """The full Section 4 protocol for one variant."""
+    """The full Section 4 protocol for one variant.
+
+    Pass a :class:`repro.perf.TrainProfiler` as *profile* to collect
+    per-step/per-epoch training timings.
+    """
     config = config or ExperimentConfig()
     train_set, val_set, test_set = make_datasets(bench, config, pairs)
     model = build_model(variant, train_set, config)
-    train_model(model, train_set, val_set, config.train)
+    train_model(model, train_set, val_set, config.train, profile=profile)
     report = evaluate_model(model, test_set, bench)
     return model, report

@@ -10,6 +10,7 @@ sensitive.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -69,13 +70,8 @@ def low_rated_injection_experiment(
             train_pairs = list(train_clean) + low_order[:n_inject]
             accuracies: List[float] = []
             for repeat in range(repeats):
-                run_config = ExperimentConfig(
-                    embed_dim=config.embed_dim,
-                    hidden_dim=config.hidden_dim,
-                    train=config.train,
-                    split_seed=config.split_seed,
-                    model_seed=config.model_seed + repeat,
-                    use_pretrained_embeddings=config.use_pretrained_embeddings,
+                run_config = dataclasses.replace(
+                    config, model_seed=config.model_seed + repeat
                 )
                 train_set = build_dataset(train_pairs, bench.databases)
                 val_set = build_dataset(

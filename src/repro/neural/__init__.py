@@ -10,20 +10,32 @@ encoding (NL ++ schema tokens → masked VIS tokens), a trainer with early
 stopping, greedy decoding, and the value-slot-filling heuristic.
 """
 
-from repro.neural.autograd import Tensor
+from repro.neural.autograd import Tensor, no_grad
 from repro.neural.data import Seq2VisDataset, build_dataset
+from repro.neural.dtype import (
+    DEFAULT_TRAIN_DTYPE,
+    get_default_dtype,
+    set_default_dtype,
+    using_dtype,
+)
 from repro.neural.model import Seq2Vis
-from repro.neural.optimizer import Adam
+from repro.neural.optimizer import Adam, ReferenceAdam
 from repro.neural.slots import fill_value_slots
 from repro.neural.trainer import TrainConfig, train_model
 
 __all__ = [
     "Adam",
+    "DEFAULT_TRAIN_DTYPE",
+    "ReferenceAdam",
     "Seq2Vis",
     "Seq2VisDataset",
     "Tensor",
     "TrainConfig",
     "build_dataset",
     "fill_value_slots",
+    "get_default_dtype",
+    "no_grad",
+    "set_default_dtype",
     "train_model",
+    "using_dtype",
 ]

@@ -63,11 +63,19 @@ class Seq2VisDataset:
         order = np.arange(len(self.examples))
         if rng is not None:
             rng.shuffle(order)
-            order = sorted(
-                order,
-                key=lambda i: len(self.examples[int(i)].src_tokens)
-                + len(self.examples[int(i)].tgt_tokens),
+            # Stable argsort on total length keeps the shuffled order
+            # inside each length bucket (the same permutation a stable
+            # ``sorted`` with a length key would produce).
+            lengths = np.fromiter(
+                (
+                    len(self.examples[int(i)].src_tokens)
+                    + len(self.examples[int(i)].tgt_tokens)
+                    for i in order
+                ),
+                dtype=np.int64,
+                count=len(order),
             )
+            order = order[np.argsort(lengths, kind="stable")]
         chunks = [
             [self.examples[int(i)] for i in order[start : start + batch_size]]
             for start in range(0, len(order), batch_size)

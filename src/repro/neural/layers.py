@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.neural import autograd as ag
 from repro.neural.autograd import Tensor, parameter
+from repro.neural.dtype import DtypeLike, resolve_dtype
 
 
 class Module:
@@ -27,6 +28,35 @@ class Module:
                         params.extend(item.parameters())
         return params
 
+    def modules(self) -> Iterator["Module"]:
+        """This module and every submodule, depth first."""
+        yield self
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    def to_dtype(self, dtype: DtypeLike) -> "Module":
+        """Cast every parameter to *dtype* in place; returns self.
+
+        Call this before constructing an optimizer — the flat-buffer
+        Adam aliases parameter storage, and casting re-binds arrays.
+        """
+        resolved = resolve_dtype(dtype)
+        for param in self.parameters():
+            if param.data.dtype != resolved:
+                param.data = param.data.astype(resolved)
+        return self
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The parameters' dtype (models are kept dtype-uniform)."""
+        params = self.parameters()
+        return params[0].data.dtype if params else np.dtype(np.float64)
+
     def zero_grad(self) -> None:
         """Clear every parameter's gradient."""
         for param in self.parameters():
@@ -40,9 +70,20 @@ class Module:
         }
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
-        """Restore arrays saved by :meth:`state_dict`."""
+        """Restore arrays saved by :meth:`state_dict`.
+
+        Copies *into* the existing arrays (dtype-preserving) so any
+        optimizer holding flat-buffer views of the parameters keeps
+        seeing them.
+        """
         for index, param in enumerate(self.parameters()):
-            param.data = state[str(index)].copy()
+            stored = state[str(index)]
+            if stored.shape != param.data.shape:
+                raise ValueError(
+                    f"parameter {index} shape mismatch: "
+                    f"{stored.shape} vs {param.data.shape}"
+                )
+            param.data[...] = stored
 
 
 def _glorot(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
@@ -88,10 +129,18 @@ class Linear(Module):
 
 
 class LSTMCell(Module):
-    """A standard LSTM cell; the forget-gate bias starts at 1."""
+    """A standard LSTM cell; the forget-gate bias starts at 1.
+
+    ``fused`` (the default) routes steps through the two-node
+    :func:`repro.neural.autograd.lstm_step` kernel; ``fused=False``
+    keeps the original op-by-op composition, retained as the reference
+    implementation for gradient and parity checks.  Both compute the
+    same forward values bit for bit.
+    """
 
     def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator, name: str = "lstm"):
         self.hidden_dim = hidden_dim
+        self.fused = True
         self.w_x = parameter(_glorot(rng, input_dim, 4 * hidden_dim), name=f"{name}.wx")
         self.w_h = parameter(_glorot(rng, hidden_dim, 4 * hidden_dim), name=f"{name}.wh")
         bias = np.zeros((1, 4 * hidden_dim))
@@ -99,8 +148,22 @@ class LSTMCell(Module):
         self.bias = parameter(bias, name=f"{name}.b")
 
     def __call__(
+        self,
+        x: Optional[Tensor],
+        state: Tuple[Tensor, Tensor],
+        x_proj: Optional[Tensor] = None,
+    ) -> Tuple[Tensor, Tensor]:
+        h_prev, c_prev = state
+        if self.fused:
+            return ag.lstm_step(
+                x, self.w_x, self.w_h, self.bias, h_prev, c_prev, x_proj=x_proj
+            )
+        return self.step_unfused(x, state)
+
+    def step_unfused(
         self, x: Tensor, state: Tuple[Tensor, Tensor]
     ) -> Tuple[Tensor, Tensor]:
+        """The original gate-by-gate composition (~14 graph nodes)."""
         h_prev, c_prev = state
         gates = ag.add(
             ag.add(ag.matmul(x, self.w_x), ag.matmul(h_prev, self.w_h)), self.bias
@@ -115,8 +178,8 @@ class LSTMCell(Module):
         return h, c
 
     def initial_state(self, batch: int) -> Tuple[Tensor, Tensor]:
-        """Zero (h, c) state for a batch."""
-        zeros = np.zeros((batch, self.hidden_dim))
+        """Zero (h, c) state for a batch, in the cell's dtype."""
+        zeros = np.zeros((batch, self.hidden_dim), dtype=self.w_x.data.dtype)
         return Tensor(zeros), Tensor(zeros.copy())
 
 
@@ -133,28 +196,62 @@ class BiLSTMEncoder(Module):
         self.hidden_dim = hidden_dim
 
     def __call__(
-        self, embedded: List[Tensor], mask: np.ndarray
+        self,
+        embedded: Optional[List[Tensor]],
+        mask: np.ndarray,
+        embedded_seq: Optional[Tensor] = None,
     ) -> Tuple[Tensor, Tensor, Tensor]:
         """``embedded`` is a list of L tensors (B, D); ``mask`` (B, L).
 
         Padded positions keep the previous state (standard masked RNN).
+        When *embedded_seq* (B, L, D) is given and the cells are fused,
+        both directions' input projections are hoisted out of the
+        recurrence as one sequence GEMM each, and the per-position list
+        is not needed at all.
         """
-        batch = embedded[0].shape[0]
-        length = len(embedded)
+        if embedded_seq is not None:
+            batch, length = embedded_seq.shape[0], embedded_seq.shape[1]
+        else:
+            batch, length = embedded[0].shape[0], len(embedded)
+        if embedded_seq is not None and self.forward_cell.fused:
+            # Whole-sequence path: one hoisted projection GEMM and one
+            # recurrence node per direction (see autograd.lstm_seq).
+            def run_seq(cell: LSTMCell, reverse: bool) -> Tensor:
+                proj_seq = ag.matmul_seq(embedded_seq, cell.w_x)
+                h0, c0 = cell.initial_state(batch)
+                return ag.lstm_seq(
+                    proj_seq, cell.w_h, cell.bias, h0, c0,
+                    keep=mask, reverse=reverse,
+                )
+
+            fwd_seq = run_seq(self.forward_cell, reverse=False)
+            bwd_seq = run_seq(self.backward_cell, reverse=True)
+            memory = ag.concat_last(fwd_seq, bwd_seq)
+            final_h = ag.concat(
+                [ag.slice_time(fwd_seq, length - 1), ag.slice_time(bwd_seq, 0)],
+                axis=1,
+            )
+            return memory, final_h, ag.slice_time(memory, length - 1)
+
+        dtype = self.forward_cell.w_x.data.dtype
+        # Preallocated per-position blend masks, cast once to the cell
+        # dtype so padded steps never upcast a float32 state.
+        keep_cols = np.asarray(mask, dtype=dtype)[:, :, None]
+        drop_cols = 1.0 - keep_cols
 
         def run(cell: LSTMCell, order: range) -> List[Tensor]:
             h, c = cell.initial_state(batch)
             outputs: List[Optional[Tensor]] = [None] * length
             for position in order:
                 h_new, c_new = cell(embedded[position], (h, c))
-                keep = mask[:, position : position + 1]
+                keep = keep_cols[:, position]
                 if keep.all():
                     # Fast path: length-bucketed batches rarely pad, so
                     # most positions skip the mask blend entirely.
                     h, c = h_new, c_new
                 else:
                     keep_t = Tensor(keep)
-                    drop_t = Tensor(1.0 - keep)
+                    drop_t = Tensor(drop_cols[:, position])
                     h = ag.add(ag.mul(h_new, keep_t), ag.mul(h, drop_t))
                     c = ag.add(ag.mul(c_new, keep_t), ag.mul(c, drop_t))
                 outputs[position] = h
@@ -162,7 +259,9 @@ class BiLSTMEncoder(Module):
 
         fwd = run(self.forward_cell, range(length))
         bwd = run(self.backward_cell, range(length - 1, -1, -1))
-        states = [ag.concat([fwd[i], bwd[i]], axis=1) for i in range(length)]
-        memory = ag.stack_seq(states)
+        # Join the directions with two stacks and one feature concat
+        # instead of L per-position concat nodes; the values are the
+        # same arrays either way.
+        memory = ag.concat_last(ag.stack_seq(fwd), ag.stack_seq(bwd))
         final_h = ag.concat([fwd[-1], bwd[0]], axis=1)
-        return memory, final_h, states[-1]
+        return memory, final_h, ag.slice_time(memory, length - 1)

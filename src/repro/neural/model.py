@@ -73,6 +73,7 @@ class Seq2Vis(Module):
         hidden_dim: int = 96,
         seed: int = 0,
         pretrained_in: Optional[np.ndarray] = None,
+        dtype: Optional[str] = None,
     ):
         if variant not in VARIANTS:
             raise ValueError(f"unknown variant {variant!r}; pick from {VARIANTS}")
@@ -92,13 +93,39 @@ class Seq2Vis(Module):
         self.out_proj = Linear(hidden_dim, out_vocab_size, rng, name="out")
         if variant == "copy":
             self.gen_gate = Linear(3 * hidden_dim + embed_dim, 1, rng, name="pgen")
+        if dtype is not None:
+            # Initialization always happens at float64 (above), so a
+            # float32 and a float64 model share the same rounded init.
+            self.to_dtype(dtype)
+
+    def set_fused(self, fused: bool) -> "Seq2Vis":
+        """Switch every LSTM cell (and the sequence-fused embedding
+        path) between the fused kernels and the reference op-by-op
+        graph; returns self."""
+        for module in self.modules():
+            if isinstance(module, LSTMCell):
+                module.fused = fused
+        return self
+
+    @property
+    def fused(self) -> bool:
+        """True when the fused kernels are active."""
+        return self.decoder.fused
 
     # ----- shared encoder ------------------------------------------------
 
     def _encode(self, batch: Batch) -> Tuple[Tensor, Tensor, Tensor]:
         length = batch.src_ids.shape[1]
-        embedded = [self.embed_in(batch.src_ids[:, i]) for i in range(length)]
-        memory, final_h, _ = self.encoder(embedded, batch.src_mask)
+        if self.fused:
+            # One gather for the whole sequence; the encoder hoists the
+            # input projections itself, so no per-position slices here.
+            embedded_seq = ag.embedding_seq(self.embed_in.weight, batch.src_ids)
+            memory, final_h, _ = self.encoder(
+                None, batch.src_mask, embedded_seq=embedded_seq
+            )
+        else:
+            embedded = [self.embed_in(batch.src_ids[:, i]) for i in range(length)]
+            memory, final_h, _ = self.encoder(embedded, batch.src_mask)
         h0 = ag.tanh(self.bridge(final_h))
         c0 = ag.tanh(self.bridge_c(final_h))
         return memory, h0, c0
@@ -127,9 +154,54 @@ class Seq2Vis(Module):
         """Teacher-forced mean token loss over a batch."""
         memory, h, c = self._encode(batch)
         steps = batch.tgt_in.shape[1]
+        tgt_embedded: Optional[Tensor] = None
+        if self.fused:
+            tgt_embedded = ag.embedding_seq(self.embed_out.weight, batch.tgt_in)
+        if self.fused and self.variant != "copy":
+            # Sequence-level fast path.  Teacher forcing means the
+            # decoder recurrence never looks at the attention output,
+            # so the whole loss is sequence ops: one recurrence node,
+            # batched attention over all T steps, one (B·T, H)
+            # projection GEMM, and one cross-entropy.
+            proj = ag.matmul_seq(tgt_embedded, self.decoder.w_x)
+            h_seq = ag.lstm_seq(
+                proj, self.decoder.w_h, self.decoder.bias, h, c
+            )  # (B, T, H)
+            if self.variant == "basic":
+                outputs = h_seq
+            else:
+                q_seq = ag.add(
+                    ag.matmul_seq(h_seq, self.query_proj.weight),
+                    self.query_proj.bias,
+                )
+                scores = ag.attention_scores_seq(q_seq, memory)
+                weights = ag.masked_softmax(
+                    scores, mask=batch.src_mask[:, None, :]
+                )
+                context = ag.attention_context_seq(weights, memory)
+                outputs = ag.tanh(
+                    ag.add(
+                        ag.matmul_seq(
+                            ag.concat_last(h_seq, context),
+                            self.combine.weight,
+                        ),
+                        self.combine.bias,
+                    )
+                )
+            flat = ag.reshape_merge(outputs)                    # (B·T, H)
+            logits = ag.add(
+                ag.matmul(flat, self.out_proj.weight), self.out_proj.bias
+            )
+            token_losses = ag.cross_entropy_logits(
+                logits, batch.tgt_out.reshape(-1)
+            )
+            return ag.masked_mean(token_losses, batch.tgt_mask.reshape(-1))
         losses: List[Tensor] = []
         for t in range(steps):
-            token_embed = self.embed_out(batch.tgt_in[:, t])
+            if tgt_embedded is not None:
+                token_embed = ag.slice_time(tgt_embedded, t)
+            else:
+                token_embed = self.embed_out(batch.tgt_in[:, t])
             output, weights, context, (h, c) = self._step(
                 token_embed, (h, c), memory, batch.src_mask
             )
@@ -212,6 +284,25 @@ class Seq2Vis(Module):
                 break
             tokens = next_tokens.astype(np.int64)
         return outputs
+
+    def greedy_decode_batch(
+        self,
+        batch: Batch,
+        bos_id: int,
+        eos_id: int,
+        max_len: int = 60,
+    ) -> List[List[int]]:
+        """Greedy decoding of a whole padded batch with no graph.
+
+        Token-identical to :meth:`greedy_decode` (the evaluation
+        harness and the serving path both rely on that), but runs under
+        :func:`repro.neural.autograd.no_grad`, so no backward closures
+        or parent links are recorded and intermediate activations are
+        freed as soon as the step moves on — the fast path for
+        accuracy evaluation over thousands of test examples.
+        """
+        with ag.no_grad():
+            return self.greedy_decode(batch, bos_id, eos_id, max_len=max_len)
 
     def beam_decode(
         self,

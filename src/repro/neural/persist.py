@@ -37,8 +37,14 @@ def save_model(
     in_vocab: Vocabulary,
     out_vocab: Vocabulary,
     path: Union[str, Path],
+    optimizer=None,
 ) -> Path:
     """Write *model* and its vocabularies to ``path`` (.npz).
+
+    The checkpoint records the parameter dtype, so a float32-trained
+    model reloads as float32, and — when *optimizer* is given — the
+    optimizer hyperparameters (lr, betas, eps, clip_norm), so a
+    fine-tuning run can resume with the same settings.
 
     Returns the path actually written (``.npz`` suffix normalized).
     """
@@ -48,7 +54,16 @@ def save_model(
         "hidden_dim": int(model.hidden_dim),
         "in_vocab": in_vocab.tokens,
         "out_vocab": out_vocab.tokens,
+        "dtype": str(model.dtype),
     }
+    if optimizer is not None:
+        meta["optimizer"] = {
+            "lr": float(optimizer.lr),
+            "beta1": float(optimizer.beta1),
+            "beta2": float(optimizer.beta2),
+            "eps": float(optimizer.eps),
+            "clip_norm": float(optimizer.clip_norm),
+        }
     arrays = {
         f"param_{index}": param.data
         for index, param in enumerate(model.parameters())
@@ -77,6 +92,7 @@ def load_model(path: Union[str, Path]) -> Tuple[Seq2Vis, Vocabulary, Vocabulary]
         variant=meta["variant"],
         embed_dim=meta["embed_dim"],
         hidden_dim=meta["hidden_dim"],
+        dtype=meta.get("dtype"),
     )
     for index, param in enumerate(model.parameters()):
         stored = archive[f"param_{index}"]
@@ -85,5 +101,11 @@ def load_model(path: Union[str, Path]) -> Tuple[Seq2Vis, Vocabulary, Vocabulary]
                 f"parameter {index} shape mismatch: "
                 f"{stored.shape} vs {param.data.shape}"
             )
-        param.data = stored.copy()
+        # Copy in place: an optimizer built on this model may alias
+        # param.data, and rebinding would silently detach it.
+        param.data[...] = stored
+    model.checkpoint_meta = {
+        "dtype": meta.get("dtype", "float64"),
+        "optimizer": meta.get("optimizer"),
+    }
     return model, in_vocab, out_vocab

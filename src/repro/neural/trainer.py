@@ -1,16 +1,38 @@
 """Training loop for seq2vis: minibatch Adam with early stopping on the
-validation loss (the paper uses patience 5)."""
+validation loss (the paper uses patience 5).
+
+The loop is the integration point of the fast-engine pieces:
+
+* ``TrainConfig.dtype`` applies the dtype policy (default float32; the
+  model is cast once, before the optimizer is built, so the flat Adam
+  buffers alias float32 storage).
+* ``TrainConfig.fused`` selects the fused kernels + flat-buffer
+  :class:`~repro.neural.optimizer.Adam` (default) or the seed-faithful
+  reference engine (op-by-op LSTM graph +
+  :class:`~repro.neural.optimizer.ReferenceAdam`), which the training
+  benchmark uses as its baseline.
+* Epoch train loss is **token-weighted** (total masked token loss over
+  total target tokens), the same statistic ``evaluate_loss`` reports,
+  so train and validation curves are directly comparable.
+* ``profile=`` threads a :class:`repro.perf.TrainProfiler` through the
+  loop (per-step wall time + tokens, per-epoch breakdown); without one
+  the loop takes no clock readings.
+"""
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.neural import autograd as ag
 from repro.neural.data import Seq2VisDataset
+from repro.neural.dtype import DEFAULT_TRAIN_DTYPE
 from repro.neural.model import Seq2Vis
-from repro.neural.optimizer import Adam
+from repro.neural.optimizer import Adam, ReferenceAdam
+from repro.perf.train import TrainProfiler
 
 
 @dataclass
@@ -24,6 +46,10 @@ class TrainConfig:
     patience: int = 5
     seed: int = 0
     verbose: bool = False
+    #: training dtype policy; float64 reproduces the seed numerics
+    dtype: str = DEFAULT_TRAIN_DTYPE
+    #: fused kernels + flat Adam (True) vs the seed reference engine
+    fused: bool = True
 
 
 @dataclass
@@ -33,19 +59,26 @@ class TrainResult:
     train_losses: List[float] = field(default_factory=list)
     val_losses: List[float] = field(default_factory=list)
     best_epoch: int = -1
+    #: the optimizer used (its hyperparams are persisted by save_model)
+    optimizer: Optional[object] = None
 
 
 def evaluate_loss(model: Seq2Vis, dataset: Seq2VisDataset, batch_size: int = 32) -> float:
-    """Mean loss over *dataset* (no gradient updates)."""
+    """Token-weighted mean loss over *dataset* (no gradient updates).
+
+    Runs under ``no_grad`` — no backward graph is recorded, so
+    validation passes cost forward time and forward memory only.
+    """
     if not dataset.examples:
         return 0.0
     total = 0.0
     count = 0
-    for batch in dataset.batches(batch_size):
-        loss = model.loss(batch)
-        weight = batch.tgt_mask.sum()
-        total += loss.item() * weight
-        count += weight
+    with ag.no_grad():
+        for batch in dataset.batches(batch_size):
+            loss = model.loss(batch)
+            weight = batch.tgt_mask.sum()
+            total += loss.item() * weight
+            count += weight
     return total / max(count, 1)
 
 
@@ -54,29 +87,54 @@ def train_model(
     train_set: Seq2VisDataset,
     val_set: Optional[Seq2VisDataset] = None,
     config: Optional[TrainConfig] = None,
+    profile: Optional[TrainProfiler] = None,
 ) -> TrainResult:
     """Train *model*; restores the best-validation weights on return."""
     config = config or TrainConfig()
     rng = np.random.default_rng(config.seed)
-    optimizer = Adam(model.parameters(), lr=config.lr, clip_norm=config.clip_norm)
-    result = TrainResult()
+    model.to_dtype(config.dtype)
+    model.set_fused(config.fused)
+    optimizer_cls = Adam if config.fused else ReferenceAdam
+    optimizer = optimizer_cls(
+        model.parameters(), lr=config.lr, clip_norm=config.clip_norm
+    )
+    result = TrainResult(optimizer=optimizer)
     best_val = float("inf")
     best_state: Optional[Dict[str, np.ndarray]] = None
     stale = 0
+    clock = time.perf_counter
     for epoch in range(config.epochs):
         epoch_loss = 0.0
+        epoch_tokens = 0
+        epoch_start = clock() if profile is not None else 0.0
         batches = train_set.batches(config.batch_size, rng)
         for batch in batches:
+            step_start = clock() if profile is not None else 0.0
             optimizer.zero_grad()
             loss = model.loss(batch)
-            loss.backward()
+            loss.backward(free_graph=config.fused)
             optimizer.step()
-            epoch_loss += loss.item()
-        epoch_loss /= max(len(batches), 1)
+            tokens = int(batch.tgt_mask.sum())
+            epoch_loss += loss.item() * tokens
+            epoch_tokens += tokens
+            if profile is not None:
+                profile.observe_step(clock() - step_start, tokens)
+        epoch_loss /= max(epoch_tokens, 1)
         result.train_losses.append(epoch_loss)
+        val_loss: Optional[float] = None
         if val_set is not None and val_set.examples:
             val_loss = evaluate_loss(model, val_set, config.batch_size)
             result.val_losses.append(val_loss)
+        if profile is not None:
+            profile.observe_epoch(
+                epoch,
+                clock() - epoch_start,
+                epoch_tokens,
+                len(batches),
+                epoch_loss,
+                val_loss,
+            )
+        if val_loss is not None:
             if config.verbose:
                 print(f"epoch {epoch}: train={epoch_loss:.4f} val={val_loss:.4f}")
             if val_loss < best_val - 1e-4:

@@ -1,8 +1,9 @@
-"""Performance layer: build profiling, execution caching, histograms.
+"""Performance layer: build/train profiling, execution caching, histograms.
 
-See ``docs/PERFORMANCE.md`` for the profiler API, the execution-cache
-semantics, and how to read a ``BENCH_build.json`` trajectory;
-``docs/SERVING.md`` covers the histogram-backed serving metrics.
+See ``docs/PERFORMANCE.md`` for the profiler APIs, the execution-cache
+semantics, and how to read the ``BENCH_build.json`` /
+``BENCH_train.json`` trajectories; ``docs/SERVING.md`` covers the
+histogram-backed serving metrics.
 """
 
 from repro.perf.histogram import (
@@ -11,6 +12,7 @@ from repro.perf.histogram import (
     Histogram,
 )
 from repro.perf.profiler import BuildProfiler, StageStats, stage
+from repro.perf.train import TrainProfiler
 
 __all__ = [
     "BATCH_SIZE_BUCKETS",
@@ -18,5 +20,6 @@ __all__ = [
     "Histogram",
     "LATENCY_BUCKETS_MS",
     "StageStats",
+    "TrainProfiler",
     "stage",
 ]

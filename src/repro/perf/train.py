@@ -1,0 +1,110 @@
+"""Timing instrumentation for the seq2vis training loop.
+
+:class:`TrainProfiler` is the training-side sibling of
+:class:`repro.perf.profiler.BuildProfiler`: the trainer feeds it one
+observation per optimizer step (wall seconds + target tokens) and one
+summary per epoch, and it aggregates throughput (tokens/sec), a
+step-time histogram (reusing :class:`repro.perf.Histogram`), and a
+per-epoch breakdown.  ``train_model(..., profile=profiler)`` is the
+only integration point; without a profiler the trainer takes no clock
+readings at all.
+
+"Tokens" are *target* tokens (``tgt_mask`` sum): the decoder steps
+dominate the step cost and the number is invariant to padding, so
+tokens/sec trajectories are comparable across batch sizes and
+bucketing strategies.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.perf.histogram import LATENCY_BUCKETS_MS, Histogram
+
+
+class TrainProfiler:
+    """Collects per-step timings, token throughput, and epoch stats."""
+
+    def __init__(self) -> None:
+        self.step_ms = Histogram(LATENCY_BUCKETS_MS, window=8192)
+        self.epochs: List[Dict[str, object]] = []
+        self.total_tokens = 0
+        self.total_steps = 0
+        self.train_seconds = 0.0
+
+    # ----- recording ---------------------------------------------------
+
+    def observe_step(self, seconds: float, tokens: int) -> None:
+        """Record one optimizer step: wall time and target tokens."""
+        self.step_ms.observe(seconds * 1000.0)
+        self.total_tokens += int(tokens)
+        self.total_steps += 1
+        self.train_seconds += seconds
+
+    def observe_epoch(
+        self,
+        epoch: int,
+        seconds: float,
+        tokens: int,
+        steps: int,
+        train_loss: float,
+        val_loss: Optional[float] = None,
+    ) -> None:
+        """Record one epoch's summary row."""
+        self.epochs.append(
+            {
+                "epoch": int(epoch),
+                "seconds": float(seconds),
+                "tokens": int(tokens),
+                "steps": int(steps),
+                "tokens_per_sec": float(tokens / seconds) if seconds > 0 else 0.0,
+                "train_loss": float(train_loss),
+                "val_loss": None if val_loss is None else float(val_loss),
+            }
+        )
+
+    # ----- reporting ---------------------------------------------------
+
+    @property
+    def tokens_per_sec(self) -> float:
+        """Target tokens per second of pure training-step wall time."""
+        if self.train_seconds <= 0:
+            return 0.0
+        return self.total_tokens / self.train_seconds
+
+    def report(self) -> dict:
+        """The full profile as one JSON-serializable dict."""
+        return {
+            "tokens": self.total_tokens,
+            "steps": self.total_steps,
+            "train_seconds": self.train_seconds,
+            "tokens_per_sec": self.tokens_per_sec,
+            "step_ms": self.step_ms.summary(),
+            "epochs": list(self.epochs),
+        }
+
+    def write_json(self, path: str) -> dict:
+        """Write :meth:`report` to *path*; returns the report."""
+        report = self.report()
+        Path(path).write_text(json.dumps(report, indent=2))
+        return report
+
+    def summary(self) -> str:
+        """Human-readable multi-line profile table."""
+        lines = [
+            f"{'tokens/sec':16s} {self.tokens_per_sec:12.1f}",
+            f"{'steps':16s} {self.total_steps:12d}",
+            f"{'train seconds':16s} {self.train_seconds:12.3f}",
+            f"{'step p50 (ms)':16s} {self.step_ms.percentile(50):12.2f}",
+            f"{'step p99 (ms)':16s} {self.step_ms.percentile(99):12.2f}",
+        ]
+        for row in self.epochs:
+            val = "" if row["val_loss"] is None else f"  val={row['val_loss']:.4f}"
+            lines.append(
+                f"epoch {row['epoch']:3d}  {row['seconds']:7.3f}s  "
+                f"{row['tokens_per_sec']:10.1f} tok/s  "
+                f"train={row['train_loss']:.4f}{val}"
+            )
+        return "\n".join(lines)

@@ -132,7 +132,7 @@ def translate_batch(
         in_vocab,
         out_vocab,
     )
-    decoded = model.greedy_decode(batch, out_vocab.bos_id, out_vocab.eos_id)
+    decoded = model.greedy_decode_batch(batch, out_vocab.bos_id, out_vocab.eos_id)
     return [
         _finish(question, database, out_vocab.decode(ids))
         for (question, database), ids in zip(requests, decoded)
