@@ -40,6 +40,18 @@ from repro.spider.corpus import CorpusConfig
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def results_path(name: str) -> Path:
+    """Canonical location of a benchmark artifact under ``results/``.
+
+    Every ``BENCH_*.json`` trajectory and ``summary.txt`` lives in this
+    one directory — the layout is documented in ``benchmarks/README.md``
+    and consumed by the CI artifact-upload steps.  Creates the directory
+    on first use.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR / name
+
+
 @dataclass(frozen=True)
 class BenchProfile:
     name: str
@@ -92,8 +104,7 @@ def emit(name: str, text: str) -> None:
     """Print a result table and persist it under benchmarks/results/."""
     banner = f"\n===== {name} =====\n{text}\n"
     print(banner)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    with open(RESULTS_DIR / "summary.txt", "a") as handle:
+    with open(results_path("summary.txt"), "a") as handle:
         handle.write(banner)
 
 

@@ -20,15 +20,12 @@ from __future__ import annotations
 import json
 import os
 import time
-from pathlib import Path
 
 from repro.core.nvbench import NVBenchConfig, build_nvbench
 from repro.perf import BuildProfiler
 from repro.spider.corpus import CorpusConfig, build_spider_corpus
 
-from conftest import emit
-
-RESULTS_DIR = Path(__file__).parent / "results"
+from conftest import emit, results_path
 
 #: Default corpus for the perf harness: big enough rows that chart
 #: execution dominates, small enough that the uncached baseline stays
@@ -95,8 +92,7 @@ def test_cached_batch_build_speedup():
         "baseline": baseline_report,
         "optimized": optimized_report,
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_build.json").write_text(json.dumps(trajectory, indent=2))
+    results_path("BENCH_build.json").write_text(json.dumps(trajectory, indent=2))
 
     emit(
         "BENCH build pipeline",

@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import json
 import os
-from pathlib import Path
 
 from repro.core.nvbench import NVBenchConfig, build_nvbench
 from repro.neural.data import build_dataset
@@ -36,9 +35,7 @@ from repro.serve import (
 )
 from repro.spider.corpus import CorpusConfig
 
-from conftest import emit
-
-RESULTS_DIR = Path(__file__).parent / "results"
+from conftest import emit, results_path
 
 QUESTION_STEMS = [
     "how many rows per category",
@@ -145,8 +142,7 @@ def test_batched_serving_throughput():
         "avg_batch_size": batched_metrics["avg_batch_size"],
         "batch_size_buckets": batched_metrics["batch_size"]["buckets"],
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_serve.json").write_text(
+    results_path("BENCH_serve.json").write_text(
         json.dumps(trajectory, indent=2)
     )
 

@@ -23,7 +23,6 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass
-from pathlib import Path
 
 import numpy as np
 
@@ -33,9 +32,7 @@ from repro.neural.trainer import TrainConfig, train_model
 from repro.perf import TrainProfiler
 from repro.spider.corpus import CorpusConfig, build_spider_corpus
 
-from conftest import emit
-
-RESULTS_DIR = Path(__file__).parent / "results"
+from conftest import emit, results_path
 
 PARITY_ATOL = 1e-6
 MIN_SPEEDUP = 3.0
@@ -182,8 +179,7 @@ def test_fast_engine_speedup_and_parity():
             **opt_prof.report(),
         },
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_train.json").write_text(json.dumps(trajectory, indent=2))
+    results_path("BENCH_train.json").write_text(json.dumps(trajectory, indent=2))
 
     emit(
         "BENCH training engine",

@@ -8,11 +8,17 @@ Commands
 ``train``            train a seq2vis variant on a benchmark; save the model
 ``translate``        translate an NL question with a saved model
 ``serve``            run the batched HTTP inference service
+``trace``            summarize a JSONL span export written by ``--trace``
+
+``build-benchmark``, ``train``, ``translate``, and ``serve`` all accept
+``--trace PATH`` to export a span tree of the run as JSONL (see
+``docs/OBSERVABILITY.md``); ``trace summarize PATH`` renders it.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -29,6 +35,27 @@ from repro.spider.corpus import (
     load_corpus,
     save_corpus,
 )
+
+
+def _open_tracer(path: Optional[str]):
+    """``(tracer, exporter)`` for ``--trace PATH``; ``(None, None)`` off.
+
+    The caller must ``exporter.close()`` (after the traced work) so the
+    JSONL file is flushed before the command exits.
+    """
+    if not path:
+        return None, None
+    from repro.obs import JsonlExporter, Tracer
+
+    exporter = JsonlExporter(path)
+    return Tracer(exporter=exporter), exporter
+
+
+def _close_tracer(exporter, path: Optional[str]) -> None:
+    if exporter is not None:
+        exporter.close()
+        print(f"wrote {exporter.exported} spans to {path} "
+              f"(render with: python -m repro trace summarize {path})")
 
 
 def _corpus_args(parser: argparse.ArgumentParser) -> None:
@@ -68,9 +95,12 @@ def _cmd_build_benchmark(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     profiler = BuildProfiler()
+    tracer, exporter = _open_tracer(args.trace)
     bench = build_nvbench(
-        corpus=corpus, config=config, workers=args.workers, profiler=profiler
+        corpus=corpus, config=config, workers=args.workers,
+        profiler=profiler, tracer=tracer,
     )
+    _close_tracer(exporter, args.trace)
     if not args.corpus:
         save_corpus(bench.corpus, args.out + ".corpus.json")
         print(f"wrote corpus to {args.out}.corpus.json")
@@ -131,8 +161,10 @@ def _cmd_train(args: argparse.Namespace) -> int:
     print(f"training seq2vis ({args.variant}, {args.dtype}) "
           f"on {len(train_set)} pairs ...")
     profiler = TrainProfiler() if args.profile else None
+    tracer, exporter = _open_tracer(args.trace)
     result = train_model(model, train_set, val_set, config.train,
-                         profile=profiler)
+                         profile=profiler, tracer=tracer)
+    _close_tracer(exporter, args.trace)
     report = evaluate_model(model, test_set, bench)
     print(f"tree accuracy {report.tree_accuracy:.1%}  "
           f"result accuracy {report.result_accuracy:.1%}")
@@ -161,16 +193,25 @@ def _cmd_translate(args: argparse.Namespace) -> int:
     database = corpus.databases[args.database]
     model, in_vocab, out_vocab = load_model(args.model)
 
-    result = translate_question(
-        model, in_vocab, out_vocab, args.question, database
-    )
+    from repro.obs import traced
+
+    tracer, exporter = _open_tracer(args.trace)
+    with traced(tracer, "translate", db=args.database, format=args.format):
+        result = translate_question(
+            model, in_vocab, out_vocab, args.question, database,
+            tracer=tracer,
+        )
+        spec = None
+        if result.tree is not None and args.format != "text":
+            with traced(tracer, "render", format=args.format):
+                spec = render_spec(result, database, args.format)
+    _close_tracer(exporter, args.trace)
     print("predicted tokens:", " ".join(result.tokens))
     if result.tree is None:
         print(f"(not a parseable vis tree: {result.error})")
         return 0
     print("predicted tree :", result.vis_text)
-    if args.format != "text":
-        spec = render_spec(result, database, args.format)
+    if spec is not None:
         if isinstance(spec, str):
             print(spec)
         else:
@@ -214,7 +255,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_size=args.cache_size,
         default_format=args.format,
     )
-    server = InferenceServer(registry, corpus.databases, config=config)
+    tracer, exporter = _open_tracer(args.trace)
+    server = InferenceServer(
+        registry, corpus.databases, config=config, tracer=tracer
+    )
 
     async def _main() -> None:
         host, port = await server.start()
@@ -236,7 +280,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # 3.11+ cancels _main instead, which drains via its finally and
         # returns here normally.
         pass
+    _close_tracer(exporter, args.trace)
     print("server drained; bye")
+    return 0
+
+
+def _cmd_trace_summarize(args: argparse.Namespace) -> int:
+    from repro.obs import load_spans, summarize
+
+    try:
+        records = load_spans(args.path)
+    except FileNotFoundError:
+        print(f"no such span export: {args.path}", file=sys.stderr)
+        return 2
+    if not records:
+        print(f"no spans in {args.path}", file=sys.stderr)
+        return 1
+    try:
+        print(summarize(
+            records,
+            trace_id=args.trace_id,
+            min_ms=args.min_ms,
+            max_depth=args.max_depth,
+            max_traces=args.max_traces,
+        ))
+    except BrokenPipeError:
+        # the reader (head, a pager) closed the pipe; hand it a devnull
+        # stdout so the interpreter's exit flush stays quiet too
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
     return 0
 
 
@@ -263,6 +334,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable the execution-result cache")
     p.add_argument("--profile",
                    help="write a JSON build profile (stage timings, cache stats)")
+    p.add_argument("--trace",
+                   help="write a JSONL span export of the build (one trace: "
+                        "stages, shards, per-pair synthesis)")
     p.set_defaults(func=_cmd_build_benchmark)
 
     p = sub.add_parser("stats", help="print benchmark statistics")
@@ -288,6 +362,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile",
                    help="write a JSON training profile (tokens/sec, "
                         "step-time histogram, per-epoch breakdown)")
+    p.add_argument("--trace",
+                   help="write a JSONL span export of the run (train → "
+                        "epoch → step/evaluate spans)")
     p.add_argument("--out", required=True)
     p.set_defaults(func=_cmd_train)
 
@@ -299,6 +376,9 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("text", "vega-lite", "echarts", "plotly",
                             "ascii", "ggplot"),
                    help="also emit the rendered spec in this backend format")
+    p.add_argument("--trace",
+                   help="write a JSONL span export of the translation "
+                        "(encode/decode/parse/render)")
     p.add_argument("question")
     p.set_defaults(func=_cmd_translate)
 
@@ -329,7 +409,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="default render format for responses")
     p.add_argument("--warm", action="store_true",
                    help="run one dummy request per model before serving")
+    p.add_argument("--trace",
+                   help="write a JSONL span export: one trace per request "
+                        "(http.request → batch.wait/decode/render)")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("trace", help="inspect JSONL span exports")
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    ps = trace_sub.add_parser(
+        "summarize",
+        help="render a span tree + per-stage latency table from an export",
+    )
+    ps.add_argument("path", help="JSONL file written by a --trace flag")
+    ps.add_argument("--trace-id", help="render only this trace")
+    ps.add_argument("--min-ms", type=float, default=0.0,
+                    help="hide spans shorter than this many milliseconds")
+    ps.add_argument("--max-depth", type=int,
+                    help="truncate the span tree below this depth")
+    ps.add_argument("--max-traces", type=int, default=5,
+                    help="render at most this many traces (longest first)")
+    ps.set_defaults(func=_cmd_trace_summarize)
     return parser
 
 

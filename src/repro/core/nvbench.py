@@ -31,6 +31,7 @@ from repro.core.synthesizer import NL2VISSynthesizer, SynthesizedPair
 from repro.core.tree_edits import TreeEditConfig, generate_candidates
 from repro.grammar.ast_nodes import VisQuery
 from repro.grammar.serialize import from_tokens, to_tokens
+from repro.obs.trace import Tracer, traced
 from repro.perf.profiler import BuildProfiler, stage
 from repro.spider.corpus import (
     CorpusConfig,
@@ -118,6 +119,7 @@ def build_nvbench(
     config: Optional[NVBenchConfig] = None,
     workers: int = 1,
     profiler: Optional[BuildProfiler] = None,
+    tracer: Optional[Tracer] = None,
 ) -> NVBench:
     """Run the full nl2sql-to-nl2vis pipeline and return the benchmark.
 
@@ -125,36 +127,58 @@ def build_nvbench(
     independent) over a process pool and merges results back in corpus
     order; the output is bit-identical to the serial build.  Pass a
     :class:`BuildProfiler` to receive per-stage timings and cache
-    hit/miss counters.
+    hit/miss counters, and/or a :class:`~repro.obs.Tracer` to export a
+    span tree of the whole build (one ``pair`` span per input pair; in a
+    parallel build each worker records spans under a serialized parent
+    context and the coordinator merges them in shard order).  Neither
+    instrument changes the synthesized pair list.
     """
     config = config or NVBenchConfig()
-    if corpus is None:
-        with stage(profiler, "corpus_build"):
-            corpus = build_spider_corpus(config.corpus)
+    with traced(
+        tracer, "build_nvbench",
+        workers=workers, use_cache=config.use_cache, seed=config.seed,
+    ) as build_span:
+        if corpus is None:
+            with stage(profiler, "corpus_build"), traced(tracer, "corpus_build"):
+                corpus = build_spider_corpus(config.corpus)
 
-    cache = ExecutionCache() if config.use_cache else None
-    with stage(profiler, "filter_train"):
-        chart_filter = _make_filter(corpus, config, cache=cache, profiler=profiler)
-    with stage(profiler, "synthesize"):
-        if workers <= 1:
-            indexed = _synthesize_items(
-                corpus.databases,
-                list(enumerate(corpus.pairs)),
-                chart_filter,
-                config,
-                cache=cache,
-                profiler=profiler,
+        cache = ExecutionCache() if config.use_cache else None
+        with stage(profiler, "filter_train"), traced(tracer, "filter_train"):
+            chart_filter = _make_filter(
+                corpus, config, cache=cache, profiler=profiler
             )
-        else:
-            indexed = _parallel_synthesize(
-                corpus, chart_filter, config, workers, profiler
+        with stage(profiler, "synthesize"), traced(
+            tracer, "synthesize", input_pairs=len(corpus.pairs)
+        ) as synth_span:
+            if workers <= 1:
+                indexed = _synthesize_items(
+                    corpus.databases,
+                    list(enumerate(corpus.pairs)),
+                    chart_filter,
+                    config,
+                    cache=cache,
+                    profiler=profiler,
+                    tracer=tracer,
+                )
+            else:
+                indexed = _parallel_synthesize(
+                    corpus, chart_filter, config, workers, profiler, tracer
+                )
+            synth_span.set_attribute("output_pairs", len(indexed))
+        if cache is not None:
+            if profiler is not None:
+                profiler.count("execution_cache_hits", cache.hits)
+                profiler.count("execution_cache_misses", cache.misses)
+            hits, misses = cache.counts()
+            build_span.set_attributes(
+                {"execution_cache_hits": hits, "execution_cache_misses": misses}
             )
-    if profiler is not None and cache is not None:
-        profiler.count("execution_cache_hits", cache.hits)
-        profiler.count("execution_cache_misses", cache.misses)
 
-    bench = NVBench(corpus=corpus)
-    bench.pairs = [item for _, item in sorted(indexed, key=lambda entry: entry[0])]
+        bench = NVBench(corpus=corpus)
+        bench.pairs = [
+            item for _, item in sorted(indexed, key=lambda entry: entry[0])
+        ]
+        build_span.set_attribute("pairs", len(bench.pairs))
     return bench
 
 
@@ -165,6 +189,7 @@ def _synthesize_items(
     config: NVBenchConfig,
     cache: Optional[ExecutionCache],
     profiler: Optional[BuildProfiler],
+    tracer: Optional[Tracer] = None,
 ) -> List[Tuple[int, SynthesizedPair]]:
     """Synthesize (corpus index, pair) items; order-preserving."""
     synthesizer = NL2VISSynthesizer(
@@ -174,12 +199,17 @@ def _synthesize_items(
         seed=config.seed,
         cache=cache,
         profiler=profiler,
+        tracer=tracer,
     )
     out: List[Tuple[int, SynthesizedPair]] = []
     for index, pair in items:
         database = databases[pair.db_name]
         rng = np.random.default_rng((config.seed, index))
-        synthesized = synthesizer.synthesize(pair.nl, pair.query, database, rng=rng)
+        with traced(tracer, "pair", index=index, db=pair.db_name) as pair_span:
+            synthesized = synthesizer.synthesize(
+                pair.nl, pair.query, database, rng=rng
+            )
+            pair_span.set_attribute("pairs_out", len(synthesized))
         for item in synthesized:
             out.append(
                 (index, replace(item, source_nl=pair.nl, source_sql=pair.sql))
@@ -187,23 +217,45 @@ def _synthesize_items(
     return out
 
 
-def _build_shard(args: tuple) -> Tuple[List[Tuple[int, SynthesizedPair]], dict]:
+def _build_shard(
+    args: tuple,
+) -> Tuple[List[Tuple[int, SynthesizedPair]], dict, List[dict]]:
     """Process-pool worker: synthesize one shard of databases.
 
     Each worker gets its own execution cache (shards never share a
-    database, so nothing is lost) and its own profiler; the coordinator
-    merges the returned reports.
+    database, so nothing is lost), its own profiler, and — when the
+    coordinator is traced — its own buffering :class:`Tracer` parented
+    to the serialized ``synthesize`` span context; the coordinator
+    merges the returned reports and span records.
     """
-    databases, items, chart_filter, config = args
+    databases, items, chart_filter, config, trace_context, shard_index = args
     cache = ExecutionCache() if config.use_cache else None
     profiler = BuildProfiler()
-    out = _synthesize_items(
-        databases, items, chart_filter, config, cache=cache, profiler=profiler
-    )
+    tracer = Tracer() if trace_context is not None else None
+    if tracer is None:
+        out = _synthesize_items(
+            databases, items, chart_filter, config, cache=cache, profiler=profiler
+        )
+    else:
+        with tracer.span(
+            "shard", parent=trace_context,
+            shard=shard_index, databases=len(databases), input_pairs=len(items),
+        ) as shard_span:
+            out = _synthesize_items(
+                databases, items, chart_filter, config,
+                cache=cache, profiler=profiler, tracer=tracer,
+            )
+            if cache is not None:
+                hits, misses = cache.counts()
+                shard_span.set_attributes(
+                    {"execution_cache_hits": hits,
+                     "execution_cache_misses": misses}
+                )
     if cache is not None:
         profiler.count("execution_cache_hits", cache.hits)
         profiler.count("execution_cache_misses", cache.misses)
-    return out, profiler.report()
+    spans = tracer.finished() if tracer is not None else []
+    return out, profiler.report(), spans
 
 
 def _parallel_synthesize(
@@ -212,6 +264,7 @@ def _parallel_synthesize(
     config: NVBenchConfig,
     workers: int,
     profiler: Optional[BuildProfiler],
+    tracer: Optional[Tracer] = None,
 ) -> List[Tuple[int, SynthesizedPair]]:
     """Shard the corpus by database over a process pool and merge."""
     by_db: Dict[str, List[Tuple[int, NLSQLPair]]] = {}
@@ -223,22 +276,30 @@ def _parallel_synthesize(
     ]
     for slot, (db_name, items) in enumerate(by_db.items()):
         shards[slot % len(shards)][db_name] = items
+    context = tracer.current_context() if tracer is not None else None
+    trace_context = context.to_dict() if context is not None else None
     tasks = [
         (
             {name: corpus.databases[name] for name in shard},
             [item for items in shard.values() for item in items],
             chart_filter,
             config,
+            trace_context,
+            shard_index,
         )
-        for shard in shards
+        for shard_index, shard in enumerate(shards)
         if shard
     ]
     indexed: List[Tuple[int, SynthesizedPair]] = []
     with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
-        for out, report in pool.map(_build_shard, tasks):
+        # pool.map preserves task order, so profile and span merging is
+        # deterministic regardless of worker scheduling.
+        for out, report, spans in pool.map(_build_shard, tasks):
             indexed.extend(out)
             if profiler is not None:
                 profiler.merge_report(report)
+            if tracer is not None:
+                tracer.absorb(spans)
     return indexed
 
 

@@ -32,6 +32,7 @@ from repro.neural.data import Seq2VisDataset
 from repro.neural.dtype import DEFAULT_TRAIN_DTYPE
 from repro.neural.model import Seq2Vis
 from repro.neural.optimizer import Adam, ReferenceAdam
+from repro.obs.trace import Tracer, traced
 from repro.perf.train import TrainProfiler
 
 
@@ -88,8 +89,17 @@ def train_model(
     val_set: Optional[Seq2VisDataset] = None,
     config: Optional[TrainConfig] = None,
     profile: Optional[TrainProfiler] = None,
+    tracer: Optional[Tracer] = None,
 ) -> TrainResult:
-    """Train *model*; restores the best-validation weights on return."""
+    """Train *model*; restores the best-validation weights on return.
+
+    ``profile=`` aggregates step timings into a
+    :class:`~repro.perf.TrainProfiler`; ``tracer=`` additionally exports
+    the run as a span tree (``train`` → per-``epoch`` spans → per-``step``
+    and ``evaluate`` spans) carrying the same loss/token numbers, so one
+    training run can be inspected with ``repro trace summarize``.
+    Neither changes the optimization trajectory.
+    """
     config = config or TrainConfig()
     rng = np.random.default_rng(config.seed)
     model.to_dtype(config.dtype)
@@ -103,51 +113,80 @@ def train_model(
     best_state: Optional[Dict[str, np.ndarray]] = None
     stale = 0
     clock = time.perf_counter
-    for epoch in range(config.epochs):
-        epoch_loss = 0.0
-        epoch_tokens = 0
-        epoch_start = clock() if profile is not None else 0.0
-        batches = train_set.batches(config.batch_size, rng)
-        for batch in batches:
-            step_start = clock() if profile is not None else 0.0
-            optimizer.zero_grad()
-            loss = model.loss(batch)
-            loss.backward(free_graph=config.fused)
-            optimizer.step()
-            tokens = int(batch.tgt_mask.sum())
-            epoch_loss += loss.item() * tokens
-            epoch_tokens += tokens
-            if profile is not None:
-                profile.observe_step(clock() - step_start, tokens)
-        epoch_loss /= max(epoch_tokens, 1)
-        result.train_losses.append(epoch_loss)
-        val_loss: Optional[float] = None
-        if val_set is not None and val_set.examples:
-            val_loss = evaluate_loss(model, val_set, config.batch_size)
-            result.val_losses.append(val_loss)
-        if profile is not None:
-            profile.observe_epoch(
-                epoch,
-                clock() - epoch_start,
-                epoch_tokens,
-                len(batches),
-                epoch_loss,
-                val_loss,
-            )
-        if val_loss is not None:
-            if config.verbose:
-                print(f"epoch {epoch}: train={epoch_loss:.4f} val={val_loss:.4f}")
-            if val_loss < best_val - 1e-4:
-                best_val = val_loss
-                best_state = model.state_dict()
-                result.best_epoch = epoch
-                stale = 0
-            else:
-                stale += 1
-                if stale >= config.patience:
-                    break
-        elif config.verbose:
-            print(f"epoch {epoch}: train={epoch_loss:.4f}")
+    with traced(
+        tracer, "train",
+        epochs=config.epochs, batch_size=config.batch_size, lr=config.lr,
+        dtype=config.dtype, fused=config.fused, examples=len(train_set.examples),
+    ) as train_span:
+        for epoch in range(config.epochs):
+            epoch_loss = 0.0
+            epoch_tokens = 0
+            epoch_start = clock() if profile is not None else 0.0
+            batches = train_set.batches(config.batch_size, rng)
+            with traced(tracer, "epoch", epoch=epoch) as epoch_span:
+                for batch in batches:
+                    step_start = clock() if profile is not None else 0.0
+                    with traced(tracer, "step"):
+                        optimizer.zero_grad()
+                        loss = model.loss(batch)
+                        loss.backward(free_graph=config.fused)
+                        optimizer.step()
+                    tokens = int(batch.tgt_mask.sum())
+                    epoch_loss += loss.item() * tokens
+                    epoch_tokens += tokens
+                    if profile is not None:
+                        profile.observe_step(clock() - step_start, tokens)
+                epoch_loss /= max(epoch_tokens, 1)
+                result.train_losses.append(epoch_loss)
+                val_loss: Optional[float] = None
+                if val_set is not None and val_set.examples:
+                    with traced(tracer, "evaluate"):
+                        val_loss = evaluate_loss(
+                            model, val_set, config.batch_size
+                        )
+                    result.val_losses.append(val_loss)
+                if profile is not None:
+                    epoch_seconds = clock() - epoch_start
+                    profile.observe_epoch(
+                        epoch,
+                        epoch_seconds,
+                        epoch_tokens,
+                        len(batches),
+                        epoch_loss,
+                        val_loss,
+                    )
+                    epoch_span.set_attribute(
+                        "tokens_per_sec",
+                        epoch_tokens / epoch_seconds if epoch_seconds > 0 else 0.0,
+                    )
+                epoch_span.set_attributes(
+                    {
+                        "tokens": epoch_tokens,
+                        "steps": len(batches),
+                        "train_loss": epoch_loss,
+                        "val_loss": val_loss,
+                    }
+                )
+            if val_loss is not None:
+                if config.verbose:
+                    print(
+                        f"epoch {epoch}: train={epoch_loss:.4f} val={val_loss:.4f}"
+                    )
+                if val_loss < best_val - 1e-4:
+                    best_val = val_loss
+                    best_state = model.state_dict()
+                    result.best_epoch = epoch
+                    stale = 0
+                else:
+                    stale += 1
+                    if stale >= config.patience:
+                        break
+            elif config.verbose:
+                print(f"epoch {epoch}: train={epoch_loss:.4f}")
+        train_span.set_attributes(
+            {"best_epoch": result.best_epoch,
+             "epochs_run": len(result.train_losses)}
+        )
     if best_state is not None:
         model.load_state_dict(best_state)
     return result

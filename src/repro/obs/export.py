@@ -1,0 +1,124 @@
+"""Span exporters: where finished spans go.
+
+An exporter is anything with ``export(record: dict)`` and ``close()``.
+Three are provided:
+
+* :class:`JsonlExporter` — one JSON object per line, append-mode, the
+  on-disk format ``repro trace summarize`` reads;
+* :class:`InMemoryExporter` — a list, for tests and for pool workers
+  that ship their spans back to the coordinating process;
+* :class:`NullExporter` — swallows everything (an *enabled* tracer that
+  keeps only its counters).
+
+Records are the :meth:`repro.obs.trace.Span.to_dict` schema; the format
+is documented field-by-field in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Iterator, List, Optional
+
+
+class NullExporter:
+    """Discards every span."""
+
+    def export(self, record: dict) -> None:
+        """Drop *record*."""
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+class InMemoryExporter:
+    """Collects spans in a list (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._records: List[dict] = []
+        self._lock = threading.Lock()
+
+    def export(self, record: dict) -> None:
+        """Append *record*."""
+        with self._lock:
+            self._records.append(record)
+
+    def records(self) -> List[dict]:
+        """A snapshot of everything exported so far."""
+        with self._lock:
+            return list(self._records)
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+class JsonlExporter:
+    """Appends one JSON line per span to *path*.
+
+    Lines are written eagerly (the file handle is line-buffered via an
+    explicit flush per span), so a crashed process still leaves a
+    readable trace of everything it finished.  Thread-safe: the server
+    exports from the event loop and from executor threads concurrently.
+    """
+
+    def __init__(self, path: str):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
+        self.exported = 0
+
+    def export(self, record: dict) -> None:
+        """Serialize *record* onto its own line."""
+        line = json.dumps(record, default=str)
+        with self._lock:
+            if self._handle.closed:
+                return
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            self.exported += 1
+
+    def close(self) -> None:
+        """Flush and close the file."""
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self) -> "JsonlExporter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def load_spans(path: str) -> List[dict]:
+    """Read a JSONL trace export back into span records.
+
+    Blank lines are skipped; a malformed line raises ``ValueError`` with
+    its line number so a truncated export is diagnosable.
+    """
+    records: List[dict] = []
+    for number, line in enumerate(_lines(path), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{path}:{number}: not a JSON span record: {exc}"
+            ) from None
+        if not isinstance(record, dict):
+            raise ValueError(f"{path}:{number}: span record is not an object")
+        records.append(record)
+    return records
+
+
+def _lines(path: str) -> Iterator[str]:
+    with open(path, "r", encoding="utf-8") as handle:
+        yield from handle
+
+
+def make_exporter(path: Optional[str]):
+    """``None`` → ``None`` (buffered tracer), else a :class:`JsonlExporter`."""
+    return JsonlExporter(path) if path else None

@@ -16,8 +16,11 @@ accepted request before the server exits.
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
+
+from repro.obs.trace import SpanContext, Tracer
 
 
 class QueueFullError(RuntimeError):
@@ -35,6 +38,10 @@ class _Pending:
     key: str
     item: Any
     future: "asyncio.Future[Any]" = field(repr=False)
+    #: trace context of the submitting request (None when untraced)
+    context: Optional[SpanContext] = None
+    #: monotonic enqueue time, for the coalesce-wait span
+    enqueued: float = 0.0
 
 
 class MicroBatcher:
@@ -54,6 +61,7 @@ class MicroBatcher:
         flush_interval: float = 0.005,
         max_queue_depth: int = 128,
         metrics=None,
+        tracer: Optional[Tracer] = None,
     ):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
@@ -62,6 +70,7 @@ class MicroBatcher:
         self.flush_interval = flush_interval
         self.max_queue_depth = max_queue_depth
         self._metrics = metrics
+        self._tracer = tracer
         self._queue: "asyncio.Queue[_Pending]" = asyncio.Queue(
             maxsize=max_queue_depth
         )
@@ -100,9 +109,19 @@ class MicroBatcher:
     # ----- submission --------------------------------------------------
 
     async def submit(
-        self, key: str, item: Any, timeout: Optional[float] = None
+        self,
+        key: str,
+        item: Any,
+        timeout: Optional[float] = None,
+        context: Optional[SpanContext] = None,
     ) -> Any:
         """Enqueue *item* under *key*; await its batch result.
+
+        *context* is the submitting request's trace context: the batcher
+        records a ``batch.wait`` span (enqueue → dispatch) and a
+        ``decode`` span (the shared forward pass) under it, so one trace
+        id follows a request from HTTP ingress through coalescing into
+        the batched model call.
 
         Raises :class:`ServerDrainingError` / :class:`QueueFullError`
         without enqueueing, :class:`asyncio.TimeoutError` when the result
@@ -112,7 +131,11 @@ class MicroBatcher:
         if self._draining:
             raise ServerDrainingError("server is draining")
         pending = _Pending(
-            key=key, item=item, future=asyncio.get_running_loop().create_future()
+            key=key,
+            item=item,
+            future=asyncio.get_running_loop().create_future(),
+            context=context,
+            enqueued=time.perf_counter(),
         )
         try:
             self._queue.put_nowait(pending)
@@ -161,17 +184,76 @@ class MicroBatcher:
         for key, group in groups.items():
             items = [pending.item for pending in group]
             start = loop.time()
+            mono_start = time.perf_counter()
+            wall_start = time.time()
+            self._trace_waits(group, mono_start, wall_start)
             try:
                 results = await loop.run_in_executor(
                     None, self._handler, key, items
                 )
             except Exception as exc:  # noqa: BLE001 - fail the whole group
+                self._trace_decodes(
+                    group, wall_start, time.perf_counter() - mono_start,
+                    error=exc,
+                )
                 for pending in group:
                     if not pending.future.done():
                         pending.future.set_exception(exc)
                 continue
             if self._metrics is not None:
                 self._metrics.observe_batch(len(group), loop.time() - start)
+            self._trace_decodes(
+                group, wall_start, time.perf_counter() - mono_start
+            )
             for pending, result in zip(group, results):
                 if not pending.future.done():  # timed-out futures are done
                     pending.future.set_result(result)
+
+    # ----- tracing ------------------------------------------------------
+
+    def _trace_waits(
+        self, group: List[_Pending], mono_now: float, wall_now: float
+    ) -> None:
+        """One ``batch.wait`` span per traced request: enqueue → dispatch."""
+        if self._tracer is None or not self._tracer.enabled:
+            return
+        for pending in group:
+            if pending.context is None:
+                continue
+            waited = max(mono_now - pending.enqueued, 0.0)
+            self._tracer.record(
+                "batch.wait",
+                parent=pending.context,
+                start_unix=wall_now - waited,
+                duration_s=waited,
+                model=pending.key,
+            )
+
+    def _trace_decodes(
+        self,
+        group: List[_Pending],
+        wall_start: float,
+        duration_s: float,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        """One ``decode`` span per traced request in the group.
+
+        Every coalesced request shares the same forward pass, so each
+        trace receives a span of the full group duration, stamped with
+        the realized batch size.
+        """
+        if self._tracer is None or not self._tracer.enabled:
+            return
+        for pending in group:
+            if pending.context is None:
+                continue
+            self._tracer.record(
+                "decode",
+                parent=pending.context,
+                start_unix=wall_start,
+                duration_s=duration_s,
+                status="error" if error is not None else "ok",
+                error=f"{type(error).__name__}: {error}" if error else None,
+                model=pending.key,
+                batch_size=len(group),
+            )

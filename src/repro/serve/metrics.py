@@ -63,6 +63,7 @@ class ServeMetrics:
         execution_cache=None,
         queue_depth: Optional[int] = None,
         queue_capacity: Optional[int] = None,
+        tracer=None,
     ) -> Dict[str, object]:
         """The full ``/metrics`` document."""
         counters = self.profiler.report()
@@ -87,4 +88,6 @@ class ServeMetrics:
                 "depth": queue_depth,
                 "capacity": queue_capacity,
             }
+        if tracer is not None:
+            report["tracing"] = tracer.stats()
         return report

@@ -23,6 +23,7 @@ import json
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro.obs.trace import SpanContext, Tracer, traced
 from repro.serve.batcher import MicroBatcher, QueueFullError, ServerDrainingError
 from repro.serve.cache import ResponseCache
 from repro.serve.metrics import ServeMetrics
@@ -77,6 +78,7 @@ class InferenceServer:
         databases: Dict[str, Database],
         config: Optional[ServerConfig] = None,
         execution_cache: Optional[ExecutionCache] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.registry = registry
         self.databases = databases
@@ -89,12 +91,18 @@ class InferenceServer:
         self.metrics = ServeMetrics()
         self.response_cache = ResponseCache(self.config.cache_size)
         self.execution_cache = execution_cache or ExecutionCache()
+        #: optional request tracer: every request gets an ``http.request``
+        #: span at ingress whose trace id follows it through the batcher
+        #: (``batch.wait`` / ``decode`` spans) and comes back to the
+        #: client as an ``X-Trace-Id`` header.
+        self.tracer = tracer
         self.batcher = MicroBatcher(
             self._run_group,
             max_batch_size=self.config.max_batch_size,
             flush_interval=self.config.flush_interval,
             max_queue_depth=self.config.max_queue_depth,
             metrics=self.metrics,
+            tracer=tracer,
         )
         self._server: Optional[asyncio.base_events.Server] = None
         self.host = self.config.host
@@ -154,20 +162,48 @@ class InferenceServer:
                 method, target, headers, body = request
                 loop = asyncio.get_running_loop()
                 start = loop.time()
-                try:
-                    status, payload = await self._route(method, target, body)
-                except _HTTPError as exc:
-                    status, payload = exc.status, {"error": str(exc)}
-                except Exception as exc:  # noqa: BLE001 - 500, keep serving
-                    status, payload = 500, {"error": f"internal error: {exc}"}
+                # A bare inbound x-trace-id (no span id) roots this
+                # request's span in the caller's existing trace.
+                inbound = headers.get("x-trace-id")
+                parent = (
+                    SpanContext(trace_id=inbound, span_id="")
+                    if inbound else None
+                )
+                with traced(
+                    self.tracer,
+                    "http.request",
+                    parent=parent,
+                    method=method,
+                    target=target.split("?", 1)[0],
+                ) as span:
+                    try:
+                        status, payload = await self._route(
+                            method, target, body, span
+                        )
+                    except _HTTPError as exc:
+                        status, payload = exc.status, {"error": str(exc)}
+                        if status >= 500:
+                            span.set_error(exc)
+                    except Exception as exc:  # noqa: BLE001 - 500, keep serving
+                        status, payload = 500, {
+                            "error": f"internal error: {exc}"
+                        }
+                        span.set_error(exc)
+                    span.set_attribute("status", status)
+                    trace_id = span.trace_id
                 elapsed = loop.time() - start
                 self.metrics.observe_request(status, elapsed)
-                if status == 200 and isinstance(payload, dict):
-                    payload.setdefault("latency_ms", elapsed * 1000.0)
+                if isinstance(payload, dict):
+                    if status == 200:
+                        payload.setdefault("latency_ms", elapsed * 1000.0)
+                    if trace_id is not None:
+                        payload["trace_id"] = trace_id
                 keep_alive = (
                     headers.get("connection", "keep-alive").lower() != "close"
                 )
-                self._write_response(writer, status, payload, keep_alive)
+                self._write_response(
+                    writer, status, payload, keep_alive, trace_id=trace_id
+                )
                 await writer.drain()
                 if not keep_alive:
                     break
@@ -217,12 +253,15 @@ class InferenceServer:
         status: int,
         payload: dict,
         keep_alive: bool,
+        trace_id: Optional[str] = None,
     ) -> None:
         body = json.dumps(payload).encode("utf-8")
+        trace_header = f"X-Trace-Id: {trace_id}\r\n" if trace_id else ""
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{trace_header}"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             "\r\n"
         )
@@ -231,7 +270,7 @@ class InferenceServer:
     # ----- routing ------------------------------------------------------
 
     async def _route(
-        self, method: str, target: str, body: bytes
+        self, method: str, target: str, body: bytes, span
     ) -> Tuple[int, dict]:
         path = target.split("?", 1)[0]
         if path == "/healthz":
@@ -246,11 +285,12 @@ class InferenceServer:
                 execution_cache=self.execution_cache,
                 queue_depth=self.batcher.depth,
                 queue_capacity=self.config.max_queue_depth,
+                tracer=self.tracer,
             )
         if path == "/translate":
             if method != "POST":
                 raise _HTTPError(405, "translate only supports POST")
-            return await self._translate(body)
+            return await self._translate(body, span)
         raise _HTTPError(404, f"no such endpoint: {path}")
 
     def _healthz(self) -> dict:
@@ -263,7 +303,7 @@ class InferenceServer:
             "uptime_seconds": self.metrics.uptime,
         }
 
-    async def _translate(self, body: bytes) -> Tuple[int, dict]:
+    async def _translate(self, body: bytes, span) -> Tuple[int, dict]:
         try:
             payload = json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -311,6 +351,7 @@ class InferenceServer:
                 model_name,
                 (question, database),
                 timeout=self.config.request_timeout,
+                context=span.context,
             )
         except QueueFullError as exc:
             self.metrics.count("rejected_queue_full")
@@ -329,15 +370,19 @@ class InferenceServer:
         spec = None
         render_error = None
         if result.ok:
-            try:
-                spec = await asyncio.get_running_loop().run_in_executor(
-                    None,
-                    lambda: render_spec(
-                        result, database, fmt, cache=self.execution_cache
-                    ),
-                )
-            except Exception as exc:  # noqa: BLE001 - spec is best-effort
-                render_error = f"render failed: {exc}"
+            with traced(
+                self.tracer, "render", parent=span, format=fmt
+            ) as render_span:
+                try:
+                    spec = await asyncio.get_running_loop().run_in_executor(
+                        None,
+                        lambda: render_spec(
+                            result, database, fmt, cache=self.execution_cache
+                        ),
+                    )
+                except Exception as exc:  # noqa: BLE001 - spec is best-effort
+                    render_error = f"render failed: {exc}"
+                    render_span.set_error(exc)
 
         response = {
             **result.to_json(),

@@ -26,6 +26,7 @@ from repro.neural.model import Seq2Vis
 from repro.neural.slots import fill_value_slots
 from repro.nlp.tokenize import tokenize_nl
 from repro.nlp.vocab import Vocabulary
+from repro.obs.trace import Tracer, traced
 from repro.storage.executor import ExecutionCache
 from repro.storage.schema import Database
 
@@ -118,25 +119,41 @@ def translate_batch(
     in_vocab: Vocabulary,
     out_vocab: Vocabulary,
     requests: Sequence[Tuple[str, Database]],
+    tracer: Optional[Tracer] = None,
 ) -> List[TranslateResult]:
     """Translate many (question, database) requests in one forward pass.
 
     Requests over *different* databases batch fine — each row's input
     sequence carries its own schema tokens.  Results are positionally
-    aligned with *requests*.
+    aligned with *requests*.  An optional *tracer* emits ``encode``,
+    ``decode``, and ``parse`` spans for the batch (the one-shot CLI path
+    uses this; the server traces its batches in the micro-batcher
+    instead).
     """
     if not requests:
         return []
-    batch = encode_source_batch(
-        [source_tokens(question, database) for question, database in requests],
-        in_vocab,
-        out_vocab,
-    )
-    decoded = model.greedy_decode_batch(batch, out_vocab.bos_id, out_vocab.eos_id)
-    return [
-        _finish(question, database, out_vocab.decode(ids))
-        for (question, database), ids in zip(requests, decoded)
-    ]
+    with traced(tracer, "encode", requests=len(requests)):
+        batch = encode_source_batch(
+            [
+                source_tokens(question, database)
+                for question, database in requests
+            ],
+            in_vocab,
+            out_vocab,
+        )
+    with traced(tracer, "decode", batch_size=len(requests)):
+        decoded = model.greedy_decode_batch(
+            batch, out_vocab.bos_id, out_vocab.eos_id
+        )
+    with traced(tracer, "parse") as parse_span:
+        results = [
+            _finish(question, database, out_vocab.decode(ids))
+            for (question, database), ids in zip(requests, decoded)
+        ]
+        parse_span.set_attribute(
+            "parsed", sum(1 for result in results if result.ok)
+        )
+    return results
 
 
 def translate_question(
@@ -145,10 +162,11 @@ def translate_question(
     out_vocab: Vocabulary,
     question: str,
     database: Database,
+    tracer: Optional[Tracer] = None,
 ) -> TranslateResult:
     """Translate one question — a batch of one, same code path."""
     return translate_batch(
-        model, in_vocab, out_vocab, [(question, database)]
+        model, in_vocab, out_vocab, [(question, database)], tracer=tracer
     )[0]
 
 

@@ -94,6 +94,15 @@ class ExecutionCache:
                 "hit_rate": self.hits / total if total else 0.0,
             }
 
+    def counts(self) -> Tuple[int, int]:
+        """A consistent ``(hits, misses)`` snapshot.
+
+        Cheaper than :meth:`stats` for hot-path span attributes — the
+        build and serve tracers stamp these onto their spans.
+        """
+        with self._lock:
+            return self.hits, self.misses
+
     def fetch(self, key: tuple) -> Optional[Tuple[str, object]]:
         """The raw cached entry for *key*, counting a hit when present."""
         with self._lock:

@@ -1,0 +1,195 @@
+"""Docs integrity: links, anchors, and a README quickstart smoke test.
+
+The documentation suite (README, DESIGN, EXPERIMENTS, ``docs/*.md``,
+``benchmarks/README.md``) is part of the repo's contract, so CI checks
+it like code:
+
+* every relative markdown link points at a file that exists, and every
+  ``#fragment`` at a heading that exists in the target (GitHub-style
+  slugs);
+* every ``python -m repro ...`` command in a fenced ``bash`` block names
+  a real subcommand and only flags that subcommand accepts (validated
+  against the live argparse tree — no command is executed);
+* every ``python examples/<name>.py`` the README advertises exists;
+* the README Quickstart python block runs verbatim.
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+
+REPO = Path(__file__).resolve().parent.parent
+
+DOC_FILES = sorted(
+    [
+        REPO / "README.md",
+        REPO / "DESIGN.md",
+        REPO / "EXPERIMENTS.md",
+        REPO / "benchmarks" / "README.md",
+        *(REPO / "docs").glob("*.md"),
+    ]
+)
+
+LINK_RE = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^```")
+
+
+def _doc_id(path: Path) -> str:
+    return str(path.relative_to(REPO))
+
+
+def _strip_fenced_code(text: str) -> str:
+    """Drop fenced code blocks so code snippets can't fake links."""
+    kept, in_fence = [], False
+    for line in text.splitlines():
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            kept.append(line)
+    return "\n".join(kept)
+
+
+def _fenced_blocks(text: str, language: str):
+    """Yield the contents of ```<language> fenced blocks."""
+    blocks, current = [], None
+    for line in text.splitlines():
+        stripped = line.strip()
+        if current is not None:
+            if stripped == "```":
+                blocks.append("\n".join(current))
+                current = None
+            else:
+                current.append(line)
+        elif stripped == f"```{language}":
+            current = []
+    return blocks
+
+
+def _github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, spaces to hyphens, drop the
+    rest of the punctuation."""
+    out = []
+    for ch in heading.strip().lower():
+        if ch.isalnum() or ch in "_-":
+            out.append(ch)
+        elif ch == " ":
+            out.append("-")
+    return "".join(out)
+
+
+def _anchors(path: Path):
+    anchors = set()
+    for line in _strip_fenced_code(path.read_text()).splitlines():
+        match = re.match(r"^(#{1,6})\s+(.*)$", line)
+        if match:
+            anchors.add(_github_slug(match.group(2)))
+    return anchors
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=_doc_id)
+def test_relative_links_resolve(doc):
+    problems = []
+    for target in LINK_RE.findall(_strip_fenced_code(doc.read_text())):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, fragment = target.partition("#")
+        dest = doc if not path_part else (doc.parent / path_part).resolve()
+        if not dest.is_file():
+            problems.append(f"{target}: {path_part} does not exist")
+            continue
+        if fragment and fragment not in _anchors(dest):
+            problems.append(f"{target}: no heading for #{fragment}")
+    assert not problems, f"{_doc_id(doc)}: " + "; ".join(problems)
+
+
+# --- CLI commands quoted in the docs ---------------------------------
+
+
+def _subcommands(parser):
+    import argparse
+
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return action.choices
+    return {}
+
+
+def _option_strings(parser):
+    return {opt for action in parser._actions for opt in action.option_strings}
+
+
+def _repro_commands(text: str):
+    """``python -m repro ...`` invocations from ``bash`` fenced blocks,
+    with line continuations joined and comments stripped."""
+    for block in _fenced_blocks(text, "bash"):
+        joined = block.replace("\\\n", " ")
+        for line in joined.splitlines():
+            line = line.strip()
+            if line.startswith("$ "):
+                line = line[2:]
+            if line.startswith("python -m repro "):
+                yield shlex.split(line, comments=True)[3:]
+
+
+def _validate_command(tokens):
+    """Check subcommand path and flags against the argparse tree."""
+    parser = build_parser()
+    depth = 0
+    while tokens:
+        choices = _subcommands(parser)
+        if not choices or tokens[0] not in choices:
+            break
+        parser = choices[tokens.pop(0)]
+        depth += 1
+    assert depth, f"unknown subcommand {tokens[0] if tokens else '(none)'}"
+    known = _option_strings(parser)
+    for token in tokens:
+        if token.startswith("--"):
+            assert token in known, f"unknown flag {token}"
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=_doc_id)
+def test_documented_cli_commands_parse(doc):
+    for tokens in _repro_commands(doc.read_text()):
+        try:
+            _validate_command(list(tokens))
+        except AssertionError as exc:
+            raise AssertionError(
+                f"{_doc_id(doc)}: python -m repro {' '.join(tokens)}: {exc}"
+            ) from None
+
+
+# --- README specifics -------------------------------------------------
+
+
+def test_readme_example_scripts_exist():
+    readme = (REPO / "README.md").read_text()
+    scripts = set(re.findall(r"python (examples/\w+\.py)", readme))
+    assert scripts, "README no longer mentions the examples/ scripts"
+    missing = [s for s in scripts if not (REPO / s).is_file()]
+    assert not missing, f"README references missing scripts: {missing}"
+    on_disk = {f"examples/{p.name}" for p in (REPO / "examples").glob("*.py")}
+    assert scripts == on_disk, (
+        f"README examples list is stale: not mentioned {sorted(on_disk - scripts)}, "
+        f"mentioned but gone {sorted(scripts - on_disk)}"
+    )
+
+
+def test_readme_quickstart_runs(capsys):
+    readme = (REPO / "README.md").read_text()
+    _, _, after = readme.partition("## Quickstart")
+    assert after, "README has no Quickstart section"
+    blocks = _fenced_blocks(after, "python")
+    assert blocks, "Quickstart has no python block"
+    namespace = {}
+    exec(compile(blocks[0], "<README quickstart>", "exec"), namespace)
+    capsys.readouterr()
+    spec = namespace["spec"]
+    assert isinstance(spec, dict) and "$schema" in spec
