@@ -10,32 +10,58 @@ Runs the same request list against two live servers over real sockets:
 Both servers run with the response cache disabled so every request hits
 the model.  Asserts the batched responses are bit-identical to a serial
 ``translate_question`` reference (batching must never change outputs)
-and that batching raises throughput, then writes
-``results/BENCH_serve.json`` with p50/p99 latency, rps, and the realized
-batch-size distribution so the trajectory can be compared across
-commits.
+and that batching raises throughput.
+
+``test_decode_matrix`` then profiles the decode fast path itself:
+greedy vs beam-4 decoding at float32 / float16 / int8 weight precision
+(the ``quick`` CI profile runs greedy-float32 plus one quantized beam
+config), and pins the headline claim — the vectorized batched beam must
+be at least 3x the per-example beam's throughput while staying
+token-identical.
+
+Both tests read-modify-write ``results/BENCH_serve.json`` so the
+batching trajectory and the decode matrix land in one artifact
+regardless of which test (or ``-k`` subset) ran.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
 
 from repro.core.nvbench import NVBenchConfig, build_nvbench
 from repro.neural.data import build_dataset
 from repro.neural.model import Seq2Vis
+from repro.neural.quantize import quantized_copy, storage_report
 from repro.serve import (
     BackgroundServer,
+    DecodeConfig,
     InferenceServer,
     LoadGenerator,
     ModelRegistry,
     NeuralTranslator,
     ServerConfig,
+    translate_batch,
     translate_question,
 )
 from repro.spider.corpus import CorpusConfig
 
 from conftest import emit, results_path
+
+
+def _merge_trajectory(update: dict) -> None:
+    """Fold *update* into ``results/BENCH_serve.json`` without clobbering
+    keys another test in this file already wrote."""
+    path = results_path("BENCH_serve.json")
+    doc: dict = {}
+    if path.exists():
+        try:
+            doc = json.loads(path.read_text())
+        except ValueError:
+            doc = {}
+    doc.update(update)
+    path.write_text(json.dumps(doc, indent=2))
 
 QUESTION_STEMS = [
     "how many rows per category",
@@ -142,9 +168,7 @@ def test_batched_serving_throughput():
         "avg_batch_size": batched_metrics["avg_batch_size"],
         "batch_size_buckets": batched_metrics["batch_size"]["buckets"],
     }
-    results_path("BENCH_serve.json").write_text(
-        json.dumps(trajectory, indent=2)
-    )
+    _merge_trajectory(trajectory)
 
     emit(
         "BENCH serving throughput",
@@ -163,4 +187,135 @@ def test_batched_serving_throughput():
     )
     assert speedup > 1.0, (
         f"batched serving only {speedup:.2f}x the unbatched throughput"
+    )
+
+def test_decode_matrix():
+    """Greedy vs beam-4 at float32/float16/int8, plus the batched-beam
+    headline: >= 3x the per-example beam's throughput, token-identical."""
+    quick = os.environ.get("REPRO_BENCH_PROFILE") == "quick"
+    corpus_config = CorpusConfig(
+        num_databases=4 if quick else 6,
+        pairs_per_database=8,
+        row_scale=0.4,
+        seed=7,
+    )
+    bench = build_nvbench(config=NVBenchConfig(corpus=corpus_config, seed=7))
+    dataset = build_dataset(bench.pairs[:80], bench.databases)
+    model = Seq2Vis(
+        len(dataset.in_vocab), len(dataset.out_vocab), "attention",
+        32, 48, seed=11, dtype="float32",
+    )
+    db_names = sorted(bench.databases)
+    n_requests = 16 if quick else 32
+    requests = [
+        (
+            f"{QUESTION_STEMS[i % len(QUESTION_STEMS)]} ({i})",
+            bench.databases[db_names[i % len(db_names)]],
+        )
+        for i in range(n_requests)
+    ]
+
+    greedy = DecodeConfig()
+    beam4 = DecodeConfig(beam_width=4)
+    if quick:
+        # CI smoke: the seed config plus one quantized beam config.
+        configs = [("float32", greedy), ("int8", beam4)]
+    else:
+        configs = [
+            (precision, decode)
+            for decode in (greedy, beam4)
+            for precision in ("float32", "float16", "int8")
+        ]
+
+    models = {"float32": model}
+    for precision in {p for p, _ in configs} - {"float32"}:
+        models[precision] = quantized_copy(model, precision)
+
+    baseline_tokens: dict = {}
+    matrix: dict = {}
+    lines = []
+    for precision, decode in configs:
+        served = models[precision]
+        run = lambda: translate_batch(  # noqa: E731
+            served, dataset.in_vocab, dataset.out_vocab, requests,
+            decode=decode,
+        )
+        results = run()  # warm-up (and the output we check)
+        elapsed = []
+        for _ in range(3):
+            start = time.perf_counter()
+            run()
+            elapsed.append(time.perf_counter() - start)
+        best = min(elapsed)
+        tokens = [r.tokens for r in results]
+        tag = decode.cache_tag()
+        baseline_tokens.setdefault(tag, tokens)
+        agreement = sum(
+            a == b for a, b in zip(tokens, baseline_tokens[tag])
+        ) / n_requests
+        compression = (
+            storage_report(served)["compression"]
+            if precision != "float32" else 1.0
+        )
+        matrix[f"{tag}/{precision}"] = {
+            "p50_ms_per_request": best / n_requests * 1000.0,
+            "rps": n_requests / best,
+            "agreement_vs_float32": agreement,
+            "compression": compression,
+        }
+        lines.append(
+            f"{tag:8s} {precision:8s} "
+            f"{n_requests / best:7.1f} rps  "
+            f"{best / n_requests * 1000.0:6.2f} ms/req  "
+            f"agree {agreement:5.1%}  store {compression:.1f}x"
+        )
+
+    # ----- batched beam vs the per-example reference -------------------
+    from repro.neural.data import encode_source_batch
+    from repro.serve import source_tokens
+
+    token_lists = [
+        source_tokens(question, database) for question, database in requests
+    ]
+    batch = encode_source_batch(
+        token_lists, dataset.in_vocab, dataset.out_vocab
+    )
+    vocab = dataset.out_vocab
+
+    start = time.perf_counter()
+    sequential = model.beam_decode(
+        batch, vocab.bos_id, vocab.eos_id, beam_width=4
+    )
+    sequential_s = time.perf_counter() - start
+
+    batched_s = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        batched = model.beam_decode_batch(
+            batch, vocab.bos_id, vocab.eos_id, beam_width=4
+        )
+        batched_s = min(batched_s, time.perf_counter() - start)
+
+    assert batched == sequential, (
+        "vectorized batched beam diverged from the per-example reference"
+    )
+    beam_speedup = sequential_s / batched_s if batched_s else 0.0
+
+    _merge_trajectory({
+        "decode_matrix": matrix,
+        "beam_batch_speedup": beam_speedup,
+        "beam_sequential_rps": n_requests / sequential_s,
+        "beam_batched_rps": n_requests / batched_s,
+    })
+
+    emit(
+        "BENCH decode matrix",
+        "\n".join(lines)
+        + f"\nbatched beam-4 speedup {beam_speedup:6.2f}x "
+        f"({n_requests / sequential_s:.1f} -> "
+        f"{n_requests / batched_s:.1f} seq/s)",
+    )
+
+    assert beam_speedup >= 3.0, (
+        f"batched beam-4 only {beam_speedup:.2f}x the per-example beam"
     )

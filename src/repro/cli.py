@@ -183,7 +183,7 @@ def _cmd_translate(args: argparse.Namespace) -> int:
     import json
 
     from repro.neural.persist import load_model
-    from repro.serve import render_spec, translate_question
+    from repro.serve import DecodeConfig, render_spec, translate_question
 
     corpus = load_corpus(args.corpus)
     if args.database not in corpus.databases:
@@ -191,15 +191,23 @@ def _cmd_translate(args: argparse.Namespace) -> int:
               f"{sorted(corpus.databases)[:10]} ...", file=sys.stderr)
         return 2
     database = corpus.databases[args.database]
-    model, in_vocab, out_vocab = load_model(args.model)
+    try:
+        decode = DecodeConfig(
+            beam_width=args.beam_width, num_candidates=args.candidates
+        )
+    except ValueError as exc:
+        print(f"bad decode options: {exc}", file=sys.stderr)
+        return 2
+    model, in_vocab, out_vocab = load_model(args.model, precision=args.precision)
 
     from repro.obs import traced
 
     tracer, exporter = _open_tracer(args.trace)
-    with traced(tracer, "translate", db=args.database, format=args.format):
+    with traced(tracer, "translate", db=args.database, format=args.format,
+                decode=decode.cache_tag()):
         result = translate_question(
             model, in_vocab, out_vocab, args.question, database,
-            tracer=tracer,
+            tracer=tracer, decode=decode,
         )
         spec = None
         if result.tree is not None and args.format != "text":
@@ -207,6 +215,10 @@ def _cmd_translate(args: argparse.Namespace) -> int:
                 spec = render_spec(result, database, args.format)
     _close_tracer(exporter, args.trace)
     print("predicted tokens:", " ".join(result.tokens))
+    if result.candidates:
+        for rank, candidate in enumerate(result.candidates):
+            label = candidate.vis or f"({candidate.error})"
+            print(f"candidate {rank}: score={candidate.score:+.4f} {label}")
     if result.tree is None:
         print(f"(not a parseable vis tree: {result.error})")
         return 0
@@ -231,7 +243,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if not name or not path:
             print(f"--model wants NAME=PATH, got {spec!r}", file=sys.stderr)
             return 2
-        registry.load_npz(name, path)
+        registry.load_npz(name, path, precision=args.precision)
     if args.baselines or not len(registry):
         registry.register_baselines()
     if args.default:
@@ -253,7 +265,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_queue_depth=args.queue_depth,
         request_timeout=args.timeout,
         cache_size=args.cache_size,
+        encoder_cache_size=args.encoder_cache_size,
         default_format=args.format,
+        default_beam_width=args.beam_width,
     )
     tracer, exporter = _open_tracer(args.trace)
     server = InferenceServer(
@@ -376,6 +390,16 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("text", "vega-lite", "echarts", "plotly",
                             "ascii", "ggplot"),
                    help="also emit the rendered spec in this backend format")
+    p.add_argument("--beam-width", type=int, default=1,
+                   help="beam search width (1 = greedy decode)")
+    p.add_argument("--candidates", type=int, default=1,
+                   help="print this many ranked beam candidates "
+                        "(requires --beam-width > 1)")
+    p.add_argument("--precision",
+                   choices=("float32", "float16", "int8", "float64"),
+                   help="re-store the loaded weights at this precision "
+                        "(int8/float16 shrink memory, see "
+                        "docs/PERFORMANCE.md)")
     p.add_argument("--trace",
                    help="write a JSONL span export of the translation "
                         "(encode/decode/parse/render)")
@@ -403,6 +427,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-request deadline in seconds (504 past it)")
     p.add_argument("--cache-size", type=int, default=1024,
                    help="response-cache entries; 0 disables")
+    p.add_argument("--encoder-cache-size", type=int, default=256,
+                   help="encoder-output cache entries; 0 disables")
+    p.add_argument("--beam-width", type=int, default=1,
+                   help="default decode beam width for requests that "
+                        "don't pick one (1 = greedy)")
+    p.add_argument("--precision",
+                   choices=("float32", "float16", "int8", "float64"),
+                   help="re-store every --model's weights at this "
+                        "precision at load time")
     p.add_argument("--format", default="text",
                    choices=("text", "vega-lite", "echarts", "plotly",
                             "ascii", "ggplot"),

@@ -7,7 +7,13 @@
 * :mod:`lowrated` — the low-rated-pair injection experiment (Section 4.5)
 """
 
-from repro.eval.harness import EvaluationReport, evaluate_model, train_and_evaluate
+from repro.eval.harness import (
+    EvaluationReport,
+    QuantizationReport,
+    evaluate_model,
+    quantization_report,
+    train_and_evaluate,
+)
 from repro.eval.metrics import (
     PairOutcome,
     component_match,
@@ -19,8 +25,10 @@ from repro.eval.splits import split_pairs
 __all__ = [
     "EvaluationReport",
     "PairOutcome",
+    "QuantizationReport",
     "component_match",
     "evaluate_model",
+    "quantization_report",
     "result_match",
     "split_pairs",
     "train_and_evaluate",

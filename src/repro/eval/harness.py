@@ -169,17 +169,30 @@ def evaluate_model(
     test_set: Seq2VisDataset,
     bench: NVBench,
     batch_size: int = 32,
+    beam_width: int = 1,
+    length_penalty: float = 0.7,
 ) -> EvaluationReport:
-    """Decode the test set and score all metrics."""
+    """Decode the test set and score all metrics.
+
+    ``beam_width=1`` (the default, and the paper's protocol) decodes
+    greedily; wider beams use the vectorized batched beam search and
+    score its top hypothesis.
+    """
     report = EvaluationReport(variant=model.variant)
     out_vocab = test_set.out_vocab
     examples = test_set.examples
     for start in range(0, len(examples), batch_size):
         chunk = examples[start : start + batch_size]
         batch = test_set.batch_of(chunk)
-        decoded = model.greedy_decode_batch(
-            batch, out_vocab.bos_id, out_vocab.eos_id
-        )
+        if beam_width > 1:
+            decoded = model.beam_decode_batch(
+                batch, out_vocab.bos_id, out_vocab.eos_id,
+                beam_width=beam_width, length_penalty=length_penalty,
+            )
+        else:
+            decoded = model.greedy_decode_batch(
+                batch, out_vocab.bos_id, out_vocab.eos_id
+            )
         for ids, example in zip(decoded, chunk):
             pair = example.pair
             database = bench.databases[pair.db_name]
@@ -201,6 +214,82 @@ def evaluate_model(
                 gold=pair.vis,
             )
             report.outcomes.append(outcome)
+    return report
+
+
+@dataclass
+class QuantizationReport:
+    """Accuracy of quantized weight copies against the float32 model.
+
+    One row per precision; :meth:`assert_within` is the regression
+    guard the eval harness and CI use — quantization is only an
+    optimization if it does not move the headline metric.
+    """
+
+    float32_tree_accuracy: float
+    rows: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def drop(self, precision: str) -> float:
+        """Tree-accuracy loss of *precision* relative to float32."""
+        return self.float32_tree_accuracy - self.rows[precision]["tree_accuracy"]
+
+    def assert_within(self, epsilon: float) -> None:
+        """Raise if any precision loses more than *epsilon* tree accuracy."""
+        for precision in self.rows:
+            lost = self.drop(precision)
+            if lost > epsilon:
+                raise AssertionError(
+                    f"{precision} tree accuracy dropped {lost:.4f} "
+                    f"(> epsilon {epsilon}): "
+                    f"{self.rows[precision]['tree_accuracy']:.4f} vs "
+                    f"float32 {self.float32_tree_accuracy:.4f}"
+                )
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "float32_tree_accuracy": self.float32_tree_accuracy,
+            "precisions": {
+                name: {**row, "tree_accuracy_drop": self.drop(name)}
+                for name, row in self.rows.items()
+            },
+        }
+
+
+def quantization_report(
+    model: Seq2Vis,
+    test_set: Seq2VisDataset,
+    bench: NVBench,
+    precisions: Sequence[str] = ("float16", "int8"),
+    batch_size: int = 32,
+    beam_width: int = 1,
+    epsilon: Optional[float] = None,
+) -> QuantizationReport:
+    """Evaluate quantized copies of *model* against its float32 accuracy.
+
+    *model* is left untouched (copies are quantized).  When *epsilon*
+    is given the report is asserted immediately — the one-call guard
+    for "is int8 safe to serve on this checkpoint?".
+    """
+    from repro.neural.quantize import quantized_copy, storage_report
+
+    base = evaluate_model(
+        model, test_set, bench, batch_size=batch_size, beam_width=beam_width
+    )
+    report = QuantizationReport(float32_tree_accuracy=base.tree_accuracy)
+    for precision in precisions:
+        copy = quantized_copy(model, precision)
+        scored = evaluate_model(
+            copy, test_set, bench, batch_size=batch_size, beam_width=beam_width
+        )
+        storage = storage_report(copy)
+        report.rows[precision] = {
+            "tree_accuracy": scored.tree_accuracy,
+            "result_accuracy": scored.result_accuracy,
+            "compression": storage["compression"],
+            "stored_bytes": storage["stored_bytes"],
+        }
+    if epsilon is not None:
+        report.assert_within(epsilon)
     return report
 
 

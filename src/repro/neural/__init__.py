@@ -18,14 +18,25 @@ from repro.neural.dtype import (
     set_default_dtype,
     using_dtype,
 )
-from repro.neural.model import Seq2Vis
+from repro.neural.model import BeamCandidate, EncodedBatch, Seq2Vis
 from repro.neural.optimizer import Adam, ReferenceAdam
+from repro.neural.quantize import (
+    PRECISIONS,
+    QuantizedParameter,
+    model_precision,
+    quantize_model,
+    quantized_copy,
+)
 from repro.neural.slots import fill_value_slots
 from repro.neural.trainer import TrainConfig, train_model
 
 __all__ = [
     "Adam",
+    "BeamCandidate",
     "DEFAULT_TRAIN_DTYPE",
+    "EncodedBatch",
+    "PRECISIONS",
+    "QuantizedParameter",
     "ReferenceAdam",
     "Seq2Vis",
     "Seq2VisDataset",
@@ -34,7 +45,10 @@ __all__ = [
     "build_dataset",
     "fill_value_slots",
     "get_default_dtype",
+    "model_precision",
     "no_grad",
+    "quantize_model",
+    "quantized_copy",
     "set_default_dtype",
     "train_model",
     "using_dtype",

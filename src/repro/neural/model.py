@@ -22,8 +22,65 @@ import numpy as np
 from repro.neural import autograd as ag
 from repro.neural.autograd import Tensor
 from repro.neural.layers import BiLSTMEncoder, Embedding, Linear, LSTMCell, Module
+from repro.obs.trace import traced
 
 VARIANTS = ("basic", "attention", "copy")
+
+
+@dataclass
+class EncodedBatch:
+    """Frozen encoder outputs for a padded batch, held as plain arrays.
+
+    Produced by :meth:`Seq2Vis.encode_batch` and accepted by every
+    decode entry point via ``encoded=``, so a serving layer can cache
+    the (expensive) bi-LSTM pass and replay only the decoder.  Because
+    the encoder masks padding out of both the final state and the
+    attention weights, the arrays are padding-invariant: re-padding the
+    same source tokens to a different length yields the same decode.
+    """
+
+    memory: np.ndarray   # (B, L, 2H) encoder states
+    h0: np.ndarray       # (B, H) bridged initial decoder hidden
+    c0: np.ndarray       # (B, H) bridged initial decoder cell
+    src_mask: np.ndarray     # (B, L) the mask the memory was built under
+    src_out_ids: np.ndarray  # (B, L) source tokens in output-vocab ids
+
+    @property
+    def batch_size(self) -> int:
+        return self.memory.shape[0]
+
+    def row(self, index: int) -> "EncodedBatch":
+        """A one-example view (no copy) for per-example decoding."""
+        sl = slice(index, index + 1)
+        return EncodedBatch(
+            memory=self.memory[sl],
+            h0=self.h0[sl],
+            c0=self.c0[sl],
+            src_mask=self.src_mask[sl],
+            src_out_ids=self.src_out_ids[sl],
+        )
+
+    def inference_batch(self) -> Batch:
+        """A decode-only :class:`Batch` carrying this encoding's mask
+        and copy ids; ``src_ids`` is a dummy — decoding never reads it."""
+        return Batch.for_inference(
+            src_ids=np.zeros_like(self.src_out_ids),
+            src_mask=self.src_mask,
+            src_out_ids=self.src_out_ids,
+        )
+
+
+@dataclass
+class BeamCandidate:
+    """One ranked beam hypothesis: stripped tokens + normalized score.
+
+    ``score`` is the length-normalized negative log probability used
+    for ranking (lower is better), identical to the sort key inside
+    :meth:`Seq2Vis._beam_one`.
+    """
+
+    tokens: List[int]
+    score: float
 
 
 @dataclass
@@ -250,15 +307,37 @@ class Seq2Vis(Module):
 
     # ----- decoding ----------------------------------------------------------
 
+    def encode_batch(self, batch: Batch) -> EncodedBatch:
+        """Run the encoder once, graph-free, and freeze the outputs.
+
+        The returned :class:`EncodedBatch` can be passed to any decode
+        entry point via ``encoded=`` to skip re-encoding — the basis of
+        the serve-layer encoder-output cache.
+        """
+        with ag.no_grad():
+            memory, h, c = self._encode(batch)
+        return EncodedBatch(
+            memory=memory.data,
+            h0=h.data,
+            c0=c.data,
+            src_mask=np.asarray(batch.src_mask),
+            src_out_ids=np.asarray(batch.src_out_ids),
+        )
+
     def greedy_decode(
         self,
         batch: Batch,
         bos_id: int,
         eos_id: int,
         max_len: int = 60,
+        encoded: Optional[EncodedBatch] = None,
     ) -> List[List[int]]:
         """Greedy decoding; returns output-vocab id sequences sans EOS."""
-        memory, h, c = self._encode(batch)
+        if encoded is None:
+            memory, h, c = self._encode(batch)
+        else:
+            memory = Tensor(encoded.memory)
+            h, c = Tensor(encoded.h0), Tensor(encoded.c0)
         batch_size = batch.src_ids.shape[0]
         tokens = np.full(batch_size, bos_id, dtype=np.int64)
         finished = np.zeros(batch_size, dtype=bool)
@@ -291,6 +370,7 @@ class Seq2Vis(Module):
         bos_id: int,
         eos_id: int,
         max_len: int = 60,
+        encoded: Optional[EncodedBatch] = None,
     ) -> List[List[int]]:
         """Greedy decoding of a whole padded batch with no graph.
 
@@ -302,7 +382,9 @@ class Seq2Vis(Module):
         accuracy evaluation over thousands of test examples.
         """
         with ag.no_grad():
-            return self.greedy_decode(batch, bos_id, eos_id, max_len=max_len)
+            return self.greedy_decode(
+                batch, bos_id, eos_id, max_len=max_len, encoded=encoded
+            )
 
     def beam_decode(
         self,
@@ -312,10 +394,13 @@ class Seq2Vis(Module):
         beam_width: int = 4,
         max_len: int = 60,
         length_penalty: float = 0.7,
+        token_mask: Optional[np.ndarray] = None,
+        encoded: Optional[EncodedBatch] = None,
     ) -> List[List[int]]:
         """Beam-search decoding (extension beyond the paper's greedy
         decoder); one example at a time, scoring by length-normalized
-        log probability."""
+        log probability.  ``token_mask`` (bool, shape ``(V,)``) zeroes
+        forbidden output tokens out of candidate expansion."""
         results: List[List[int]] = []
         for row in range(batch.src_ids.shape[0]):
             single = Batch(
@@ -327,7 +412,11 @@ class Seq2Vis(Module):
                 tgt_mask=batch.tgt_mask[row : row + 1],
             )
             results.append(
-                self._beam_one(single, bos_id, eos_id, beam_width, max_len, length_penalty)
+                self._beam_one(
+                    single, bos_id, eos_id, beam_width, max_len, length_penalty,
+                    token_mask=token_mask,
+                    encoded=None if encoded is None else encoded.row(row),
+                )
             )
         return results
 
@@ -339,8 +428,14 @@ class Seq2Vis(Module):
         beam_width: int,
         max_len: int,
         length_penalty: float,
+        token_mask: Optional[np.ndarray] = None,
+        encoded: Optional[EncodedBatch] = None,
     ) -> List[int]:
-        memory, h, c = self._encode(batch)
+        if encoded is None:
+            memory, h, c = self._encode(batch)
+        else:
+            memory = Tensor(encoded.memory)
+            h, c = Tensor(encoded.h0), Tensor(encoded.c0)
         # Each hypothesis: (neg score, tokens, h, c, finished)
         beams = [(0.0, [bos_id], h, c, False)]
         for _ in range(max_len):
@@ -363,6 +458,8 @@ class Seq2Vis(Module):
                     logits = self.out_proj(output).data[0]
                     shifted = logits - logits.max()
                     probs = np.exp(shifted) / np.exp(shifted).sum()
+                if token_mask is not None:
+                    probs = np.where(token_mask, probs, 0.0)
                 top = np.argsort(-probs)[:beam_width]
                 for token_id in top:
                     log_p = float(np.log(max(probs[token_id], 1e-12)))
@@ -386,6 +483,191 @@ class Seq2Vis(Module):
         if tokens and tokens[-1] == eos_id:
             tokens = tokens[:-1]
         return tokens
+
+    def beam_decode_batch(
+        self,
+        batch: Batch,
+        bos_id: int,
+        eos_id: int,
+        beam_width: int = 4,
+        max_len: int = 60,
+        length_penalty: float = 0.7,
+        token_mask: Optional[np.ndarray] = None,
+        encoded: Optional[EncodedBatch] = None,
+        tracer=None,
+    ) -> List[List[int]]:
+        """Best hypothesis per example from the vectorized batched beam.
+
+        Token-identical to :meth:`beam_decode` at every width (see
+        :meth:`beam_search_batch` for the parity argument) but decodes
+        the whole batch's beam front with one fused step per iteration.
+        """
+        ranked = self.beam_search_batch(
+            batch, bos_id, eos_id, beam_width=beam_width, max_len=max_len,
+            length_penalty=length_penalty, num_candidates=1,
+            token_mask=token_mask, encoded=encoded, tracer=tracer,
+        )
+        return [example[0].tokens for example in ranked]
+
+    def beam_search_batch(
+        self,
+        batch: Batch,
+        bos_id: int,
+        eos_id: int,
+        beam_width: int = 4,
+        max_len: int = 60,
+        length_penalty: float = 0.7,
+        num_candidates: Optional[int] = None,
+        token_mask: Optional[np.ndarray] = None,
+        encoded: Optional[EncodedBatch] = None,
+        tracer=None,
+    ) -> List[List[BeamCandidate]]:
+        """Vectorized beam search over the whole padded batch.
+
+        Instead of looping examples (and hypotheses) one at a time like
+        :meth:`beam_decode`, the full beam front is flattened to a
+        ``(B·K, ·)`` pseudo-batch so every step is one fused LSTM-step +
+        attention + output-GEMM call.  The bookkeeping replicates
+        :meth:`_beam_one` exactly — same per-row softmax, same
+        ``argsort`` candidate order, same length-normalized key under
+        the same stable sort — so the results are token-identical to the
+        per-example path at every width, and ``beam_width=1`` with
+        ``length_penalty=0.0`` matches :meth:`greedy_decode_batch`.
+
+        Returns, per example, up to ``num_candidates`` (default: the
+        beam width) hypotheses ranked best-first as
+        :class:`BeamCandidate` with stripped tokens and the normalized
+        score used for ranking.
+        """
+        if beam_width < 1:
+            raise ValueError("beam_width must be >= 1")
+        if beam_width > self.out_vocab_size:
+            raise ValueError(
+                f"beam_width {beam_width} exceeds output vocab size "
+                f"{self.out_vocab_size}"
+            )
+        keep = beam_width if num_candidates is None else max(1, min(num_candidates, beam_width))
+        with ag.no_grad():
+            return self._beam_search_batch(
+                batch, bos_id, eos_id, beam_width, max_len, length_penalty,
+                keep, token_mask, encoded, tracer,
+            )
+
+    def _beam_search_batch(
+        self,
+        batch: Batch,
+        bos_id: int,
+        eos_id: int,
+        beam_width: int,
+        max_len: int,
+        length_penalty: float,
+        keep: int,
+        token_mask: Optional[np.ndarray],
+        encoded: Optional[EncodedBatch],
+        tracer,
+    ) -> List[List[BeamCandidate]]:
+        if encoded is None:
+            memory_t, h0, c0 = self._encode(batch)
+            memory = memory_t.data
+            state_h, state_c = h0.data, c0.data
+        else:
+            memory = encoded.memory
+            state_h, state_c = encoded.h0, encoded.c0
+        batch_size = batch.src_ids.shape[0]
+        src_mask = np.asarray(batch.src_mask)
+        src_out_ids = np.asarray(batch.src_out_ids)
+
+        def norm(item) -> float:
+            return item[0] / max(len(item[1]) - 1, 1) ** length_penalty
+
+        # beams[b][j] = (neg score, tokens, finished); its decoder state
+        # lives at row b*k + j of the flattened (B·k, H) front.
+        beams = [[(0.0, [bos_id], False)] for _ in range(batch_size)]
+        k = 1
+        memory_front = Tensor(memory)
+        mask_front = src_mask
+        out_ids_front = src_out_ids
+        for step in range(max_len):
+            if all(done for example in beams for _, _, done in example):
+                break
+            front = batch_size * k
+            with traced(
+                tracer, "beam.step",
+                step=step, front=front, beam_width=beam_width,
+            ):
+                last = np.fromiter(
+                    (hyp[1][-1] for example in beams for hyp in example),
+                    dtype=np.int64, count=front,
+                )
+                token_embed = self.embed_out(last)
+                output, weights, context, (h_new, c_new) = self._step(
+                    token_embed, (Tensor(state_h), Tensor(state_c)),
+                    memory_front, mask_front,
+                )
+                if self.variant == "copy":
+                    copy_batch = Batch.for_inference(
+                        src_ids=out_ids_front,
+                        src_mask=mask_front,
+                        src_out_ids=out_ids_front,
+                    )
+                    probs = self._copy_probs(
+                        output, weights, context, token_embed, copy_batch
+                    ).data
+                else:
+                    logits = self.out_proj(output).data
+                    shifted = logits - logits.max(axis=1, keepdims=True)
+                    exp = np.exp(shifted)
+                    probs = exp / exp.sum(axis=1, keepdims=True)
+                if token_mask is not None:
+                    probs = np.where(token_mask[None, :], probs, 0.0)
+                top = np.argsort(-probs, axis=1)[:, :beam_width]
+                log_p = np.log(np.maximum(
+                    np.take_along_axis(probs, top, axis=1), 1e-12
+                ))
+                new_beams: List[List[Tuple[float, List[int], bool]]] = []
+                select: List[int] = []
+                for b in range(batch_size):
+                    candidates = []  # (neg score, tokens, source row, finished)
+                    for j, (score, tokens, done) in enumerate(beams[b]):
+                        row = b * k + j
+                        if done:
+                            candidates.append((score, tokens, row, True))
+                            continue
+                        for rank in range(top.shape[1]):
+                            token_id = int(top[row, rank])
+                            candidates.append((
+                                score - float(log_p[row, rank]),
+                                tokens + [token_id],
+                                row,
+                                token_id == eos_id,
+                            ))
+                    candidates.sort(key=norm)
+                    kept = candidates[:beam_width]
+                    new_beams.append([(s, t, d) for s, t, _, d in kept])
+                    select.extend(item[2] for item in kept)
+                beams = new_beams
+                sel = np.asarray(select, dtype=np.intp)
+                state_h = h_new.data[sel]
+                state_c = c_new.data[sel]
+                if k != beam_width:
+                    # The front fans out from B to B·K after the first
+                    # expansion; the encoder side is repeated once here
+                    # and reused for every remaining step.
+                    k = beam_width
+                    memory_front = Tensor(np.repeat(memory, k, axis=0))
+                    mask_front = np.repeat(src_mask, k, axis=0)
+                    out_ids_front = np.repeat(src_out_ids, k, axis=0)
+        results: List[List[BeamCandidate]] = []
+        for example in beams:
+            ranked = sorted(example, key=norm)[:keep]
+            out: List[BeamCandidate] = []
+            for score, tokens, _ in ranked:
+                stripped = tokens[1:]
+                if stripped and stripped[-1] == eos_id:
+                    stripped = stripped[:-1]
+                out.append(BeamCandidate(tokens=stripped, score=norm((score, tokens))))
+            results.append(out)
+        return results
 
 
 def _as_column(loss_vector: Tensor) -> Tensor:

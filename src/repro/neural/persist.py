@@ -3,17 +3,30 @@
 The archive stores the architecture hyperparameters, both vocabularies,
 and every parameter tensor, so a model can be reloaded for inference
 without the original training pipeline.
+
+Quantized models (see :mod:`repro.neural.quantize`) round-trip without
+ever materializing float weights: the archive stores the int8/float16
+payloads plus per-tensor scales, and ``meta["precision"]`` tells
+:func:`load_model` to rebuild :class:`~repro.neural.quantize.QuantizedParameter`
+slots instead of copying float arrays — an int8 archive is ~4x smaller
+than its float32 source.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Tuple, Union
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
 from repro.neural.model import Seq2Vis
+from repro.neural.quantize import (
+    QUANTIZED_PRECISIONS,
+    QuantizedParameter,
+    _parameter_slots,
+    quantize_model,
+)
 from repro.nlp.vocab import SPECIALS, Vocabulary
 
 
@@ -48,14 +61,37 @@ def save_model(
 
     Returns the path actually written (``.npz`` suffix normalized).
     """
+    params = model.parameters()
+    quantized = [p for p in params if isinstance(p, QuantizedParameter)]
+    if quantized:
+        # Store the payloads as-is; scales ride in the meta JSON.  The
+        # recorded dtype is the compute dtype every read expands to.
+        arrays = {
+            f"param_{index}": param.payload
+            for index, param in enumerate(params)
+        }
+        dtype = "float32"
+        precision: Optional[str] = quantized[0].precision
+        scales = [float(getattr(p, "scale", 1.0)) for p in params]
+    else:
+        arrays = {
+            f"param_{index}": param.data
+            for index, param in enumerate(params)
+        }
+        dtype = str(model.dtype)
+        precision = None
+        scales = None
     meta = {
         "variant": model.variant,
         "embed_dim": int(model.embed_in.weight.data.shape[1]),
         "hidden_dim": int(model.hidden_dim),
         "in_vocab": in_vocab.tokens,
         "out_vocab": out_vocab.tokens,
-        "dtype": str(model.dtype),
+        "dtype": dtype,
     }
+    if precision is not None:
+        meta["precision"] = precision
+        meta["scales"] = scales
     if optimizer is not None:
         meta["optimizer"] = {
             "lr": float(optimizer.lr),
@@ -64,20 +100,25 @@ def save_model(
             "eps": float(optimizer.eps),
             "clip_norm": float(optimizer.clip_norm),
         }
-    arrays = {
-        f"param_{index}": param.data
-        for index, param in enumerate(model.parameters())
-    }
     path = normalize_model_path(path)
     np.savez(path, meta=json.dumps(meta), **arrays)
     return path
 
 
-def load_model(path: Union[str, Path]) -> Tuple[Seq2Vis, Vocabulary, Vocabulary]:
+def load_model(
+    path: Union[str, Path],
+    precision: Optional[str] = None,
+) -> Tuple[Seq2Vis, Vocabulary, Vocabulary]:
     """Load a model saved with :func:`save_model`.
 
     Accepts the path with or without the ``.npz`` suffix, mirroring what
     :func:`save_model` accepts.
+
+    ``precision`` re-stores a float checkpoint's weights at load time
+    (``"float32"``/``"float64"`` cast, ``"int8"``/``"float16"``
+    quantize — the registry's serve-time knob).  A checkpoint that was
+    *saved* quantized always reloads at its stored precision; asking for
+    a different one raises, since the float weights no longer exist.
     """
     path = normalize_model_path(path)
     archive = np.load(path, allow_pickle=False)
@@ -94,18 +135,45 @@ def load_model(path: Union[str, Path]) -> Tuple[Seq2Vis, Vocabulary, Vocabulary]
         hidden_dim=meta["hidden_dim"],
         dtype=meta.get("dtype"),
     )
-    for index, param in enumerate(model.parameters()):
-        stored = archive[f"param_{index}"]
-        if stored.shape != param.data.shape:
+    stored_precision = meta.get("precision")
+    if stored_precision in QUANTIZED_PRECISIONS:
+        if precision is not None and precision != stored_precision:
             raise ValueError(
-                f"parameter {index} shape mismatch: "
-                f"{stored.shape} vs {param.data.shape}"
+                f"checkpoint {str(path)!r} is stored {stored_precision}; "
+                f"cannot reload at {precision!r} (float weights are gone)"
             )
-        # Copy in place: an optimizer built on this model may alias
-        # param.data, and rebinding would silently detach it.
-        param.data[...] = stored
+        scales = meta.get("scales") or []
+        slots = _parameter_slots(model)
+        for index, (module, attr, param) in enumerate(slots):
+            payload = archive[f"param_{index}"]
+            if payload.shape != param.data.shape:
+                raise ValueError(
+                    f"parameter {index} shape mismatch: "
+                    f"{payload.shape} vs {param.data.shape}"
+                )
+            scale = float(scales[index]) if index < len(scales) else 1.0
+            setattr(
+                module, attr,
+                QuantizedParameter(
+                    payload, scale, stored_precision, name=param.name
+                ),
+            )
+    else:
+        for index, param in enumerate(model.parameters()):
+            stored = archive[f"param_{index}"]
+            if stored.shape != param.data.shape:
+                raise ValueError(
+                    f"parameter {index} shape mismatch: "
+                    f"{stored.shape} vs {param.data.shape}"
+                )
+            # Copy in place: an optimizer built on this model may alias
+            # param.data, and rebinding would silently detach it.
+            param.data[...] = stored
+        if precision is not None:
+            quantize_model(model, precision)
     model.checkpoint_meta = {
         "dtype": meta.get("dtype", "float64"),
         "optimizer": meta.get("optimizer"),
+        "precision": stored_precision or precision or meta.get("dtype", "float64"),
     }
     return model, in_vocab, out_vocab

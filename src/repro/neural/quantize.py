@@ -1,0 +1,258 @@
+"""Quantized inference weights: int8 / float16 storage, dequantize-on-GEMM.
+
+Serving replicas want model archives and resident weights as small as
+possible (ROADMAP item 1), and CPU inference is memory-bandwidth bound,
+so weights are stored quantized and expanded only when the math needs
+them:
+
+* ``int8`` — per-tensor symmetric quantization: ``scale = max|W| / 127``,
+  payload ``round(W / scale)`` clipped to ±127.  4x (float32) / 8x
+  (float64) smaller at rest.
+* ``float16`` — plain half-precision storage; 2x / 4x smaller with
+  ~1e-3 relative error.
+
+numpy has no int8/float16 GEMM kernels, so compute always happens at
+float32: a :class:`QuantizedParameter` shadows ``Tensor.data`` with a
+memoizing property that dequantizes on first touch (the first GEMM that
+reads the weight) and serves the cached float32 array afterwards.  The
+parameter is **read-only** — training a quantized model is a loud
+``TypeError``, not a silent precision loss; reload the float checkpoint
+to fine-tune.
+
+Entry points: :func:`quantize_model` (in place, e.g. at
+``ModelRegistry`` load), :func:`quantized_copy` (leaves the source
+model untouched — what the eval harness' accuracy-epsilon guard uses),
+and :func:`repro.neural.persist.save_model` / ``load_model`` round-trip
+the payloads without ever materializing float weights.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.neural.autograd import Tensor
+from repro.neural.layers import Module
+from repro.neural.model import Seq2Vis
+
+#: Everything ``precision=`` knobs accept: plain float dtypes are a
+#: :meth:`Module.to_dtype` cast, the rest quantize.
+PRECISIONS = ("float32", "float64", "float16", "int8")
+
+#: The subset that stores weights quantized.
+QUANTIZED_PRECISIONS = ("float16", "int8")
+
+#: Symmetric int8 uses the full signed range minus the asymmetric -128.
+INT8_LEVELS = 127
+
+#: Dequantized weights (and therefore all activations) compute at f32.
+COMPUTE_DTYPE = np.float32
+
+
+def quantize_array(array: np.ndarray, precision: str) -> Tuple[np.ndarray, float]:
+    """Quantize one tensor; returns ``(payload, scale)``.
+
+    ``scale`` is 1.0 for float16 (the payload carries its own exponent).
+    """
+    if precision == "int8":
+        scale = float(np.max(np.abs(array))) / INT8_LEVELS if array.size else 1.0
+        if scale == 0.0:
+            scale = 1.0
+        payload = np.clip(
+            np.rint(np.asarray(array, dtype=np.float64) / scale),
+            -INT8_LEVELS, INT8_LEVELS,
+        ).astype(np.int8)
+        return payload, scale
+    if precision == "float16":
+        return np.asarray(array, dtype=np.float16), 1.0
+    raise ValueError(
+        f"unsupported quantized precision {precision!r}; "
+        f"pick from {QUANTIZED_PRECISIONS}"
+    )
+
+
+def dequantize_array(payload: np.ndarray, scale: float) -> np.ndarray:
+    """Expand a stored payload back to the float32 compute dtype."""
+    if payload.dtype == np.int8:
+        return payload.astype(COMPUTE_DTYPE) * np.asarray(scale, dtype=COMPUTE_DTYPE)
+    return payload.astype(COMPUTE_DTYPE)
+
+
+class QuantizedParameter(Tensor):
+    """A read-only model weight stored quantized.
+
+    Subclasses :class:`Tensor` so layers and :meth:`Module.parameters`
+    see a normal parameter, but ``data`` is a property: the quantized
+    payload is expanded to float32 on first read (one traced dequantize
+    per weight per process) and memoized.  Writing ``data`` raises —
+    optimizers and ``to_dtype`` cannot silently corrupt a quantized
+    model.
+    """
+
+    __slots__ = ("payload", "scale", "precision", "_dequantized", "_tracer")
+
+    def __init__(
+        self,
+        payload: np.ndarray,
+        scale: float,
+        precision: str,
+        name: str = "",
+        tracer=None,
+    ):
+        # Deliberately skip Tensor.__init__: ``data`` is shadowed by the
+        # property below, every other slot is initialized here.
+        self.payload = payload
+        self.scale = scale
+        self.precision = precision
+        self.grad = None
+        # parameters() filters on requires_grad; stays True so persist /
+        # registry keep enumerating quantized models like float ones.
+        self.requires_grad = True
+        self._parents = ()
+        self._backward = None
+        self.name = name
+        self._dequantized: Optional[np.ndarray] = None
+        self._tracer = tracer
+
+    @property
+    def data(self) -> np.ndarray:  # type: ignore[override]
+        cached = self._dequantized
+        if cached is None:
+            started = time.time()
+            t0 = time.perf_counter()
+            cached = dequantize_array(self.payload, self.scale)
+            if self._tracer is not None:
+                self._tracer.record(
+                    "quantize.dequant",
+                    start_unix=started,
+                    duration_s=time.perf_counter() - t0,
+                    param=self.name,
+                    precision=self.precision,
+                    stored_bytes=int(self.payload.nbytes),
+                    expanded_bytes=int(cached.nbytes),
+                )
+            self._dequantized = cached
+        return cached
+
+    @data.setter
+    def data(self, value) -> None:
+        raise TypeError(
+            f"quantized parameter {self.name!r} ({self.precision}) is "
+            "read-only; reload the float checkpoint to retrain or recast"
+        )
+
+    def drop_cache(self) -> None:
+        """Free the memoized float32 copy (rebuilt on next read)."""
+        self._dequantized = None
+
+
+def _parameter_slots(model: Module) -> List[Tuple[Module, str, Tensor]]:
+    """``(module, attribute, tensor)`` triples in the exact order
+    :meth:`Module.parameters` yields them, so positional checkpoint
+    formats and in-place replacement agree on indexing."""
+    slots: List[Tuple[Module, str, Tensor]] = []
+    for attr, value in model.__dict__.items():
+        if isinstance(value, Tensor) and value.requires_grad:
+            slots.append((model, attr, value))
+        elif isinstance(value, Module):
+            slots.extend(_parameter_slots(value))
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                if isinstance(item, Module):
+                    slots.extend(_parameter_slots(item))
+    return slots
+
+
+def model_precision(model: Module) -> str:
+    """The model's storage precision: a :data:`PRECISIONS` member."""
+    for param in model.parameters():
+        if isinstance(param, QuantizedParameter):
+            return param.precision
+    return str(model.dtype)
+
+
+def quantize_model(model: Seq2Vis, precision: str, tracer=None) -> Seq2Vis:
+    """Re-store *model*'s weights at *precision*, in place; returns it.
+
+    ``float32``/``float64`` are a plain dtype cast; ``int8``/``float16``
+    swap every parameter for a :class:`QuantizedParameter`.  Quantizing
+    an already-quantized model to the same precision is a no-op; to a
+    different one is an error (the float weights are gone).
+    """
+    if precision not in PRECISIONS:
+        raise ValueError(
+            f"unknown precision {precision!r}; pick from {PRECISIONS}"
+        )
+    current = model_precision(model)
+    if current in QUANTIZED_PRECISIONS:
+        if current == precision:
+            return model
+        raise ValueError(
+            f"model is already {current}-quantized; cannot recast to "
+            f"{precision!r} without the float checkpoint"
+        )
+    if precision in ("float32", "float64"):
+        model.to_dtype(precision)
+        return model
+    for module, attr, param in _parameter_slots(model):
+        payload, scale = quantize_array(param.data, precision)
+        setattr(
+            module, attr,
+            QuantizedParameter(
+                payload, scale, precision, name=param.name, tracer=tracer
+            ),
+        )
+    return model
+
+
+def clone_model(model: Seq2Vis) -> Seq2Vis:
+    """A structurally identical float copy of *model* (weights copied)."""
+    clone = Seq2Vis(
+        in_vocab_size=int(model.embed_in.weight.data.shape[0]),
+        out_vocab_size=int(model.out_vocab_size),
+        variant=model.variant,
+        embed_dim=int(model.embed_in.weight.data.shape[1]),
+        hidden_dim=int(model.hidden_dim),
+    )
+    clone.to_dtype(model.parameters()[0].data.dtype)
+    clone.load_state_dict(model.state_dict())
+    return clone
+
+
+def quantized_copy(model: Seq2Vis, precision: str, tracer=None) -> Seq2Vis:
+    """Quantize a copy, leaving *model* untouched — the shape the
+    eval-harness accuracy guard needs (float and quantized side by
+    side)."""
+    return quantize_model(clone_model(model), precision, tracer=tracer)
+
+
+def storage_report(model: Module) -> Dict[str, object]:
+    """Bytes at rest vs the float32 equivalent, plus per-tensor rows."""
+    rows = []
+    stored = 0
+    float32_equiv = 0
+    for param in model.parameters():
+        if isinstance(param, QuantizedParameter):
+            nbytes = int(param.payload.nbytes)
+            size = int(param.payload.size)
+            precision = param.precision
+        else:
+            nbytes = int(param.data.nbytes)
+            size = int(param.data.size)
+            precision = str(param.data.dtype)
+        stored += nbytes
+        float32_equiv += 4 * size
+        rows.append({
+            "name": param.name,
+            "precision": precision,
+            "stored_bytes": nbytes,
+        })
+    return {
+        "precision": model_precision(model),
+        "stored_bytes": stored,
+        "float32_bytes": float32_equiv,
+        "compression": (float32_equiv / stored) if stored else 1.0,
+        "tensors": rows,
+    }

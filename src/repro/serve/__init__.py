@@ -18,7 +18,7 @@ attn=model.npz`` (see ``docs/SERVING.md``).
 """
 
 from repro.serve.batcher import MicroBatcher, QueueFullError, ServerDrainingError
-from repro.serve.cache import ResponseCache
+from repro.serve.cache import EncoderCache, ResponseCache
 from repro.serve.client import LoadGenerator, LoadReport, ServeClient, ServeError
 from repro.serve.metrics import ServeMetrics
 from repro.serve.runner import BackgroundServer
@@ -32,7 +32,11 @@ from repro.serve.registry import (
 from repro.serve.server import InferenceServer, ServerConfig
 from repro.serve.translate import (
     FORMATS,
+    GREEDY_DECODE,
+    CandidateSummary,
+    DecodeConfig,
     TranslateResult,
+    grammar_token_mask,
     normalize_question,
     render_spec,
     source_tokens,
@@ -42,8 +46,12 @@ from repro.serve.translate import (
 
 __all__ = [
     "FORMATS",
+    "GREEDY_DECODE",
     "BackgroundServer",
     "BaselineTranslator",
+    "CandidateSummary",
+    "DecodeConfig",
+    "EncoderCache",
     "InferenceServer",
     "LoadGenerator",
     "LoadReport",
@@ -60,6 +68,7 @@ __all__ = [
     "Translator",
     "TranslateResult",
     "UnknownModelError",
+    "grammar_token_mask",
     "normalize_question",
     "render_spec",
     "source_tokens",

@@ -226,7 +226,7 @@ class MicroBatcher:
                 parent=pending.context,
                 start_unix=wall_now - waited,
                 duration_s=waited,
-                model=pending.key,
+                **self._key_attributes(pending.key),
             )
 
     def _trace_decodes(
@@ -254,6 +254,20 @@ class MicroBatcher:
                 duration_s=duration_s,
                 status="error" if error is not None else "ok",
                 error=f"{type(error).__name__}: {error}" if error else None,
-                model=pending.key,
                 batch_size=len(group),
+                **self._key_attributes(pending.key),
             )
+
+    @staticmethod
+    def _key_attributes(key: str) -> dict:
+        """Span attributes for a group key.
+
+        Keys are opaque to the batcher, but the server's convention is
+        ``model\\x00decode-tag`` — split it back apart so traces read
+        ``model=attn decode=beam4x1`` instead of a fused blob.
+        """
+        model, _, decode = key.partition("\x00")
+        attributes = {"model": model}
+        if decode:
+            attributes["decode"] = decode
+        return attributes

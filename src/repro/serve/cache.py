@@ -1,21 +1,40 @@
-"""LRU response cache for the inference server.
+"""Serving caches: response LRU and encoder-output LRU.
 
-Keyed on ``(model, db, normalized question, format)`` — the full
-response body is cached, so a repeat question skips the model forward
-pass *and* the chart-data execution.  This sits above the
+:class:`ResponseCache` is keyed on ``(model, db, normalized question,
+format, decode tag, precision)`` — the full response body is cached, so
+a repeat question skips the model forward pass *and* the chart-data
+execution.  Decode configuration and weight precision are part of the
+key: a beam-4 answer must never be served to a greedy request, nor a
+float32 answer after a hot-swap to int8.  This sits above the
 :class:`~repro.storage.executor.ExecutionCache`: distinct questions
 that decode to the same query body still share one execution below.
+
+:class:`EncoderCache` sits *between* the two: response-cache misses
+that repeat a source-token sequence (same question under a different
+format, beam width, or candidate count) skip the bi-LSTM encoder and
+replay only the decoder.  Entries are keyed on ``(model, db, source
+token prefix)`` — the full NL+schema prefix of the decoder's input,
+since the backward LSTM direction makes shorter-prefix reuse unsound —
+and store per-example encoder outputs trimmed to true length, so one
+entry serves batches of any padding.  Hot-swapping a model must
+invalidate its entries (:meth:`EncoderCache.invalidate_model`); the
+server wires that to the registry's swap listeners.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.serve.translate import normalize_question
 
-CacheKey = Tuple[str, str, str, str]
+CacheKey = Tuple[str, str, str, str, str, str]
+
+EncoderKey = Tuple[str, str, Tuple[str, ...]]
 
 
 class ResponseCache:
@@ -33,9 +52,36 @@ class ResponseCache:
         self.misses = 0
 
     @staticmethod
-    def key_of(model: str, db_name: str, question: str, fmt: str) -> CacheKey:
-        """The canonical cache key for one translate request."""
-        return (model, db_name, normalize_question(question), fmt)
+    def key_of(
+        model: str,
+        db_name: str,
+        question: str,
+        fmt: str,
+        decode: str = "greedy",
+        precision: str = "-",
+    ) -> CacheKey:
+        """The canonical cache key for one translate request.
+
+        *decode* is a :meth:`~repro.serve.translate.DecodeConfig.cache_tag`
+        and *precision* the serving model's storage precision — both are
+        part of the response's identity, not just its routing.
+        """
+        return (
+            model, db_name, normalize_question(question), fmt,
+            decode, precision,
+        )
+
+    def invalidate_model(self, model: str) -> int:
+        """Drop every entry produced by *model*; returns the count.
+
+        Called on registry hot-swap: the new weights may answer the
+        same question differently.
+        """
+        with self._lock:
+            stale = [key for key in self._entries if key[0] == model]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
 
     def get(self, key: CacheKey) -> Optional[dict]:
         """The cached response for *key*, refreshed to most-recent."""
@@ -77,4 +123,126 @@ class ResponseCache:
                 "size": len(self._entries),
                 "maxsize": self.maxsize,
                 "hit_rate": self.hits / total if total else 0.0,
+            }
+
+
+@dataclass
+class EncoderEntry:
+    """One example's frozen encoder outputs, trimmed to true length."""
+
+    memory: np.ndarray       # (L, 2H) encoder states, no padding
+    h0: np.ndarray           # (H,) bridged initial decoder hidden
+    c0: np.ndarray           # (H,) bridged initial decoder cell
+    src_out_ids: np.ndarray  # (L,) source tokens in output-vocab ids
+
+    @property
+    def nbytes(self) -> int:
+        return int(
+            self.memory.nbytes + self.h0.nbytes + self.c0.nbytes
+            + self.src_out_ids.nbytes
+        )
+
+
+class EncoderCache:
+    """Bounded thread-safe LRU of per-example encoder outputs.
+
+    Keyed on ``(model, db, source-token tuple)``; see the module
+    docstring for why the key carries the full source prefix.  Sits in
+    front of the bi-LSTM: a hit replays only the decoder, which is what
+    makes "same question, different beam width / format / candidate
+    count" requests cheap after the first.
+
+    ``maxsize <= 0`` disables the cache (gets miss, puts drop), matching
+    :class:`ResponseCache` semantics.
+    """
+
+    def __init__(self, maxsize: int = 256):
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[EncoderKey, EncoderEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key_of(
+        model: str, db_name: str, tokens: Sequence[str]
+    ) -> EncoderKey:
+        """Cache key for one request's source sequence."""
+        return (model, db_name, tuple(tokens))
+
+    @staticmethod
+    def entry_of(
+        memory: np.ndarray,
+        h0: np.ndarray,
+        c0: np.ndarray,
+        src_out_ids: np.ndarray,
+    ) -> EncoderEntry:
+        """Build an entry from (possibly sliced) encoder outputs.
+
+        Copies each array so the cache never pins a whole batch's
+        memory through a row view.
+        """
+        return EncoderEntry(
+            memory=np.array(memory),
+            h0=np.array(h0),
+            c0=np.array(c0),
+            src_out_ids=np.array(src_out_ids),
+        )
+
+    def get(self, key: EncoderKey) -> Optional[EncoderEntry]:
+        """The cached encoding for *key*, refreshed to most-recent."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: EncoderKey, entry: EncoderEntry) -> None:
+        """Store *entry*, evicting the least-recently-used overflow."""
+        if self.maxsize <= 0:
+            return
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def invalidate_model(self, model: str) -> int:
+        """Drop every entry encoded by *model*; returns the count.
+
+        Mandatory on hot-swap — stale encoder states would otherwise be
+        decoded by the new weights (or a different precision) and serve
+        silently wrong mixtures.
+        """
+        with self._lock:
+            stale = [key for key in self._entries if key[0] == model]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
+
+    def clear(self) -> None:
+        """Drop every entry (counters survive)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, object]:
+        """Hit/miss counters, size, and resident bytes."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+                "hit_rate": self.hits / total if total else 0.0,
+                "resident_bytes": sum(
+                    entry.nbytes for entry in self._entries.values()
+                ),
             }

@@ -81,8 +81,14 @@ class ServeClient:
         model: Optional[str] = None,
         fmt: Optional[str] = None,
         use_cache: bool = True,
+        beam_width: Optional[int] = None,
+        candidates: Optional[int] = None,
     ) -> dict:
-        """Translate one question; raises :class:`ServeError` on non-200."""
+        """Translate one question; raises :class:`ServeError` on non-200.
+
+        *beam_width* > 1 switches the server to batched beam search;
+        *candidates* asks for that many ranked hypotheses back.
+        """
         payload: Dict[str, object] = {
             "question": question,
             "db": db,
@@ -92,6 +98,10 @@ class ServeClient:
             payload["model"] = model
         if fmt is not None:
             payload["format"] = fmt
+        if beam_width is not None:
+            payload["beam_width"] = beam_width
+        if candidates is not None:
+            payload["candidates"] = candidates
         return self._checked("POST", "/translate", payload)
 
 

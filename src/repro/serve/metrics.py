@@ -64,6 +64,7 @@ class ServeMetrics:
         queue_depth: Optional[int] = None,
         queue_capacity: Optional[int] = None,
         tracer=None,
+        encoder_cache=None,
     ) -> Dict[str, object]:
         """The full ``/metrics`` document."""
         counters = self.profiler.report()
@@ -81,6 +82,8 @@ class ServeMetrics:
         }
         if response_cache is not None:
             report["response_cache"] = response_cache.stats()
+        if encoder_cache is not None:
+            report["encoder_cache"] = encoder_cache.stats()
         if execution_cache is not None:
             report["execution_cache"] = execution_cache.stats()
         if queue_depth is not None:

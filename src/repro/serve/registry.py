@@ -22,8 +22,8 @@ import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.grammar.ast_nodes import VisQuery
-from repro.grammar.serialize import to_tokens
-from repro.serve.translate import TranslateResult, translate_batch
+from repro.grammar.serialize import to_text, to_tokens
+from repro.serve.translate import DecodeConfig, TranslateResult, translate_batch
 from repro.storage.schema import Database
 
 
@@ -37,10 +37,24 @@ class Translator:
     #: "neural" or "baseline" — surfaced in /healthz.
     kind: str = "unknown"
 
+    #: weight storage precision — part of response-cache keys, so a
+    #: hot-swap between precisions can never serve stale answers.
+    precision: str = "-"
+
     def translate_requests(
-        self, requests: Sequence[Tuple[str, Database]]
+        self,
+        requests: Sequence[Tuple[str, Database]],
+        decode: Optional[DecodeConfig] = None,
+        encoder_cache=None,
+        model_name: str = "",
     ) -> List[TranslateResult]:
-        """Results positionally aligned with *requests*."""
+        """Results positionally aligned with *requests*.
+
+        *decode* picks greedy vs beam (with how many ranked candidates);
+        translators without a beam honor ``num_candidates`` as best they
+        can and ignore the rest.  *encoder_cache* / *model_name* wire
+        the server's encoder-output LRU through neural translators.
+        """
         raise NotImplementedError
 
     def info(self) -> Dict[str, object]:
@@ -54,27 +68,43 @@ class NeuralTranslator(Translator):
     kind = "neural"
 
     def __init__(self, model, in_vocab, out_vocab, source: str = "memory"):
+        from repro.neural.quantize import model_precision
+
         self.model = model
         self.in_vocab = in_vocab
         self.out_vocab = out_vocab
         self.source = source
+        self.precision = model_precision(model)
 
     @classmethod
-    def from_npz(cls, path: str) -> "NeuralTranslator":
-        """Load a model archive saved by :func:`repro.neural.persist.save_model`."""
+    def from_npz(
+        cls, path: str, precision: Optional[str] = None
+    ) -> "NeuralTranslator":
+        """Load a model archive saved by :func:`repro.neural.persist.save_model`.
+
+        *precision* re-stores a float checkpoint's weights at load time
+        (``"int8"`` / ``"float16"`` quantize, ``"float32"`` /
+        ``"float64"`` cast) — the serve-time memory/speed knob.
+        """
         from repro.neural.persist import load_model, normalize_model_path
 
-        model, in_vocab, out_vocab = load_model(path)
+        model, in_vocab, out_vocab = load_model(path, precision=precision)
         return cls(
             model, in_vocab, out_vocab,
             source=str(normalize_model_path(path)),
         )
 
     def translate_requests(
-        self, requests: Sequence[Tuple[str, Database]]
+        self,
+        requests: Sequence[Tuple[str, Database]],
+        decode: Optional[DecodeConfig] = None,
+        encoder_cache=None,
+        model_name: str = "",
     ) -> List[TranslateResult]:
         return translate_batch(
-            self.model, self.in_vocab, self.out_vocab, requests
+            self.model, self.in_vocab, self.out_vocab, requests,
+            decode=decode, encoder_cache=encoder_cache,
+            model_name=model_name,
         )
 
     def info(self) -> Dict[str, object]:
@@ -83,6 +113,7 @@ class NeuralTranslator(Translator):
             "variant": self.model.variant,
             "hidden_dim": self.model.hidden_dim,
             "source": self.source,
+            "precision": self.precision,
         }
 
 
@@ -111,19 +142,40 @@ class BaselineTranslator(Translator):
         return cls(name, BASELINES[name]().predict)
 
     def translate_requests(
-        self, requests: Sequence[Tuple[str, Database]]
+        self,
+        requests: Sequence[Tuple[str, Database]],
+        decode: Optional[DecodeConfig] = None,
+        encoder_cache=None,
+        model_name: str = "",
     ) -> List[TranslateResult]:
+        from repro.serve.translate import CandidateSummary
+
+        want = decode.num_candidates if decode is not None else 1
         results = []
         for question, database in requests:
             prediction = self._predict(question, database)
-            if isinstance(prediction, list):
-                prediction = prediction[0] if prediction else None
+            ranked = (
+                prediction if isinstance(prediction, list)
+                else [] if prediction is None else [prediction]
+            )
+            best = ranked[0] if ranked else None
             result = TranslateResult(question=question, db_name=database.name)
-            if prediction is None:
+            if best is None:
                 result.error = f"{self.name} produced no visualization"
             else:
-                result.tree = prediction
-                result.tokens = to_tokens(prediction)
+                result.tree = best
+                result.tokens = to_tokens(best)
+            if want > 1:
+                # Baselines have no beam, but a multi-prediction rule
+                # system still yields a ranked candidate list.
+                result.candidates = [
+                    CandidateSummary(
+                        tokens=to_tokens(tree),
+                        score=float(rank),
+                        vis=to_text(tree),
+                    )
+                    for rank, tree in enumerate(ranked[:want])
+                ]
             results.append(result)
         return results
 
@@ -138,6 +190,21 @@ class ModelRegistry:
         self._lock = threading.RLock()
         self._models: Dict[str, Translator] = {}
         self._default: Optional[str] = None
+        self._swap_listeners: List[Callable[[str], None]] = []
+
+    def add_swap_listener(self, listener: Callable[[str], None]) -> None:
+        """Call *listener(name)* whenever *name* is hot-swapped or
+        unregistered.  The server hangs cache invalidation here — any
+        state derived from the old translator (encoder outputs, cached
+        responses) must not survive the swap."""
+        with self._lock:
+            self._swap_listeners.append(listener)
+
+    def _notify_swap(self, name: str) -> None:
+        with self._lock:
+            listeners = list(self._swap_listeners)
+        for listener in listeners:
+            listener(name)
 
     def register(
         self, name: str, translator: Translator, default: bool = False
@@ -145,24 +212,44 @@ class ModelRegistry:
         """Add or hot-swap a translator under *name*.
 
         The swap is atomic: requests already holding the old translator
-        finish on it, new lookups get the replacement.
+        finish on it, new lookups get the replacement.  A replacement
+        (the name already existed) fires the swap listeners.
         """
         with self._lock:
             first = not self._models
+            swapped = name in self._models
             self._models[name] = translator
             if default or first:
                 self._default = name
+        if swapped:
+            self._notify_swap(name)
 
     def unregister(self, name: str) -> None:
         """Remove a model; the default falls back to any remaining one."""
         with self._lock:
-            self._models.pop(name, None)
+            removed = self._models.pop(name, None) is not None
             if self._default == name:
                 self._default = next(iter(sorted(self._models)), None)
+        if removed:
+            self._notify_swap(name)
 
-    def load_npz(self, name: str, path: str, default: bool = False) -> None:
-        """Load a saved seq2vis archive and register it under *name*."""
-        self.register(name, NeuralTranslator.from_npz(path), default=default)
+    def load_npz(
+        self,
+        name: str,
+        path: str,
+        default: bool = False,
+        precision: Optional[str] = None,
+    ) -> None:
+        """Load a saved seq2vis archive and register it under *name*.
+
+        *precision* is the serve-time weight knob (see
+        :meth:`NeuralTranslator.from_npz`).
+        """
+        self.register(
+            name,
+            NeuralTranslator.from_npz(path, precision=precision),
+            default=default,
+        )
 
     def register_baselines(self) -> None:
         """Register every rule-based baseline under its canonical name."""

@@ -25,10 +25,15 @@ from typing import Dict, Optional, Tuple
 
 from repro.obs.trace import SpanContext, Tracer, traced
 from repro.serve.batcher import MicroBatcher, QueueFullError, ServerDrainingError
-from repro.serve.cache import ResponseCache
+from repro.serve.cache import EncoderCache, ResponseCache
 from repro.serve.metrics import ServeMetrics
 from repro.serve.registry import ModelRegistry, UnknownModelError
-from repro.serve.translate import FORMATS, TranslateResult, render_spec
+from repro.serve.translate import (
+    FORMATS,
+    DecodeConfig,
+    TranslateResult,
+    render_spec,
+)
 from repro.storage.executor import ExecutionCache
 from repro.storage.schema import Database
 
@@ -59,6 +64,10 @@ class ServerConfig:
     cache_size: int = 1024         # response-cache entries (<=0 disables)
     default_format: str = "text"
     max_body_bytes: int = 1 << 20
+    default_beam_width: int = 1    # decode for requests without "beam_width"
+    max_beam_width: int = 8        # per-request beam width cap
+    max_candidates: int = 8        # per-request ranked-candidates cap
+    encoder_cache_size: int = 256  # encoder-output LRU entries (<=0 disables)
 
 
 class _HTTPError(Exception):
@@ -88,8 +97,17 @@ class InferenceServer:
                 f"unknown default format {self.config.default_format!r}; "
                 f"pick from {FORMATS}"
             )
+        if not 1 <= self.config.default_beam_width <= self.config.max_beam_width:
+            raise ValueError(
+                f"default_beam_width {self.config.default_beam_width} must be "
+                f"in [1, max_beam_width={self.config.max_beam_width}]"
+            )
         self.metrics = ServeMetrics()
         self.response_cache = ResponseCache(self.config.cache_size)
+        self.encoder_cache = EncoderCache(self.config.encoder_cache_size)
+        # Hot-swapping (or unregistering) a model invalidates everything
+        # derived from its old weights in both caches.
+        registry.add_swap_listener(self._on_model_swap)
         self.execution_cache = execution_cache or ExecutionCache()
         #: optional request tracer: every request gets an ``http.request``
         #: span at ingress whose trace id follows it through the batcher
@@ -145,9 +163,25 @@ class InferenceServer:
 
     # ----- model execution (runs on executor threads) -------------------
 
-    def _run_group(self, model_name: str, items) -> list:
+    def _on_model_swap(self, model_name: str) -> None:
+        dropped = self.encoder_cache.invalidate_model(model_name)
+        dropped += self.response_cache.invalidate_model(model_name)
+        self.metrics.count("swap_invalidations")
+        self.metrics.count("swap_invalidated_entries", dropped)
+
+    def _run_group(self, group_key: str, items) -> list:
+        # The batcher groups by (model, decode tag) so one group shares
+        # one decode configuration; items carry the config itself.
+        model_name = group_key.split("\x00", 1)[0]
         translator = self.registry.get(model_name)
-        return translator.translate_requests(items)
+        requests = [(question, database) for question, database, _ in items]
+        decode = items[0][2]
+        return translator.translate_requests(
+            requests,
+            decode=decode,
+            encoder_cache=self.encoder_cache,
+            model_name=model_name,
+        )
 
     # ----- connection handling -----------------------------------------
 
@@ -282,6 +316,7 @@ class InferenceServer:
                 raise _HTTPError(405, "metrics only supports GET")
             return 200, self.metrics.report(
                 response_cache=self.response_cache,
+                encoder_cache=self.encoder_cache,
                 execution_cache=self.execution_cache,
                 queue_depth=self.batcher.depth,
                 queue_capacity=self.config.max_queue_depth,
@@ -337,8 +372,13 @@ class InferenceServer:
                 400, f"unknown format {fmt!r}; pick from {FORMATS}"
             )
         use_cache = bool(payload.get("use_cache", True))
+        decode = self._decode_config(payload)
 
-        cache_key = ResponseCache.key_of(model_name, db_name, question, fmt)
+        translator = self.registry.get(model_name)
+        cache_key = ResponseCache.key_of(
+            model_name, db_name, question, fmt,
+            decode=decode.cache_tag(), precision=translator.precision,
+        )
         if use_cache:
             cached = self.response_cache.get(cache_key)
             if cached is not None:
@@ -348,8 +388,8 @@ class InferenceServer:
 
         try:
             result: TranslateResult = await self.batcher.submit(
-                model_name,
-                (question, database),
+                f"{model_name}\x00{decode.cache_tag()}",
+                (question, database, decode),
                 timeout=self.config.request_timeout,
                 context=span.context,
             )
@@ -388,6 +428,8 @@ class InferenceServer:
             **result.to_json(),
             "model": model_name,
             "format": fmt,
+            "beam_width": decode.beam_width,
+            "precision": translator.precision,
             "spec": spec,
             "render_error": render_error,
             "cached": False,
@@ -395,3 +437,31 @@ class InferenceServer:
         if use_cache:
             self.response_cache.put(cache_key, dict(response))
         return 200, response
+
+    def _decode_config(self, payload: dict) -> DecodeConfig:
+        """Per-request decode settings, validated against config caps."""
+        beam_width = payload.get("beam_width", self.config.default_beam_width)
+        if not isinstance(beam_width, int) or isinstance(beam_width, bool):
+            raise _HTTPError(400, "'beam_width' must be an integer")
+        if not 1 <= beam_width <= self.config.max_beam_width:
+            raise _HTTPError(
+                400,
+                f"'beam_width' must be in [1, {self.config.max_beam_width}], "
+                f"got {beam_width}",
+            )
+        candidates = payload.get("candidates", 1)
+        if not isinstance(candidates, int) or isinstance(candidates, bool):
+            raise _HTTPError(400, "'candidates' must be an integer")
+        if not 1 <= candidates <= self.config.max_candidates:
+            raise _HTTPError(
+                400,
+                f"'candidates' must be in [1, {self.config.max_candidates}], "
+                f"got {candidates}",
+            )
+        if candidates > beam_width:
+            raise _HTTPError(
+                400,
+                f"'candidates' ({candidates}) cannot exceed 'beam_width' "
+                f"({beam_width})",
+            )
+        return DecodeConfig(beam_width=beam_width, num_candidates=candidates)

@@ -14,6 +14,8 @@ import re
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from repro.grammar.ast_nodes import VisQuery
 from repro.grammar.serialize import from_tokens, to_text
 from repro.neural.data import (
@@ -22,7 +24,7 @@ from repro.neural.data import (
     encode_source_batch,
     schema_tokens,
 )
-from repro.neural.model import Seq2Vis
+from repro.neural.model import BeamCandidate, EncodedBatch, Seq2Vis
 from repro.neural.slots import fill_value_slots
 from repro.nlp.tokenize import tokenize_nl
 from repro.nlp.vocab import Vocabulary
@@ -48,6 +50,92 @@ def normalize_question(question: str) -> str:
     return _WHITESPACE_RE.sub(" ", question).strip().casefold()
 
 
+@dataclass(frozen=True)
+class DecodeConfig:
+    """How the model decodes: greedy vs beam, and how many hypotheses.
+
+    ``beam_width=1`` is greedy (the historical default path, bit for
+    bit).  ``num_candidates > 1`` asks for that many ranked hypotheses
+    back (requires a beam at least that wide).  ``grammar_mask`` zeroes
+    structurally-impossible output tokens (padding, BOS, UNK) out of
+    beam candidate expansion, so no beam slot is wasted on a token that
+    can never parse.
+
+    Frozen so configs can key caches; :meth:`cache_tag` is the compact
+    form folded into response-cache keys.
+    """
+
+    beam_width: int = 1
+    num_candidates: int = 1
+    max_len: int = 60
+    length_penalty: float = 0.7
+    grammar_mask: bool = False
+
+    def __post_init__(self):
+        if self.beam_width < 1:
+            raise ValueError("beam_width must be >= 1")
+        if not 1 <= self.num_candidates <= self.beam_width:
+            raise ValueError(
+                f"num_candidates must be in [1, beam_width], got "
+                f"{self.num_candidates} with beam_width={self.beam_width}"
+            )
+
+    @property
+    def is_greedy(self) -> bool:
+        """True when this config takes the plain greedy path."""
+        return self.beam_width == 1 and self.num_candidates == 1
+
+    def cache_tag(self) -> str:
+        """Compact decode identity for cache keys (e.g. ``"beam4x2"``)."""
+        if self.is_greedy:
+            return "greedy"
+        tag = f"beam{self.beam_width}x{self.num_candidates}"
+        if self.grammar_mask:
+            tag += "g"
+        return tag
+
+
+#: The default decode: plain greedy, one hypothesis.
+GREEDY_DECODE = DecodeConfig()
+
+
+def grammar_token_mask(out_vocab: Vocabulary) -> np.ndarray:
+    """Boolean ``(V,)`` mask of output tokens a decode may emit.
+
+    Padding, BOS, and UNK can never appear inside a well-formed VIS
+    token sequence, so beam search drops them from candidate expansion
+    when :attr:`DecodeConfig.grammar_mask` is set.
+    """
+    mask = np.ones(len(out_vocab), dtype=bool)
+    for token_id in (out_vocab.pad_id, out_vocab.bos_id, out_vocab.unk_id):
+        mask[token_id] = False
+    return mask
+
+
+@dataclass
+class CandidateSummary:
+    """One ranked beam hypothesis, parsed best-effort.
+
+    ``score`` is the length-normalized negative log probability the beam
+    ranked by (lower is better).  ``vis`` is the parsed, slot-filled
+    canonical text, or ``None`` with ``error`` set when the hypothesis
+    does not parse.
+    """
+
+    tokens: List[str]
+    score: float
+    vis: Optional[str] = None
+    error: Optional[str] = None
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "tokens": list(self.tokens),
+            "score": self.score,
+            "vis": self.vis,
+            "error": self.error,
+        }
+
+
 @dataclass
 class TranslateResult:
     """One request's decoded output with provenance."""
@@ -57,6 +145,9 @@ class TranslateResult:
     tokens: List[str] = field(default_factory=list)
     tree: Optional[VisQuery] = None
     error: Optional[str] = None
+    #: ranked alternatives (only when the decode asked for candidates);
+    #: the first entry always mirrors the main result.
+    candidates: Optional[List[CandidateSummary]] = None
 
     @property
     def ok(self) -> bool:
@@ -72,13 +163,16 @@ class TranslateResult:
 
     def to_json(self) -> Dict[str, object]:
         """JSON-ready summary (the server's response body core)."""
-        return {
+        payload: Dict[str, object] = {
             "question": self.question,
             "db": self.db_name,
             "tokens": list(self.tokens),
             "vis": self.vis_text,
             "error": self.error,
         }
+        if self.candidates is not None:
+            payload["candidates"] = [c.to_json() for c in self.candidates]
+        return payload
 
 
 def source_tokens(question: str, database: Database) -> List[str]:
@@ -114,12 +208,100 @@ def _finish(
     return result
 
 
+def _encode_requests(
+    model: Seq2Vis,
+    in_vocab: Vocabulary,
+    out_vocab: Vocabulary,
+    requests: Sequence[Tuple[str, Database]],
+    token_lists: List[List[str]],
+    encoder_cache,
+    model_name: str,
+    span,
+) -> EncodedBatch:
+    """Encode *requests*, reusing cached encoder outputs where possible.
+
+    Cache hits skip the bi-LSTM entirely; misses are encoded in one
+    sub-batch and stored trimmed to their true length.  The assembled
+    :class:`EncodedBatch` zero-pads memory to the longest row — exact,
+    because attention weights at masked positions are exactly 0, so the
+    padded values never reach the math (the same padding-invariance the
+    micro-batcher already relies on).
+    """
+    keys = [
+        encoder_cache.key_of(model_name, database.name, tokens)
+        for (_, database), tokens in zip(requests, token_lists)
+    ]
+    rows = [encoder_cache.get(key) for key in keys]
+    missing = [i for i, row in enumerate(rows) if row is None]
+    span.set_attributes({
+        "encoder_cache_hits": len(rows) - len(missing),
+        "encoder_cache_misses": len(missing),
+    })
+    if missing:
+        miss_batch = encode_source_batch(
+            [token_lists[i] for i in missing], in_vocab, out_vocab
+        )
+        fresh = model.encode_batch(miss_batch)
+        for j, i in enumerate(missing):
+            length = len(token_lists[i])
+            entry = encoder_cache.entry_of(
+                memory=fresh.memory[j, :length],
+                h0=fresh.h0[j],
+                c0=fresh.c0[j],
+                src_out_ids=fresh.src_out_ids[j, :length],
+            )
+            encoder_cache.put(keys[i], entry)
+            rows[i] = entry
+    max_len = max(entry.memory.shape[0] for entry in rows)
+    batch = len(rows)
+    memory = np.zeros(
+        (batch, max_len, rows[0].memory.shape[1]), dtype=rows[0].memory.dtype
+    )
+    src_mask = np.zeros((batch, max_len))
+    src_out_ids = np.full((batch, max_len), out_vocab.unk_id, dtype=np.int64)
+    for i, entry in enumerate(rows):
+        length = entry.memory.shape[0]
+        memory[i, :length] = entry.memory
+        src_mask[i, :length] = 1.0
+        src_out_ids[i, :length] = entry.src_out_ids
+    return EncodedBatch(
+        memory=memory,
+        h0=np.stack([entry.h0 for entry in rows]),
+        c0=np.stack([entry.c0 for entry in rows]),
+        src_mask=src_mask,
+        src_out_ids=src_out_ids,
+    )
+
+
+def _summarize(
+    candidate: BeamCandidate,
+    out_vocab: Vocabulary,
+    question: str,
+    database: Database,
+) -> CandidateSummary:
+    """Parse one beam hypothesis best-effort into a summary."""
+    tokens = out_vocab.decode(candidate.tokens)
+    summary = CandidateSummary(tokens=tokens, score=candidate.score)
+    try:
+        tree = fill_value_slots(from_tokens(tokens), question, database)
+        if isinstance(tree, VisQuery):
+            summary.vis = to_text(tree)
+        else:
+            summary.error = "decoded query is not a visualization"
+    except Exception as exc:  # noqa: BLE001 - candidates are best-effort
+        summary.error = str(exc)
+    return summary
+
+
 def translate_batch(
     model: Seq2Vis,
     in_vocab: Vocabulary,
     out_vocab: Vocabulary,
     requests: Sequence[Tuple[str, Database]],
     tracer: Optional[Tracer] = None,
+    decode: Optional[DecodeConfig] = None,
+    encoder_cache=None,
+    model_name: str = "",
 ) -> List[TranslateResult]:
     """Translate many (question, database) requests in one forward pass.
 
@@ -129,27 +311,67 @@ def translate_batch(
     ``decode``, and ``parse`` spans for the batch (the one-shot CLI path
     uses this; the server traces its batches in the micro-batcher
     instead).
+
+    *decode* picks greedy vs batched beam (and how many ranked
+    candidates come back on each result); *encoder_cache* (an
+    :class:`~repro.serve.cache.EncoderCache`) lets repeat source
+    sequences skip the bi-LSTM, keyed under *model_name*.
     """
     if not requests:
         return []
-    with traced(tracer, "encode", requests=len(requests)):
-        batch = encode_source_batch(
-            [
-                source_tokens(question, database)
-                for question, database in requests
-            ],
-            in_vocab,
-            out_vocab,
-        )
-    with traced(tracer, "decode", batch_size=len(requests)):
-        decoded = model.greedy_decode_batch(
-            batch, out_vocab.bos_id, out_vocab.eos_id
-        )
+    decode = decode or GREEDY_DECODE
+    token_lists = [
+        source_tokens(question, database) for question, database in requests
+    ]
+    with traced(tracer, "encode", requests=len(requests)) as encode_span:
+        if encoder_cache is not None:
+            encoded = _encode_requests(
+                model, in_vocab, out_vocab, requests, token_lists,
+                encoder_cache, model_name, encode_span,
+            )
+            batch = encoded.inference_batch()
+        else:
+            encoded = None
+            batch = encode_source_batch(token_lists, in_vocab, out_vocab)
+    candidate_lists: Optional[List[List[BeamCandidate]]] = None
+    with traced(
+        tracer, "decode",
+        batch_size=len(requests), mode=decode.cache_tag(),
+    ):
+        if decode.is_greedy:
+            decoded = model.greedy_decode_batch(
+                batch, out_vocab.bos_id, out_vocab.eos_id,
+                max_len=decode.max_len, encoded=encoded,
+            )
+        else:
+            token_mask = (
+                grammar_token_mask(out_vocab) if decode.grammar_mask else None
+            )
+            ranked = model.beam_search_batch(
+                batch, out_vocab.bos_id, out_vocab.eos_id,
+                beam_width=decode.beam_width,
+                max_len=decode.max_len,
+                length_penalty=decode.length_penalty,
+                num_candidates=decode.num_candidates,
+                token_mask=token_mask,
+                encoded=encoded,
+                tracer=tracer,
+            )
+            decoded = [example[0].tokens for example in ranked]
+            if decode.num_candidates > 1:
+                candidate_lists = ranked
     with traced(tracer, "parse") as parse_span:
-        results = [
-            _finish(question, database, out_vocab.decode(ids))
-            for (question, database), ids in zip(requests, decoded)
-        ]
+        results = []
+        for index, ((question, database), ids) in enumerate(
+            zip(requests, decoded)
+        ):
+            result = _finish(question, database, out_vocab.decode(ids))
+            if candidate_lists is not None:
+                result.candidates = [
+                    _summarize(candidate, out_vocab, question, database)
+                    for candidate in candidate_lists[index]
+                ]
+            results.append(result)
         parse_span.set_attribute(
             "parsed", sum(1 for result in results if result.ok)
         )
@@ -163,10 +385,12 @@ def translate_question(
     question: str,
     database: Database,
     tracer: Optional[Tracer] = None,
+    decode: Optional[DecodeConfig] = None,
 ) -> TranslateResult:
     """Translate one question — a batch of one, same code path."""
     return translate_batch(
-        model, in_vocab, out_vocab, [(question, database)], tracer=tracer
+        model, in_vocab, out_vocab, [(question, database)],
+        tracer=tracer, decode=decode,
     )[0]
 
 

@@ -1,16 +1,52 @@
-"""Tests for beam-search decoding (extension over the paper's greedy)."""
+"""Tests for beam-search decoding (extension over the paper's greedy).
+
+The batched beam (`beam_decode_batch` / `beam_search_batch`) must be
+token-identical to the per-example reference (`beam_decode`) at every
+width — the fast path is only an optimization if nothing observable
+changes.
+"""
+
+import os
 
 import numpy as np
 import pytest
 
-from repro.neural.model import Seq2Vis, VARIANTS
+from repro.neural.data import Example, Seq2VisDataset
+from repro.neural.model import BeamCandidate, Seq2Vis, VARIANTS
 from repro.neural.trainer import TrainConfig, train_model
+from repro.nlp.vocab import Vocabulary
+from repro.obs import InMemoryExporter, Tracer
 
 import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 from test_neural_model import exact_match, toy_dataset  # noqa: E402
+
+
+def ragged_dataset() -> Seq2VisDataset:
+    """Sources of wildly different lengths, including a one-token one."""
+    sources = [
+        ["show"],
+        ["show", "in1", "please"],
+        ["show", "in2", "please", "right", "now", "thanks"],
+        ["please", "in0"],
+    ]
+    targets = [
+        ["select", "out0"],
+        ["select", "out1", "out2"],
+        ["select", "out2", "out3", "out0"],
+        ["select", "out0", "out1"],
+    ]
+    examples = [
+        Example(src_tokens=s, tgt_tokens=t, pair=None)
+        for s, t in zip(sources, targets)
+    ]
+    in_vocab = Vocabulary.build([e.src_tokens for e in examples])
+    out_vocab = Vocabulary.build([e.tgt_tokens for e in examples])
+    return Seq2VisDataset(
+        examples=examples, in_vocab=in_vocab, out_vocab=out_vocab
+    )
 
 
 @pytest.fixture(scope="module")
@@ -62,3 +98,176 @@ class TestBeamDecode:
                                   dataset.out_vocab.eos_id, beam_width=2,
                                   max_len=5)
         assert len(beams) == 2
+
+
+class TestBatchedBeam:
+    """`beam_decode_batch` vs the per-example reference implementation."""
+
+    @pytest.mark.parametrize("beam_width", [1, 2, 4])
+    def test_identical_to_sequential(self, trained, beam_width):
+        model, dataset = trained
+        batch = dataset.batch_of(dataset.examples)
+        vocab = dataset.out_vocab
+        reference = model.beam_decode(
+            batch, vocab.bos_id, vocab.eos_id, beam_width=beam_width
+        )
+        batched = model.beam_decode_batch(
+            batch, vocab.bos_id, vocab.eos_id, beam_width=beam_width
+        )
+        assert batched == reference
+
+    def test_beam1_equals_greedy_batch(self, trained):
+        model, dataset = trained
+        batch = dataset.batch_of(dataset.examples)
+        vocab = dataset.out_vocab
+        greedy = model.greedy_decode_batch(
+            batch, vocab.bos_id, vocab.eos_id, max_len=8
+        )
+        beam = model.beam_decode_batch(
+            batch, vocab.bos_id, vocab.eos_id, beam_width=1, max_len=8,
+            length_penalty=0.0,
+        )
+        assert beam == greedy
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_ragged_batch_identity(self, variant):
+        dataset = ragged_dataset()
+        model = Seq2Vis(len(dataset.in_vocab), len(dataset.out_vocab),
+                        variant, 16, 24, seed=3)
+        batch = dataset.batch_of(dataset.examples)
+        vocab = dataset.out_vocab
+        reference = model.beam_decode(
+            batch, vocab.bos_id, vocab.eos_id, beam_width=3, max_len=7
+        )
+        batched = model.beam_decode_batch(
+            batch, vocab.bos_id, vocab.eos_id, beam_width=3, max_len=7
+        )
+        assert batched == reference
+
+    def test_single_example_single_token_source(self, trained):
+        model, _ = trained
+        dataset = ragged_dataset()
+        # Vocab sizes differ; build a model matched to the ragged vocabs.
+        model = Seq2Vis(len(dataset.in_vocab), len(dataset.out_vocab),
+                        "attention", 16, 24, seed=4)
+        batch = dataset.batch_of(dataset.examples[:1])
+        vocab = dataset.out_vocab
+        reference = model.beam_decode(
+            batch, vocab.bos_id, vocab.eos_id, beam_width=2, max_len=6
+        )
+        batched = model.beam_decode_batch(
+            batch, vocab.bos_id, vocab.eos_id, beam_width=2, max_len=6
+        )
+        assert batched == reference
+
+    def test_finished_beams_stop_stepping(self, trained):
+        """Once every beam has emitted EOS no further steps run."""
+        model, dataset = trained
+        batch = dataset.batch_of(dataset.examples)
+        vocab = dataset.out_vocab
+        exporter = InMemoryExporter()
+        tracer = Tracer(exporter)
+        short = model.beam_decode_batch(
+            batch, vocab.bos_id, vocab.eos_id, beam_width=2, max_len=60,
+            tracer=tracer,
+        )
+        steps = [
+            r for r in exporter.records() if r["name"] == "beam.step"
+        ]
+        longest = max(len(ids) for ids in short)
+        # One step per emitted token plus the EOS step — far under 60.
+        assert len(steps) <= longest + 1
+        # And the early exit cannot change the result.
+        assert short == model.beam_decode_batch(
+            batch, vocab.bos_id, vocab.eos_id, beam_width=2, max_len=longest + 1
+        )
+
+    def test_grammar_mask_parity_and_effect(self, trained):
+        model, dataset = trained
+        batch = dataset.batch_of(dataset.examples)
+        vocab = dataset.out_vocab
+        banned = vocab.id_of("out1")
+        mask = np.ones(len(vocab), dtype=bool)
+        mask[banned] = False
+        reference = model.beam_decode(
+            batch, vocab.bos_id, vocab.eos_id, beam_width=3, token_mask=mask
+        )
+        batched = model.beam_decode_batch(
+            batch, vocab.bos_id, vocab.eos_id, beam_width=3, token_mask=mask
+        )
+        assert batched == reference
+        assert all(banned not in ids for ids in batched)
+
+    def test_encoded_reuse_identity(self, trained):
+        model, dataset = trained
+        batch = dataset.batch_of(dataset.examples)
+        vocab = dataset.out_vocab
+        encoded = model.encode_batch(batch)
+        direct = model.beam_decode_batch(
+            batch, vocab.bos_id, vocab.eos_id, beam_width=3
+        )
+        reused = model.beam_decode_batch(
+            batch, vocab.bos_id, vocab.eos_id, beam_width=3, encoded=encoded
+        )
+        assert reused == direct
+
+    def test_candidates_ranked_and_bounded(self, trained):
+        model, dataset = trained
+        batch = dataset.batch_of(dataset.examples)
+        vocab = dataset.out_vocab
+        ranked = model.beam_search_batch(
+            batch, vocab.bos_id, vocab.eos_id, beam_width=4, num_candidates=3
+        )
+        assert len(ranked) == len(dataset.examples)
+        for example in ranked:
+            assert 1 <= len(example) <= 3
+            assert all(isinstance(c, BeamCandidate) for c in example)
+            scores = [c.score for c in example]
+            assert scores == sorted(scores)
+        # The top candidate is exactly the single-best decode.
+        best = model.beam_decode_batch(
+            batch, vocab.bos_id, vocab.eos_id, beam_width=4
+        )
+        assert [example[0].tokens for example in ranked] == best
+
+    def test_width_wider_than_vocab_rejected(self, trained):
+        model, dataset = trained
+        batch = dataset.batch_of(dataset.examples[:1])
+        vocab = dataset.out_vocab
+        with pytest.raises(ValueError):
+            model.beam_search_batch(
+                batch, vocab.bos_id, vocab.eos_id,
+                beam_width=len(vocab) + 1,
+            )
+
+@pytest.mark.slow
+@pytest.mark.skipif(
+    not os.environ.get("CI"),
+    reason="heavy width x variant identity matrix; runs on CI (CI=1)",
+)
+class TestHeavyIdentityMatrix:
+    """The full width x variant identity sweep, CI-only.
+
+    Tier-1 keeps the cheap spot checks above; this class re-proves
+    batched == sequential for every variant at every width up to the
+    output-vocab ceiling, on the ragged fixture where padding bugs
+    actually surface.
+    """
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    @pytest.mark.parametrize("beam_width", [2, 3, 5])
+    def test_identity(self, variant, beam_width):
+        dataset = ragged_dataset()
+        model = Seq2Vis(len(dataset.in_vocab), len(dataset.out_vocab),
+                        variant, 16, 24, seed=beam_width)
+        batch = dataset.batch_of(dataset.examples)
+        vocab = dataset.out_vocab
+        reference = model.beam_decode(
+            batch, vocab.bos_id, vocab.eos_id,
+            beam_width=beam_width, max_len=7,
+        )
+        batched = model.beam_decode_batch(
+            batch, vocab.bos_id, vocab.eos_id,
+            beam_width=beam_width, max_len=7,
+        )
+        assert batched == reference

@@ -1,0 +1,230 @@
+"""Tests for int8 / float16 quantized inference (repro.neural.quantize).
+
+Quantization is a storage transform: weights shrink at rest, GEMMs run
+in float32 after a memoized dequantize.  These tests pin the three
+contracts the serve layer relies on: the arithmetic round-trips within
+the format's tolerance, a quantized model still behaves like a model
+(parameters enumerate, state persists, loss is finite), and the .npz
+round-trip is bit-exact on the stored payloads.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import QuantizationReport
+from repro.neural.model import Seq2Vis
+from repro.neural.persist import load_model, save_model
+from repro.neural.quantize import (
+    COMPUTE_DTYPE,
+    INT8_LEVELS,
+    PRECISIONS,
+    QUANTIZED_PRECISIONS,
+    QuantizedParameter,
+    dequantize_array,
+    model_precision,
+    quantize_array,
+    quantize_model,
+    quantized_copy,
+    storage_report,
+)
+from repro.neural.trainer import TrainConfig, train_model
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from test_neural_model import toy_dataset  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def trained():
+    dataset = toy_dataset()
+    model = Seq2Vis(len(dataset.in_vocab), len(dataset.out_vocab),
+                    "attention", 24, 32, seed=1)
+    train_model(model, dataset, None,
+                TrainConfig(epochs=60, batch_size=6, lr=5e-3, patience=60))
+    return model, dataset
+
+
+class TestQuantizeArray:
+    def test_int8_round_trip_within_scale(self):
+        rng = np.random.default_rng(0)
+        weights = rng.normal(scale=0.4, size=(37, 19)).astype(np.float32)
+        payload, scale = quantize_array(weights, "int8")
+        assert payload.dtype == np.int8
+        assert np.abs(payload).max() <= INT8_LEVELS
+        restored = dequantize_array(payload, scale)
+        assert restored.dtype == COMPUTE_DTYPE
+        # Max quantization error is half a step.
+        assert np.abs(restored - weights).max() <= scale / 2 + 1e-7
+
+    def test_int8_scale_spans_extremes(self):
+        weights = np.array([-2.0, 0.5, 2.0], dtype=np.float32)
+        payload, scale = quantize_array(weights, "int8")
+        assert payload[0] == -INT8_LEVELS and payload[2] == INT8_LEVELS
+        assert scale == pytest.approx(2.0 / INT8_LEVELS)
+
+    def test_int8_all_zero_tensor(self):
+        payload, scale = quantize_array(np.zeros(5, dtype=np.float32), "int8")
+        assert scale == 1.0
+        assert np.all(payload == 0)
+        assert np.all(dequantize_array(payload, scale) == 0.0)
+
+    def test_float16_round_trip(self):
+        rng = np.random.default_rng(1)
+        weights = rng.normal(size=(8, 8)).astype(np.float32)
+        payload, scale = quantize_array(weights, "float16")
+        assert payload.dtype == np.float16
+        assert scale == 1.0
+        restored = dequantize_array(payload, scale)
+        assert np.abs(restored - weights).max() <= 1e-3
+
+    def test_unknown_precision_rejected(self):
+        with pytest.raises(ValueError):
+            quantize_array(np.ones(3), "int4")
+
+
+class TestQuantizedModel:
+    @pytest.mark.parametrize("precision", QUANTIZED_PRECISIONS)
+    def test_parameters_still_enumerate(self, trained, precision):
+        model, _ = trained
+        names = [p.name for p in model.parameters()]
+        copy = quantized_copy(model, precision)
+        assert model_precision(copy) == precision
+        assert [p.name for p in copy.parameters()] == names
+        assert all(
+            isinstance(p, QuantizedParameter) for p in copy.parameters()
+        )
+
+    def test_original_untouched_by_copy(self, trained):
+        model, _ = trained
+        before = model.state_dict()
+        quantized_copy(model, "int8")
+        assert model_precision(model) == "float32"
+        after = model.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+
+    def test_dequantized_data_is_float32_and_memoized(self, trained):
+        model, _ = trained
+        copy = quantized_copy(model, "int8")
+        param = next(iter(copy.parameters()))
+        first = param.data
+        assert first.dtype == COMPUTE_DTYPE
+        assert param.data is first  # memoized, not re-expanded
+        param.drop_cache()
+        assert param.data is not first
+
+    def test_weights_are_read_only(self, trained):
+        model, _ = trained
+        copy = quantized_copy(model, "float16")
+        param = next(iter(copy.parameters()))
+        with pytest.raises(TypeError):
+            param.data = np.zeros_like(param.data)
+
+    @pytest.mark.parametrize("precision", QUANTIZED_PRECISIONS)
+    def test_decode_matches_float32(self, trained, precision):
+        """On a converged toy model quantization must not flip decodes."""
+        model, dataset = trained
+        vocab = dataset.out_vocab
+        batch = dataset.batch_of(dataset.examples)
+        base = model.greedy_decode_batch(batch, vocab.bos_id, vocab.eos_id)
+        quant = quantized_copy(model, precision).greedy_decode_batch(
+            batch, vocab.bos_id, vocab.eos_id
+        )
+        assert quant == base
+
+    def test_loss_still_finite(self, trained):
+        model, dataset = trained
+        copy = quantized_copy(model, "int8")
+        batch = dataset.batch_of(dataset.examples)
+        assert np.isfinite(copy.loss(batch).item())
+
+    def test_requantizing_same_precision_is_noop(self, trained):
+        model, _ = trained
+        copy = quantized_copy(model, "int8")
+        assert quantize_model(copy, "int8") is copy
+
+    def test_cross_precision_requantize_rejected(self, trained):
+        model, _ = trained
+        copy = quantized_copy(model, "int8")
+        with pytest.raises(ValueError):
+            quantize_model(copy, "float16")
+
+    def test_storage_report_compression(self, trained):
+        model, _ = trained
+        int8 = storage_report(quantized_copy(model, "int8"))
+        f16 = storage_report(quantized_copy(model, "float16"))
+        f32 = storage_report(model)
+        assert int8["compression"] == pytest.approx(4.0)
+        assert f16["compression"] == pytest.approx(2.0)
+        assert f32["compression"] == pytest.approx(1.0)
+        assert int8["stored_bytes"] * 4 == int8["float32_bytes"]
+        assert len(int8["tensors"]) == len(list(model.parameters()))
+
+
+class TestQuantizedPersistence:
+    @pytest.mark.parametrize("precision", QUANTIZED_PRECISIONS)
+    def test_round_trip_is_payload_exact(self, trained, tmp_path, precision):
+        model, dataset = trained
+        copy = quantized_copy(model, precision)
+        path = tmp_path / f"model_{precision}.npz"
+        save_model(copy, dataset.in_vocab, dataset.out_vocab, str(path))
+        loaded, in_vocab, out_vocab = load_model(str(path))
+        assert model_precision(loaded) == precision
+        assert loaded.checkpoint_meta["precision"] == precision
+        for saved, restored in zip(copy.parameters(), loaded.parameters()):
+            np.testing.assert_array_equal(saved.payload, restored.payload)
+            assert saved.scale == restored.scale
+
+    def test_quantized_checkpoint_cannot_reload_wider(
+        self, trained, tmp_path
+    ):
+        model, dataset = trained
+        path = tmp_path / "model_int8.npz"
+        save_model(
+            quantized_copy(model, "int8"),
+            dataset.in_vocab, dataset.out_vocab, str(path),
+        )
+        with pytest.raises(ValueError):
+            load_model(str(path), precision="float32")
+
+    def test_float_checkpoint_quantizes_at_load(self, trained, tmp_path):
+        model, dataset = trained
+        path = tmp_path / "model_f32.npz"
+        save_model(model, dataset.in_vocab, dataset.out_vocab, str(path))
+        loaded, _, _ = load_model(str(path), precision="int8")
+        assert model_precision(loaded) == "int8"
+        assert loaded.checkpoint_meta["precision"] == "int8"
+        reference = quantized_copy(model, "int8")
+        for expect, got in zip(reference.parameters(), loaded.parameters()):
+            np.testing.assert_array_equal(expect.payload, got.payload)
+
+
+class TestQuantizationReport:
+    def test_guard_passes_within_epsilon(self):
+        report = QuantizationReport(
+            float32_tree_accuracy=0.90,
+            rows={"int8": {"tree_accuracy": 0.89, "result_accuracy": 0.8,
+                           "compression": 4.0, "stored_bytes": 100}},
+        )
+        report.assert_within(0.02)
+        assert report.drop("int8") == pytest.approx(0.01)
+
+    def test_guard_fires_past_epsilon(self):
+        report = QuantizationReport(
+            float32_tree_accuracy=0.90,
+            rows={"float16": {"tree_accuracy": 0.70, "result_accuracy": 0.6,
+                              "compression": 2.0, "stored_bytes": 200}},
+        )
+        with pytest.raises(AssertionError, match="float16"):
+            report.assert_within(0.05)
+
+    def test_json_shape(self):
+        report = QuantizationReport(
+            float32_tree_accuracy=0.5,
+            rows={"int8": {"tree_accuracy": 0.5, "result_accuracy": 0.5,
+                           "compression": 4.0, "stored_bytes": 10}},
+        )
+        doc = report.to_json()
+        assert doc["precisions"]["int8"]["tree_accuracy_drop"] == 0.0

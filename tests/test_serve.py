@@ -19,6 +19,8 @@ from repro.perf import Histogram
 from repro.serve import (
     BackgroundServer,
     BaselineTranslator,
+    DecodeConfig,
+    EncoderCache,
     InferenceServer,
     LoadGenerator,
     MicroBatcher,
@@ -499,7 +501,8 @@ class TestServerEndToEnd:
         class Slow(Translator):
             kind = "slow"
 
-            def translate_requests(self, requests):
+            def translate_requests(self, requests, decode=None,
+                                   encoder_cache=None, model_name=""):
                 time.sleep(0.3)
                 return [
                     TranslateResult(question=q, db_name=d.name, error="slow")
@@ -543,3 +546,232 @@ class TestServerEndToEnd:
         assert server.batcher.draining
         with pytest.raises(Exception):
             client.healthz()
+
+class TestDecodeConfig:
+    def test_defaults_are_greedy(self):
+        config = DecodeConfig()
+        assert config.is_greedy
+        assert config.cache_tag() == "greedy"
+
+    def test_beam_tags_are_distinct(self):
+        assert DecodeConfig(beam_width=4).cache_tag() != "greedy"
+        assert (
+            DecodeConfig(beam_width=4).cache_tag()
+            != DecodeConfig(beam_width=2).cache_tag()
+        )
+        assert (
+            DecodeConfig(beam_width=4, num_candidates=3).cache_tag()
+            != DecodeConfig(beam_width=4).cache_tag()
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DecodeConfig(beam_width=0)
+        with pytest.raises(ValueError):
+            DecodeConfig(beam_width=2, num_candidates=3)
+        with pytest.raises(ValueError):
+            DecodeConfig(num_candidates=0)
+
+    def test_response_cache_key_separates_decode_and_precision(self):
+        greedy = ResponseCache.key_of("m", "db", "q?", "text")
+        beam = ResponseCache.key_of(
+            "m", "db", "q?", "text", decode=DecodeConfig(beam_width=4).cache_tag()
+        )
+        int8 = ResponseCache.key_of("m", "db", "q?", "text", precision="int8")
+        assert len({greedy, beam, int8}) == 3
+
+
+class TestEncoderCache:
+    def test_hits_after_first_encode(self, stack):
+        model, dataset, databases = stack
+        names = sorted(databases)
+        cache = EncoderCache()
+        requests = [
+            (question, databases[names[i % len(names)]])
+            for i, question in enumerate(QUESTIONS[:4])
+        ]
+        plain = translate_batch(
+            model, dataset.in_vocab, dataset.out_vocab, requests
+        )
+        first = translate_batch(
+            model, dataset.in_vocab, dataset.out_vocab, requests,
+            encoder_cache=cache, model_name="attn",
+        )
+        assert cache.stats()["misses"] == len(requests)
+        assert cache.stats()["hits"] == 0
+        second = translate_batch(
+            model, dataset.in_vocab, dataset.out_vocab, requests,
+            encoder_cache=cache, model_name="attn",
+        )
+        assert cache.stats()["hits"] == len(requests)
+        for a, b, c in zip(plain, first, second):
+            assert a.tokens == b.tokens == c.tokens
+
+    def test_mixed_hit_miss_batch_is_exact(self, stack):
+        model, dataset, databases = stack
+        names = sorted(databases)
+        cache = EncoderCache()
+        db = databases[names[0]]
+        warm = [(QUESTIONS[0], db)]
+        translate_batch(
+            model, dataset.in_vocab, dataset.out_vocab, warm,
+            encoder_cache=cache, model_name="attn",
+        )
+        mixed = [(QUESTIONS[0], db), (QUESTIONS[1], db), (QUESTIONS[2], db)]
+        cached = translate_batch(
+            model, dataset.in_vocab, dataset.out_vocab, mixed,
+            encoder_cache=cache, model_name="attn",
+        )
+        plain = translate_batch(
+            model, dataset.in_vocab, dataset.out_vocab, mixed
+        )
+        assert [r.tokens for r in cached] == [r.tokens for r in plain]
+        assert cache.stats()["hits"] >= 1
+
+    def test_beam_decode_reuses_greedy_encodings(self, stack):
+        model, dataset, databases = stack
+        db = databases[sorted(databases)[0]]
+        cache = EncoderCache()
+        requests = [(QUESTIONS[0], db)]
+        translate_batch(
+            model, dataset.in_vocab, dataset.out_vocab, requests,
+            encoder_cache=cache, model_name="attn",
+        )
+        beamed = translate_batch(
+            model, dataset.in_vocab, dataset.out_vocab, requests,
+            decode=DecodeConfig(beam_width=3), encoder_cache=cache,
+            model_name="attn",
+        )
+        assert cache.stats()["hits"] == 1
+        reference = translate_batch(
+            model, dataset.in_vocab, dataset.out_vocab, requests,
+            decode=DecodeConfig(beam_width=3),
+        )
+        assert [r.tokens for r in beamed] == [r.tokens for r in reference]
+
+    def test_lru_eviction_and_invalidate(self):
+        import numpy as np
+
+        cache = EncoderCache(maxsize=2)
+        entry = EncoderCache.entry_of(
+            np.ones((3, 4)), np.ones(2), np.ones(2), np.ones(3)
+        )
+        cache.put(EncoderCache.key_of("m1", "db", ["a"]), entry)
+        cache.put(EncoderCache.key_of("m2", "db", ["b"]), entry)
+        cache.put(EncoderCache.key_of("m2", "db", ["c"]), entry)
+        assert len(cache) == 2
+        assert cache.get(EncoderCache.key_of("m1", "db", ["a"])) is None
+        assert cache.invalidate_model("m2") == 2
+        assert len(cache) == 0
+        assert cache.stats()["resident_bytes"] == 0
+
+    def test_disabled_cache_never_stores(self):
+        import numpy as np
+
+        cache = EncoderCache(maxsize=0)
+        entry = EncoderCache.entry_of(
+            np.ones((3, 4)), np.ones(2), np.ones(2), np.ones(3)
+        )
+        key = EncoderCache.key_of("m", "db", ["a"])
+        cache.put(key, entry)
+        assert len(cache) == 0
+        assert cache.get(key) is None
+
+
+class TestBeamServing:
+    def test_beam_request_fields(self, running, stack):
+        _, _, databases = stack
+        _, client = running
+        db = sorted(databases)[0]
+        response = client.translate(
+            "beam me the counts per type", db, beam_width=3, candidates=2,
+            use_cache=False,
+        )
+        assert response["beam_width"] == 3
+        assert response["precision"] in ("float32", "float64")
+        assert isinstance(response.get("candidates"), list)
+        assert 1 <= len(response["candidates"]) <= 2
+        top = response["candidates"][0]
+        assert set(top) >= {"tokens", "score"}
+        assert top["tokens"] == response["tokens"]
+
+    def test_greedy_response_has_no_candidates(self, running, stack):
+        _, _, databases = stack
+        _, client = running
+        db = sorted(databases)[0]
+        response = client.translate(
+            "just the greedy counts", db, use_cache=False
+        )
+        assert response["beam_width"] == 1
+        assert "candidates" not in response
+
+    def test_beam_and_greedy_cache_separately(self, running, stack):
+        _, _, databases = stack
+        _, client = running
+        db = sorted(databases)[0]
+        question = "distinct cache entries per decode config?"
+        greedy = client.translate(question, db)
+        beamed = client.translate(question, db, beam_width=4)
+        assert greedy["cached"] is False
+        assert beamed["cached"] is False  # beam never reads greedy's entry
+        assert client.translate(question, db, beam_width=4)["cached"] is True
+
+    def test_bad_beam_params_rejected(self, running, stack):
+        _, _, databases = stack
+        _, client = running
+        db = sorted(databases)[0]
+        with pytest.raises(ServeError) as err:
+            client.translate("q?", db, beam_width=0)
+        assert err.value.status == 400
+        with pytest.raises(ServeError) as err:
+            client.translate("q?", db, beam_width=999)
+        assert err.value.status == 400
+        with pytest.raises(ServeError) as err:
+            client.translate("q?", db, beam_width=2, candidates=3)
+        assert err.value.status == 400
+
+    def test_encoder_cache_in_metrics(self, running, stack):
+        _, _, databases = stack
+        _, client = running
+        db = sorted(databases)[0]
+        client.translate("metrics see the encoder cache", db, use_cache=False)
+        metrics = client.metrics()
+        assert "encoder_cache" in metrics
+        assert metrics["encoder_cache"]["maxsize"] == 256
+
+    def test_hot_swap_invalidates_both_caches(self, stack):
+        model, dataset, databases = stack
+        registry = ModelRegistry()
+        registry.register(
+            "attn", NeuralTranslator(model, dataset.in_vocab, dataset.out_vocab)
+        )
+        server = InferenceServer(registry, databases, ServerConfig(port=0))
+        db = databases[sorted(databases)[0]]
+        # Prime both caches through the real batch path.
+        results = server._run_group(
+            "attn\x00greedy", [("how many rows?", db, DecodeConfig())]
+        )
+        key = ResponseCache.key_of("attn", db.name, "how many rows?", "text")
+        server.response_cache.put(key, {"tokens": results[0].tokens})
+        assert len(server.encoder_cache) == 1
+        assert len(server.response_cache) == 1
+        registry.register(
+            "attn", NeuralTranslator(model, dataset.in_vocab, dataset.out_vocab)
+        )
+        assert len(server.encoder_cache) == 0
+        assert len(server.response_cache) == 0
+
+    def test_unregister_also_invalidates(self, stack):
+        model, dataset, databases = stack
+        registry = ModelRegistry()
+        registry.register(
+            "attn", NeuralTranslator(model, dataset.in_vocab, dataset.out_vocab)
+        )
+        server = InferenceServer(registry, databases, ServerConfig(port=0))
+        db = databases[sorted(databases)[0]]
+        server._run_group(
+            "attn\x00greedy", [("count the rows", db, DecodeConfig())]
+        )
+        assert len(server.encoder_cache) == 1
+        registry.unregister("attn")
+        assert len(server.encoder_cache) == 0
