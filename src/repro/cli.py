@@ -7,10 +7,11 @@ Commands
 ``stats``            print Table-2/Table-3 style statistics for a benchmark
 ``train``            train a seq2vis variant on a benchmark; save the model
 ``translate``        translate an NL question with a saved model
+``pipeline``         staged copilot: route → generate → verify → execute → repair
 ``serve``            run the batched HTTP inference service
 ``trace``            summarize a JSONL span export written by ``--trace``
 
-``build-benchmark``, ``train``, ``translate``, and ``serve`` all accept
+``build-benchmark``, ``train``, ``translate``, ``pipeline``, and ``serve`` all accept
 ``--trace PATH`` to export a span tree of the run as JSONL (see
 ``docs/OBSERVABILITY.md``); ``trace summarize PATH`` renders it.
 """
@@ -218,7 +219,8 @@ def _cmd_translate(args: argparse.Namespace) -> int:
     if result.candidates:
         for rank, candidate in enumerate(result.candidates):
             label = candidate.vis or f"({candidate.error})"
-            print(f"candidate {rank}: score={candidate.score:+.4f} {label}")
+            flags = _candidate_flags(candidate, database)
+            print(f"candidate {rank}: score={candidate.score:+.4f} {label}{flags}")
     if result.tree is None:
         print(f"(not a parseable vis tree: {result.error})")
         return 0
@@ -228,6 +230,92 @@ def _cmd_translate(args: argparse.Namespace) -> int:
             print(spec)
         else:
             print(json.dumps(spec, indent=2, default=str))
+    return 0
+
+
+def _candidate_flags(candidate, database) -> str:
+    """Table-1 legality marker for one ranked beam candidate."""
+    from repro.core import validate_chart
+    from repro.grammar.ast_nodes import VisQuery
+    from repro.grammar.serialize import from_tokens
+
+    try:
+        tree = from_tokens(candidate.tokens)
+    except Exception:
+        return "  [unparseable]"
+    if not isinstance(tree, VisQuery):
+        return "  [not a vis]"
+    validation = validate_chart(tree, database)
+    if validation.ok:
+        return ""
+    return f"  [{validation.status}: {','.join(validation.codes())}]"
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.pipeline import Budget, Generator, Pipeline
+    from repro.serve import BaselineTranslator
+
+    corpus = load_corpus(args.corpus)
+    if args.database and args.database not in corpus.databases:
+        print(f"unknown database {args.database!r}; choices: "
+              f"{sorted(corpus.databases)[:10]} ...", file=sys.stderr)
+        return 2
+    if args.model:
+        from repro.serve import NeuralTranslator
+
+        translator = NeuralTranslator.from_npz(args.model)
+    else:
+        translator = BaselineTranslator.from_name(args.baseline)
+    try:
+        budget = Budget(
+            total_ms=args.budget_ms,
+            stage_ms=args.stage_ms,
+            max_rows=args.max_rows,
+            k=args.k,
+            repair=not args.no_repair,
+        )
+    except ValueError as exc:
+        print(f"bad budget: {exc}", file=sys.stderr)
+        return 2
+
+    tracer, exporter = _open_tracer(args.trace)
+    pipeline = Pipeline(
+        corpus.databases, Generator(translator), budget=budget, tracer=tracer
+    )
+    result = pipeline.run(args.question, args.database or None)
+    _close_tracer(exporter, args.trace)
+
+    if args.json:
+        print(json.dumps(result.to_json(), indent=2, default=str))
+        return 0
+
+    routed = "routed to" if result.routed else "database"
+    print(f"{routed} {result.db_name}"
+          + (f" (score {result.routes[0].score:.2f})" if result.routes else ""))
+    for candidate in result.candidates:
+        marks = []
+        if candidate.repaired:
+            marks.append("repaired: " + "; ".join(candidate.repairs))
+        if candidate.violations:
+            marks.append(",".join(v.code for v in candidate.violations))
+        if candidate.execution is not None and candidate.execution.ok:
+            rows = candidate.execution.rows
+            marks.append(f"{rows} rows" + (" (truncated)" if
+                                           candidate.execution.truncated else ""))
+        suffix = f"  [{' | '.join(marks)}]" if marks else ""
+        label = candidate.vis_text or f"({candidate.error})"
+        print(f"  {candidate.status:9s} score={candidate.score:+.3f} "
+              f"{label}{suffix}")
+    print(f"charts: {len(result.charts)} valid"
+          + (" (ambiguous question)" if result.ambiguous else ""))
+    timings = "  ".join(
+        f"{name}={ms:.1f}ms" for name, ms in sorted(result.stage_timings.items())
+    )
+    print(f"stages: {timings}")
+    if result.partial:
+        print(f"budget exhausted during {result.timed_out!r}; partial result")
     return 0
 
 
@@ -405,6 +493,39 @@ def build_parser() -> argparse.ArgumentParser:
                         "(encode/decode/parse/render)")
     p.add_argument("question")
     p.set_defaults(func=_cmd_translate)
+
+    p = sub.add_parser(
+        "pipeline",
+        help="staged copilot: route -> generate -> verify -> execute -> repair",
+    )
+    p.add_argument("--corpus", required=True,
+                   help="corpus JSON with the candidate databases")
+    p.add_argument("--model",
+                   help="saved seq2vis .npz to generate with "
+                        "(default: the --baseline rule system)")
+    p.add_argument("--baseline", default="deepeye",
+                   choices=("deepeye", "nl4dv"),
+                   help="rule-based generator when no --model is given")
+    p.add_argument("--database",
+                   help="pin the target database (omit to let the route "
+                        "stage pick one)")
+    p.add_argument("--k", type=int, default=3,
+                   help="ranked candidate charts to return")
+    p.add_argument("--budget-ms", type=float,
+                   help="whole-request wall-clock budget in milliseconds")
+    p.add_argument("--stage-ms", type=float,
+                   help="per-stage wall-clock budget in milliseconds")
+    p.add_argument("--max-rows", type=int, default=1000,
+                   help="truncate executed results past this many rows")
+    p.add_argument("--no-repair", action="store_true",
+                   help="report near-miss candidates instead of repairing")
+    p.add_argument("--json", action="store_true",
+                   help="print the full result as JSON")
+    p.add_argument("--trace",
+                   help="write a JSONL span export (one span per stage: "
+                        "route/generate/verify/execute/repair)")
+    p.add_argument("question")
+    p.set_defaults(func=_cmd_pipeline)
 
     p = sub.add_parser("serve", help="run the HTTP inference service")
     p.add_argument("--corpus", required=True,

@@ -18,10 +18,17 @@ from repro.core.hardness import Hardness, classify_hardness
 from repro.core.nvbench import NVBench, NVBenchConfig, NVBenchPair, build_nvbench
 from repro.core.synthesizer import NL2VISSynthesizer, SynthesizedPair
 from repro.core.tree_edits import TreeEdit, VisCandidate, generate_candidates
-from repro.core.vis_rules import chart_specs_for
+from repro.core.vis_rules import (
+    ChartValidation,
+    ChartViolation,
+    chart_specs_for,
+    validate_chart,
+)
 
 __all__ = [
     "ChartFeatures",
+    "ChartValidation",
+    "ChartViolation",
     "DeepEyeFilter",
     "Hardness",
     "NL2VISSynthesizer",
@@ -36,4 +43,5 @@ __all__ = [
     "classify_hardness",
     "extract_features",
     "generate_candidates",
+    "validate_chart",
 ]

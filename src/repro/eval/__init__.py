@@ -2,11 +2,19 @@
 
 * :mod:`splits` — the 80 / 4.5 / 15.5 train/val/test split (Section 4.2)
 * :mod:`metrics` — tree / result / component matching accuracy
+* :mod:`ambiguity` — ambiguous-question split + accuracy@k coverage
 * :mod:`harness` — end-to-end seq2vis training + evaluation driver
 * :mod:`crowd` — the expert/crowd human-study simulation (Section 3.3)
 * :mod:`lowrated` — the low-rated-pair injection experiment (Section 4.5)
 """
 
+from repro.eval.ambiguity import (
+    AmbiguousQuestion,
+    accuracy_at_k,
+    ambiguous_split,
+    coverage_at_k,
+    normalize_question,
+)
 from repro.eval.harness import (
     EvaluationReport,
     QuantizationReport,
@@ -23,9 +31,14 @@ from repro.eval.metrics import (
 from repro.eval.splits import split_pairs
 
 __all__ = [
+    "AmbiguousQuestion",
     "EvaluationReport",
     "PairOutcome",
     "QuantizationReport",
+    "accuracy_at_k",
+    "ambiguous_split",
+    "coverage_at_k",
+    "normalize_question",
     "component_match",
     "evaluate_model",
     "quantization_report",

@@ -1,0 +1,162 @@
+"""Ambiguous questions and accuracy@k.
+
+One NL question often supports several valid charts — the benchmark
+synthesizes up to ``max_vis_per_query`` VIS trees per source SQL query,
+so the *original NL2SQL question* behind those pairs is genuinely
+ambiguous: its gold answer is a **set** of distinct charts.
+
+:func:`ambiguous_split` builds that split deterministically: pairs are
+grouped by ``(db_name, source_sql)`` — the provenance the synthesizer
+recorded — falling back to ``(db_name, normalize_question(nl))`` for
+plain pairs without provenance; groups with at least two distinct
+value-masked gold trees are kept, and everything is sorted — identical
+inputs always produce the identical split.  The representative question
+is the group's shared source NL (the chart-type-free phrasing), so a
+pipeline answering it has no phrasing hint about which chart to pick.
+
+:func:`accuracy_at_k` scores a ranked candidate list against a gold
+set as *coverage*: the fraction of gold charts matched (masked tree
+equality) by some candidate in the top k, averaged over questions.
+With one gold chart it reduces to ordinary top-k accuracy; with an
+ambiguous gold set, accuracy@3 can strictly beat accuracy@1 — a ranked
+candidate list is worth more than a single guess.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.eval.metrics import tree_match
+from repro.grammar.ast_nodes import VisQuery
+from repro.grammar.serialize import to_tokens
+
+#: words that only select the chart flavor, not the data question
+_CHART_WORDS = frozenset(
+    (
+        "bar", "pie", "line", "scatter", "stacked", "grouping", "grouped",
+        "chart", "charts", "graph", "graphs", "plot", "plots", "histogram",
+        "draw", "visualize", "visualise", "show", "showing", "display",
+        "about", "for", "of", "a", "an", "the", "me",
+    )
+)
+
+_TOKEN_RE = re.compile(r"[a-z0-9_.]+")
+
+
+def normalize_question(nl: str) -> str:
+    """Canonical chart-type-free form of a question.
+
+    Lowercases, tokenizes, and drops the chart-flavor vocabulary, so the
+    bar-chart and pie-chart phrasings of one underlying data question
+    normalize to the same string.
+    """
+    tokens = _TOKEN_RE.findall(nl.lower())
+    kept = [token for token in tokens if token not in _CHART_WORDS]
+    return " ".join(kept)
+
+
+@dataclass(frozen=True)
+class AmbiguousQuestion:
+    """One NL question with a multi-chart gold answer set."""
+
+    question: str
+    db_name: str
+    #: distinct gold charts (distinct in value-masked form)
+    golds: Tuple[VisQuery, ...]
+
+    @property
+    def num_golds(self) -> int:
+        return len(self.golds)
+
+
+def _masked_key(query: VisQuery) -> Optional[str]:
+    try:
+        return " ".join(to_tokens(query, mask_values=True))
+    except Exception:
+        return None
+
+
+def ambiguous_split(pairs: Iterable) -> List[AmbiguousQuestion]:
+    """Deterministic ambiguous-question split from (NL, VIS) pairs.
+
+    Accepts any iterable of objects with ``nl``, ``vis`` and ``db_name``
+    attributes (e.g. :class:`repro.core.nvbench.NVBenchPair`).  Groups
+    by ``(db_name, source_sql)`` when the pairs carry synthesis
+    provenance, else by ``(db_name, normalize_question(nl))``; only
+    groups whose gold trees are distinct under value masking —
+    genuinely ambiguous questions — survive.  The question text is the
+    group's source NL when available (lexicographically smallest member
+    NL otherwise), golds are ordered by their masked token string, and
+    groups come back sorted by (db, question): same pairs in, same
+    split out, every time.
+    """
+    groups: Dict[Tuple[str, str], Dict[str, tuple]] = {}
+    questions: Dict[Tuple[str, str], str] = {}
+    for pair in pairs:
+        source_sql = getattr(pair, "source_sql", None)
+        discriminator = source_sql or normalize_question(pair.nl)
+        if not discriminator:
+            continue
+        key = (pair.db_name, discriminator)
+        masked = _masked_key(pair.vis)
+        if masked is None:
+            continue
+        groups.setdefault(key, {})[masked] = (masked, pair.vis)
+        representative = getattr(pair, "source_nl", None) or pair.nl
+        existing = questions.get(key)
+        if existing is None or representative < existing:
+            questions[key] = representative
+    split: List[AmbiguousQuestion] = []
+    for key, by_mask in groups.items():
+        if len(by_mask) < 2:
+            continue
+        golds = tuple(
+            vis for _, vis in sorted(by_mask.values(), key=lambda item: item[0])
+        )
+        split.append(
+            AmbiguousQuestion(
+                question=questions[key], db_name=key[0], golds=golds
+            )
+        )
+    split.sort(key=lambda item: (item.db_name, item.question))
+    return split
+
+
+def coverage_at_k(
+    candidates: Sequence[Optional[VisQuery]],
+    golds: Sequence[VisQuery],
+    k: int,
+) -> float:
+    """Fraction of gold charts matched by the top-*k* candidates."""
+    if not golds:
+        return 0.0
+    top = [c for c in candidates[:k] if c is not None]
+    hits = sum(
+        1 for gold in golds if any(tree_match(c, gold) for c in top)
+    )
+    return hits / len(golds)
+
+
+def accuracy_at_k(
+    predictions: Sequence[Sequence[Optional[VisQuery]]],
+    split: Sequence[AmbiguousQuestion],
+    ks: Sequence[int] = (1, 3, 5),
+) -> Dict[int, float]:
+    """Mean gold-set coverage at each cutoff in *ks*.
+
+    ``predictions[i]`` is the ranked candidate list (best first) for
+    ``split[i]``.  Returns ``{k: mean coverage}``.
+    """
+    if len(predictions) != len(split):
+        raise ValueError(
+            f"{len(predictions)} prediction lists for {len(split)} questions"
+        )
+    scores = {k: 0.0 for k in ks}
+    if not split:
+        return scores
+    for ranked, item in zip(predictions, split):
+        for k in ks:
+            scores[k] += coverage_at_k(ranked, item.golds, k)
+    return {k: total / len(split) for k, total in scores.items()}

@@ -1,0 +1,53 @@
+"""Staged NL2VIS copilot: route → generate → verify → execute → repair.
+
+The :class:`Pipeline` composes five swappable, traced, budgeted stages
+over a database corpus and returns every candidate with its verdict —
+ambiguous questions yield a ranked set of distinct valid charts, which
+is what accuracy@k in :mod:`repro.eval` measures.
+
+Quick start::
+
+    from repro.pipeline import Budget, Generator, Pipeline
+
+    pipeline = Pipeline(databases, Generator(translator))
+    result = pipeline.run("show the number of flights per carrier")
+    for chart in result.charts:
+        print(chart.vis_text)
+"""
+
+from repro.pipeline.budget import Budget, BudgetClock
+from repro.pipeline.candidate import (
+    DECODED,
+    FAIL,
+    NEAR_MISS,
+    PASS,
+    ExecutionOutcome,
+    PipelineCandidate,
+)
+from repro.pipeline.execute import ExecuteStage
+from repro.pipeline.generate import Generator
+from repro.pipeline.pipeline import STAGES, Pipeline, PipelineResult
+from repro.pipeline.repair import REPAIR_PENALTY, Repairer
+from repro.pipeline.route import Router, RouteScore
+from repro.pipeline.verify import Verifier
+
+__all__ = [
+    "Budget",
+    "BudgetClock",
+    "DECODED",
+    "ExecuteStage",
+    "ExecutionOutcome",
+    "FAIL",
+    "Generator",
+    "NEAR_MISS",
+    "PASS",
+    "Pipeline",
+    "PipelineCandidate",
+    "PipelineResult",
+    "REPAIR_PENALTY",
+    "Repairer",
+    "RouteScore",
+    "Router",
+    "STAGES",
+    "Verifier",
+]

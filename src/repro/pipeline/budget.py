@@ -1,0 +1,132 @@
+"""Per-request cost guardrails for the staged pipeline.
+
+A :class:`Budget` bounds one pipeline run three ways:
+
+* **wall clock** — ``total_ms`` caps the whole request, ``stage_ms``
+  caps any single stage.  Budgeting is *cooperative*: stages check the
+  clock between units of work (between candidates, between executions)
+  and stop early, so a run never dies mid-candidate — it returns a
+  partial result with ``stage_timings`` populated and the exhausted
+  stage named in ``timed_out``.
+* **execution size** — ``max_rows`` truncates any candidate's result
+  table past that many rows (the candidate is kept, flagged
+  ``truncated``), and ``max_executions`` caps how many candidates may
+  hit the storage engine at all.
+* **shape** — ``k`` is how many ranked candidates the caller wants
+  back; ``repair`` gates the repair stage (off, near-miss candidates
+  are *reported*, never silently dropped).
+
+The clock is injectable so tests can fake time without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Cost guardrails for one pipeline request (immutable, shareable)."""
+
+    #: whole-request wall-clock cap in milliseconds (``None`` = unlimited)
+    total_ms: Optional[float] = None
+    #: per-stage wall-clock cap in milliseconds (``None`` = unlimited)
+    stage_ms: Optional[float] = None
+    #: result-table row cap per executed candidate (``None`` = unlimited)
+    max_rows: Optional[int] = 1000
+    #: how many candidates may be executed per request
+    max_executions: int = 16
+    #: ranked candidates the caller wants back
+    k: int = 3
+    #: whether the repair stage may rewrite near-miss candidates
+    repair: bool = True
+
+    def __post_init__(self):
+        if self.k < 1:
+            raise ValueError("budget k must be >= 1")
+        if self.max_executions < 1:
+            raise ValueError("max_executions must be >= 1")
+        if self.total_ms is not None and self.total_ms <= 0:
+            raise ValueError("total_ms must be positive")
+        if self.stage_ms is not None and self.stage_ms <= 0:
+            raise ValueError("stage_ms must be positive")
+        if self.max_rows is not None and self.max_rows < 1:
+            raise ValueError("max_rows must be >= 1")
+
+    def to_json(self) -> dict:
+        return {
+            "total_ms": self.total_ms,
+            "stage_ms": self.stage_ms,
+            "max_rows": self.max_rows,
+            "max_executions": self.max_executions,
+            "k": self.k,
+            "repair": self.repair,
+        }
+
+
+class BudgetClock:
+    """Tracks elapsed time against a :class:`Budget` during one run.
+
+    One clock lives for one pipeline request.  ``start_stage`` marks the
+    beginning of each stage; :meth:`exhausted` answers "should the
+    current stage stop handing out work?" against both the stage and the
+    total deadline.  Stage timings accumulate in :attr:`stage_timings`
+    (seconds), which the pipeline copies onto the result even when the
+    run is cut short.
+    """
+
+    def __init__(self, budget: Budget, clock=time.perf_counter):
+        self.budget = budget
+        self._clock = clock
+        self._t0 = clock()
+        self._stage_t0 = self._t0
+        self._stage: Optional[str] = None
+        self.stage_timings: dict = {}
+        #: first stage that ran out of budget, if any
+        self.timed_out: Optional[str] = None
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Milliseconds since the run started."""
+        return (self._clock() - self._t0) * 1000.0
+
+    @property
+    def stage_elapsed_ms(self) -> float:
+        """Milliseconds since the current stage started."""
+        return (self._clock() - self._stage_t0) * 1000.0
+
+    def start_stage(self, name: str) -> None:
+        """Close the previous stage's timing and open *name*'s."""
+        self.end_stage()
+        self._stage = name
+        self._stage_t0 = self._clock()
+
+    def end_stage(self) -> None:
+        """Record the open stage's duration (idempotent)."""
+        if self._stage is not None:
+            elapsed = self._clock() - self._stage_t0
+            self.stage_timings[self._stage] = (
+                self.stage_timings.get(self._stage, 0.0) + elapsed
+            )
+            self._stage = None
+
+    def exhausted(self) -> bool:
+        """True when the stage or total deadline has passed.
+
+        The first exhausted check latches the current stage into
+        :attr:`timed_out`, so the result can say *where* the budget ran
+        out even after later stages were skipped.
+        """
+        budget = self.budget
+        over = (
+            budget.total_ms is not None and self.elapsed_ms >= budget.total_ms
+        ) or (
+            budget.stage_ms is not None
+            and self._stage is not None
+            and self.stage_elapsed_ms >= budget.stage_ms
+        )
+        if over and self.timed_out is None:
+            self.timed_out = self._stage or "total"
+        return over

@@ -1,0 +1,111 @@
+"""The unit of work the pipeline stages pass along: one chart candidate.
+
+``generate`` produces :class:`PipelineCandidate` objects from decoded
+token sequences; ``verify`` stamps a Table-1 verdict and violations on
+them; ``repair`` may derive a fixed copy; ``execute`` attaches an
+:class:`ExecutionOutcome`.  A candidate is never silently dropped — a
+near-miss that could not be repaired or a fail travels to the final
+result with its status intact, so callers always see *why* something is
+missing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.vis_rules import ChartViolation
+from repro.grammar.ast_nodes import VisQuery
+from repro.grammar.serialize import to_text
+
+#: candidate lifecycle states (``decoded`` means verify never ran —
+#: only possible when the budget expired mid-verify)
+DECODED, PASS, NEAR_MISS, FAIL = "decoded", "pass", "near_miss", "fail"
+
+
+@dataclass
+class ExecutionOutcome:
+    """What happened when a candidate hit the storage engine."""
+
+    rows: int = 0
+    columns: List[str] = field(default_factory=list)
+    #: row cap applied — the chart data is a prefix of the true result
+    truncated: bool = False
+    error: Optional[str] = None
+    #: budget ran out before this candidate's turn
+    skipped: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True when the candidate executed (possibly truncated)."""
+        return self.error is None and not self.skipped
+
+    def to_json(self) -> dict:
+        return {
+            "rows": self.rows,
+            "columns": list(self.columns),
+            "truncated": self.truncated,
+            "error": self.error,
+            "skipped": self.skipped,
+        }
+
+
+@dataclass
+class PipelineCandidate:
+    """One ranked chart hypothesis moving through the stages."""
+
+    tokens: List[str]
+    #: ranking score, lower is better (beam: length-normalized negative
+    #: log prob; baselines: rank index; repairs add a penalty)
+    score: float
+    tree: Optional[VisQuery] = None
+    #: parse failure for trees that never materialized
+    error: Optional[str] = None
+    status: str = DECODED
+    violations: List[ChartViolation] = field(default_factory=list)
+    #: True when the repair stage rewrote this candidate
+    repaired: bool = False
+    #: human-readable notes of what repair changed
+    repairs: List[str] = field(default_factory=list)
+    execution: Optional[ExecutionOutcome] = None
+
+    @property
+    def vis_text(self) -> Optional[str]:
+        """Canonical text of the candidate tree (``None`` without one)."""
+        return to_text(self.tree) if self.tree is not None else None
+
+    @property
+    def valid(self) -> bool:
+        """Verified legal and executed successfully — servable."""
+        return (
+            self.status == PASS
+            and self.execution is not None
+            and self.execution.ok
+        )
+
+    def rank_key(self) -> tuple:
+        """Sort key for the final ranking (ascending = best first)."""
+        status_rank = {PASS: 0, NEAR_MISS: 1, DECODED: 2, FAIL: 3}
+        executed = self.execution is not None and self.execution.ok
+        return (0 if executed else 1, status_rank.get(self.status, 3), self.score)
+
+    def to_json(self) -> dict:
+        return {
+            "tokens": list(self.tokens),
+            "score": self.score,
+            "vis": self.vis_text,
+            "error": self.error,
+            "status": self.status,
+            "violations": [
+                {
+                    "code": violation.code,
+                    "message": violation.message,
+                    "repairable": violation.repairable,
+                    "legal_types": list(violation.legal_types),
+                }
+                for violation in self.violations
+            ],
+            "repaired": self.repaired,
+            "repairs": list(self.repairs),
+            "execution": self.execution.to_json() if self.execution else None,
+        }

@@ -1,0 +1,78 @@
+"""Execute stage: run verified candidates against the storage engine.
+
+Guardrails, in priority order:
+
+* **budget** — the stage checks the :class:`~repro.pipeline.budget
+  .BudgetClock` *between* candidates; once exhausted, remaining
+  candidates get ``skipped`` outcomes instead of running (partial
+  results over preemption).
+* **execution cap** — at most ``budget.max_executions`` queries per
+  request, protecting the server from a wide beam of heavy scans.
+* **row cap** — result tables are truncated to ``budget.max_rows``
+  rows and the outcome flags ``truncated`` so callers know the chart
+  data is a prefix, not the full answer.
+
+Executions go through :class:`repro.storage.ExecutionCache`, so the
+same query body decoded for two candidates (bar + pie over one
+aggregation) runs once, and so do repeats across requests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.pipeline.budget import BudgetClock
+from repro.pipeline.candidate import ExecutionOutcome, PipelineCandidate
+from repro.storage.executor import ExecutionCache, ExecutionError, Executor
+from repro.storage.schema import Database
+
+
+class ExecuteStage:
+    """Runs candidates with row/time/count guardrails.
+
+    Stage contract: ``execute(candidate, database, clock, executed) ->
+    ExecutionOutcome`` (also attached to the candidate); ``executed``
+    is how many queries already ran this request.
+    """
+
+    name = "execute"
+
+    def __init__(self, cache: Optional[ExecutionCache] = None):
+        self.cache = cache if cache is not None else ExecutionCache()
+        self._executors = {}
+
+    def executor_for(self, database: Database) -> Executor:
+        executor = self._executors.get(database.name)
+        if executor is None or executor.database is not database:
+            executor = Executor(database, cache=self.cache)
+            self._executors[database.name] = executor
+        return executor
+
+    def execute(
+        self,
+        candidate: PipelineCandidate,
+        database: Database,
+        clock: BudgetClock,
+        executed: int,
+    ) -> ExecutionOutcome:
+        """Run one candidate; never raises."""
+        if clock.exhausted() or executed >= clock.budget.max_executions:
+            outcome = ExecutionOutcome(skipped=True)
+            candidate.execution = outcome
+            return outcome
+        try:
+            table = self.executor_for(database).execute(candidate.tree)
+        except ExecutionError as exc:
+            outcome = ExecutionOutcome(error=str(exc))
+        except Exception as exc:  # noqa: BLE001 - guardrail, not a crash
+            outcome = ExecutionOutcome(error=f"{type(exc).__name__}: {exc}")
+        else:
+            max_rows = clock.budget.max_rows
+            truncated = max_rows is not None and table.row_count > max_rows
+            outcome = ExecutionOutcome(
+                rows=min(table.row_count, max_rows) if truncated else table.row_count,
+                columns=list(table.columns),
+                truncated=truncated,
+            )
+        candidate.execution = outcome
+        return outcome

@@ -1,0 +1,97 @@
+"""Generate stage: decode N ranked chart candidates for a question.
+
+Wraps any :class:`repro.serve.registry.Translator` — a neural seq2vis
+model (batched beam search through the existing fast decode path) or a
+rule-based baseline (its native top-k list) — behind one stage contract:
+``generate(question, database, n) -> List[PipelineCandidate]``, ranked
+best-first.  Every hypothesis is parsed and value-slot-filled
+best-effort; unparseable ones come back as candidates with ``error``
+set so the verify stage can classify them instead of the decode
+swallowing them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.grammar.ast_nodes import VisQuery
+from repro.grammar.serialize import from_tokens
+from repro.neural.slots import fill_value_slots
+from repro.pipeline.candidate import PipelineCandidate
+from repro.serve.translate import DecodeConfig
+from repro.storage.schema import Database
+
+
+class Generator:
+    """Decodes ranked candidates through a served translator.
+
+    Parameters
+    ----------
+    translator:
+        Any ``Translator`` (``NeuralTranslator`` runs a batched beam,
+        ``BaselineTranslator`` returns its rule system's ranked list).
+    max_width:
+        Beam-width ceiling; asking for more candidates than this widens
+        nothing further (mirrors the server's ``max_beam_width`` cap).
+    """
+
+    name = "generate"
+
+    def __init__(self, translator, model_name: str = "", max_width: int = 8):
+        self.translator = translator
+        self.model_name = model_name
+        self.max_width = max_width
+
+    def generate(
+        self,
+        question: str,
+        database: Database,
+        n: int,
+        encoder_cache=None,
+    ) -> List[PipelineCandidate]:
+        """Top-*n* decoded candidates, best first."""
+        n = max(1, min(n, self.max_width))
+        decode = DecodeConfig(beam_width=n, num_candidates=n)
+        result = self.translator.translate_requests(
+            [(question, database)],
+            decode=decode,
+            encoder_cache=encoder_cache,
+            model_name=self.model_name,
+        )[0]
+        candidates: List[PipelineCandidate] = []
+        if result.candidates:
+            for summary in result.candidates:
+                candidates.append(
+                    self._parse(summary.tokens, summary.score, question, database)
+                )
+        elif result.tokens or result.tree is not None:
+            candidate = self._parse(result.tokens, 0.0, question, database)
+            if candidate.tree is None and result.tree is not None:
+                # Baselines hand back a tree directly; trust it.
+                candidate.tree = result.tree
+                candidate.error = None
+            candidates.append(candidate)
+        else:
+            candidates.append(
+                PipelineCandidate(
+                    tokens=[], score=0.0,
+                    error=result.error or "translator produced no output",
+                )
+            )
+        return candidates
+
+    @staticmethod
+    def _parse(
+        tokens: List[str], score: float, question: str, database: Database
+    ) -> PipelineCandidate:
+        candidate = PipelineCandidate(tokens=list(tokens), score=score)
+        try:
+            tree = fill_value_slots(from_tokens(tokens), question, database)
+        except Exception as exc:  # noqa: BLE001 - verify classifies failures
+            candidate.error = str(exc)
+            return candidate
+        if not isinstance(tree, VisQuery):
+            candidate.error = "decoded query is not a visualization"
+            return candidate
+        candidate.tree = tree
+        return candidate

@@ -1,0 +1,374 @@
+"""The staged NL2VIS copilot: route → generate → verify → execute → repair.
+
+:class:`Pipeline` composes the five stages over a corpus of databases.
+Each stage is a swappable attribute (any object honoring the stage
+contract), every run is bounded by a :class:`~repro.pipeline.budget
+.Budget`, and every stage emits exactly one :mod:`repro.obs` span —
+including trivially-skipped ones (database given → the route span says
+``routed=False``; repair disabled → the repair span says
+``enabled=False``) so trace consumers can rely on the span-per-stage
+shape.
+
+The result keeps *every* candidate with its verdict: a near-miss that
+could not be repaired or a budget-skipped execution is reported, never
+silently dropped.  Ambiguous questions naturally yield several distinct
+valid charts (``result.ambiguous``), which is what makes accuracy@k a
+meaningful metric downstream (:mod:`repro.eval.ambiguity`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.obs.trace import Tracer
+from repro.pipeline.budget import Budget, BudgetClock
+from repro.pipeline.candidate import (
+    NEAR_MISS,
+    PASS,
+    ExecutionOutcome,
+    PipelineCandidate,
+)
+from repro.pipeline.execute import ExecuteStage
+from repro.pipeline.generate import Generator
+from repro.pipeline.repair import Repairer
+from repro.pipeline.route import Router, RouteScore
+from repro.pipeline.verify import Verifier
+from repro.storage.executor import ExecutionCache
+from repro.storage.schema import Database
+
+#: the canonical stage order; one obs span per entry per run
+STAGES = ("route", "generate", "verify", "execute", "repair")
+
+#: extra candidates decoded beyond ``budget.k`` so verify/repair attrition
+#: still leaves k good ones
+_GENERATE_SLACK = 2
+
+
+class PipelineResult:
+    """Everything one pipeline run produced, rankings and verdicts intact."""
+
+    def __init__(
+        self,
+        question: str,
+        db_name: str,
+        budget: Budget,
+        routed: bool,
+        routes: List[RouteScore],
+        candidates: List[PipelineCandidate],
+        stage_timings: Dict[str, float],
+        timed_out: Optional[str],
+        counters: Dict[str, int],
+        elapsed_ms: float,
+        trace_id: Optional[str] = None,
+    ):
+        self.question = question
+        self.db_name = db_name
+        self.budget = budget
+        #: False when the caller pinned the database
+        self.routed = routed
+        self.routes = routes
+        #: all candidates, ranked best-first, including near-miss/fail
+        self.candidates = candidates
+        #: per-stage wall time in milliseconds
+        self.stage_timings = stage_timings
+        #: stage whose deadline expired, if any
+        self.timed_out = timed_out
+        self.counters = counters
+        self.elapsed_ms = elapsed_ms
+        self.trace_id = trace_id
+
+    @property
+    def partial(self) -> bool:
+        """True when a deadline cut the run short (results still usable)."""
+        return self.timed_out is not None
+
+    @property
+    def charts(self) -> List[PipelineCandidate]:
+        """Top-k *distinct, valid* charts — the servable answer set."""
+        seen = set()
+        picked: List[PipelineCandidate] = []
+        for candidate in self.candidates:
+            if not candidate.valid:
+                continue
+            key = candidate.vis_text
+            if key in seen:
+                continue
+            seen.add(key)
+            picked.append(candidate)
+            if len(picked) >= self.budget.k:
+                break
+        return picked
+
+    @property
+    def ambiguous(self) -> bool:
+        """True when the question supports ≥2 distinct valid charts."""
+        return len(self.charts) >= 2
+
+    def to_json(self) -> dict:
+        return {
+            "question": self.question,
+            "db": self.db_name,
+            "routed": self.routed,
+            "routes": [route.to_json() for route in self.routes],
+            "budget": self.budget.to_json(),
+            "candidates": [c.to_json() for c in self.candidates],
+            "charts": [c.vis_text for c in self.charts],
+            "ambiguous": self.ambiguous,
+            "stage_timings_ms": {
+                name: round(ms, 3) for name, ms in self.stage_timings.items()
+            },
+            "timed_out": self.timed_out,
+            "partial": self.partial,
+            "counters": dict(self.counters),
+            "elapsed_ms": round(self.elapsed_ms, 3),
+            "trace_id": self.trace_id,
+        }
+
+
+class Pipeline:
+    """Composable staged translation over a database corpus.
+
+    Parameters
+    ----------
+    databases:
+        ``name -> Database`` corpus the router picks from.
+    generator:
+        The generate stage (wrap any translator in
+        :class:`~repro.pipeline.generate.Generator`).
+    budget:
+        Default :class:`Budget`; ``run(budget=...)`` overrides per call.
+    cache:
+        Shared :class:`ExecutionCache` (one is created if omitted).
+    tracer:
+        :class:`repro.obs.Tracer`; a disabled one costs nothing.
+    metrics:
+        Optional sink with ``count(name, n)`` (e.g. ``ServeMetrics``);
+        receives ``pipeline_``-prefixed counters after every run.
+    clock:
+        Monotonic clock for the budget (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        databases: Dict[str, Database],
+        generator: Generator,
+        budget: Optional[Budget] = None,
+        cache: Optional[ExecutionCache] = None,
+        tracer: Optional[Tracer] = None,
+        metrics=None,
+        clock=time.perf_counter,
+        router: Optional[Router] = None,
+        verifier: Optional[Verifier] = None,
+        repairer: Optional[Repairer] = None,
+        executor: Optional[ExecuteStage] = None,
+    ):
+        if not databases:
+            raise ValueError("pipeline needs at least one database")
+        self.databases = dict(databases)
+        self.generator = generator
+        self.budget = budget or Budget()
+        self.router = router or Router()
+        self.verifier = verifier or Verifier()
+        self.repairer = repairer or Repairer(verifier=self.verifier)
+        self.executor = executor or ExecuteStage(cache=cache)
+        self.tracer = tracer or Tracer(enabled=False)
+        self.metrics = metrics
+        self._clock = clock
+
+    def run(
+        self,
+        question: str,
+        db_name: Optional[str] = None,
+        budget: Optional[Budget] = None,
+    ) -> PipelineResult:
+        """Translate *question* end to end under the budget."""
+        budget = budget or self.budget
+        clock = BudgetClock(budget, clock=self._clock)
+        counters = {
+            "verify_pass": 0,
+            "verify_near_miss": 0,
+            "verify_fail": 0,
+            "repairs_attempted": 0,
+            "repairs_succeeded": 0,
+            "executions": 0,
+            "execution_truncations": 0,
+            "execution_skips": 0,
+        }
+        with self.tracer.span(
+            "pipeline", question=question, k=budget.k
+        ) as root:
+            trace_id = root.context.trace_id if root.recording else None
+
+            # --- route ---------------------------------------------------
+            clock.start_stage("route")
+            with self.tracer.span("route") as span:
+                routed = db_name is None
+                routes: List[RouteScore] = []
+                if routed:
+                    routes = self.router.route(question, self.databases)
+                    db_name = routes[0].db_name
+                elif db_name not in self.databases:
+                    span.set_attributes({"db": db_name, "error": "unknown"})
+                    raise KeyError(f"unknown database: {db_name}")
+                database = self.databases[db_name]
+                span.set_attributes(
+                    {
+                        "routed": routed,
+                        "db": db_name,
+                        "candidates_considered": len(routes),
+                    }
+                )
+
+            # --- generate ------------------------------------------------
+            clock.start_stage("generate")
+            with self.tracer.span("generate") as span:
+                candidates: List[PipelineCandidate] = []
+                if not clock.exhausted():
+                    candidates = self.generator.generate(
+                        question, database, budget.k + _GENERATE_SLACK
+                    )
+                span.set_attributes(
+                    {"db": db_name, "candidates": len(candidates)}
+                )
+
+            # --- verify --------------------------------------------------
+            clock.start_stage("verify")
+            with self.tracer.span("verify") as span:
+                for candidate in candidates:
+                    if clock.exhausted():
+                        break  # stays `decoded`; reported, not dropped
+                    self.verifier.verify(candidate, database)
+                    if candidate.status == PASS:
+                        counters["verify_pass"] += 1
+                    elif candidate.status == NEAR_MISS:
+                        counters["verify_near_miss"] += 1
+                    else:
+                        counters["verify_fail"] += 1
+                span.set_attributes(
+                    {
+                        "pass": counters["verify_pass"],
+                        "near_miss": counters["verify_near_miss"],
+                        "fail": counters["verify_fail"],
+                    }
+                )
+
+            # --- execute -------------------------------------------------
+            clock.start_stage("execute")
+            with self.tracer.span("execute") as span:
+                runnable = sorted(
+                    (c for c in candidates if c.status == PASS),
+                    key=lambda c: c.score,
+                )
+                for candidate in runnable:
+                    self._execute(candidate, database, clock, counters)
+                span.set_attributes(
+                    {
+                        "executions": counters["executions"],
+                        "truncations": counters["execution_truncations"],
+                        "skips": counters["execution_skips"],
+                    }
+                )
+
+            # --- repair --------------------------------------------------
+            clock.start_stage("repair")
+            with self.tracer.span("repair") as span:
+                span.set_attribute("enabled", budget.repair)
+                repaired_candidates: List[PipelineCandidate] = []
+                if budget.repair:
+                    for candidate in candidates:
+                        if candidate.status != NEAR_MISS:
+                            continue
+                        if clock.exhausted():
+                            break
+                        counters["repairs_attempted"] += 1
+                        fixed = self.repairer.repair(
+                            candidate, question, database
+                        )
+                        if fixed is None:
+                            continue
+                        counters["repairs_succeeded"] += 1
+                        self._execute(fixed, database, clock, counters)
+                        repaired_candidates.append(fixed)
+                candidates.extend(repaired_candidates)
+                span.set_attributes(
+                    {
+                        "attempted": counters["repairs_attempted"],
+                        "succeeded": counters["repairs_succeeded"],
+                    }
+                )
+            clock.end_stage()
+
+            ranked = _rank(candidates)
+            root.set_attributes(
+                {
+                    "db": db_name,
+                    "candidates": len(ranked),
+                    "timed_out": clock.timed_out,
+                }
+            )
+
+        self._emit_counters(counters)
+        return PipelineResult(
+            question=question,
+            db_name=db_name,
+            budget=budget,
+            routed=routed,
+            routes=routes,
+            candidates=ranked,
+            stage_timings={
+                name: seconds * 1000.0
+                for name, seconds in clock.stage_timings.items()
+            },
+            timed_out=clock.timed_out,
+            counters=counters,
+            elapsed_ms=clock.elapsed_ms,
+            trace_id=trace_id,
+        )
+
+    # ----- helpers -------------------------------------------------------
+
+    def _execute(
+        self,
+        candidate: PipelineCandidate,
+        database: Database,
+        clock: BudgetClock,
+        counters: Dict[str, int],
+    ) -> None:
+        outcome = self.executor.execute(
+            candidate, database, clock, counters["executions"]
+        )
+        if outcome.skipped:
+            counters["execution_skips"] += 1
+            return
+        counters["executions"] += 1
+        if outcome.truncated:
+            counters["execution_truncations"] += 1
+
+    def _emit_counters(self, counters: Dict[str, int]) -> None:
+        metrics = self.metrics
+        if metrics is None:
+            return
+        for name, value in counters.items():
+            if value:
+                metrics.count(f"pipeline_{name}", value)
+
+
+def _rank(candidates: List[PipelineCandidate]) -> List[PipelineCandidate]:
+    """Best-first order with exact-duplicate trees collapsed.
+
+    Two candidates rendering the identical chart (same tokens) keep only
+    the better-ranked one; tree-less candidates are never collapsed —
+    their errors are part of the report.
+    """
+    ordered = sorted(candidates, key=PipelineCandidate.rank_key)
+    seen = set()
+    deduped: List[PipelineCandidate] = []
+    for candidate in ordered:
+        if candidate.tree is not None:
+            key = candidate.vis_text
+            if key in seen:
+                continue
+            seen.add(key)
+        deduped.append(candidate)
+    return deduped

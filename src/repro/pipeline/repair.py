@@ -1,0 +1,374 @@
+"""Repair stage: rewrite near-miss candidates into legal charts.
+
+Three families of rule, mirroring the violation codes the verifier
+emits:
+
+* **snap the chart type** (``illegal-vis-type`` / ``group-mismatch`` /
+  ``bin-unit``) — rebuild the tree against the nearest legal
+  :class:`~repro.core.vis_rules.ChartSpec` for the candidate's type
+  signature: pick the closest legal vis type (bar↔pie↔stacked-bar stay
+  in the bar family, scatter↔line stay in the point family), re-arrange
+  axes, insert/adjust the group operations and the measure aggregate
+  the spec demands, and fix bin units to the column type.  Filters and
+  superlatives survive the rebuild; an Order survives when the target
+  type supports ordering.
+* **snap the aggregate** (``bad-aggregate``) — ``sum``/``avg`` over a
+  categorical or temporal column becomes ``count``.
+* **fuzzy-match literals** (``unknown-literal``) — a filter literal
+  that names no real cell value is matched against the column's actual
+  values (case-insensitive exact first, then ``difflib`` closest
+  match), so ``city = 'sam francisco'`` becomes the real spelling.
+
+A repaired candidate is re-verified before it is accepted; repair never
+returns a tree that still violates Table 1.  The original near-miss
+candidate is left untouched — the pipeline reports both.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import replace
+from typing import List, Optional, Tuple
+
+from repro.core.vis_rules import (
+    GROUP_BINNING,
+    GROUP_GROUPING,
+    ChartSpec,
+    arrange_axes,
+    chart_signature,
+    chart_specs_for,
+)
+from repro.grammar.ast_nodes import (
+    Attribute,
+    BIN_UNITS,
+    Comparison,
+    Filter,
+    Group,
+    LogicalPredicate,
+    Predicate,
+    QueryCore,
+    SetQuery,
+    VisQuery,
+)
+from repro.grammar.serialize import to_tokens
+from repro.grammar.validate import ORDERABLE_VIS_TYPES, validate_query
+from repro.pipeline.candidate import PASS, PipelineCandidate
+from repro.pipeline.verify import Verifier
+from repro.storage.schema import Database
+
+#: Preference order when snapping an illegal chart type to a legal one:
+#: stay within the mark family (bar-like → bar-like, point-like →
+#: point-like) before jumping across.
+_NEAREST = {
+    "bar": ("stacked bar", "pie", "line", "scatter"),
+    "pie": ("bar", "stacked bar", "line"),
+    "line": ("bar", "scatter", "pie"),
+    "scatter": ("line", "grouping scatter", "bar"),
+    "stacked bar": ("bar", "grouping line", "pie"),
+    "grouping line": ("stacked bar", "line", "grouping scatter"),
+    "grouping scatter": ("scatter", "grouping line", "stacked bar"),
+}
+
+#: score handicap a repaired candidate carries against born-legal ones
+REPAIR_PENALTY = 0.25
+
+
+class Repairer:
+    """Turns near-miss candidates into verified-legal ones.
+
+    Stage contract: ``repair(candidate, question, database) ->
+    Optional[PipelineCandidate]`` — a *new* candidate with
+    ``repaired=True`` and a re-verified ``pass`` status, or ``None``
+    when no rule applies (the near-miss then stays reported as such).
+    """
+
+    name = "repair"
+
+    def __init__(self, verifier: Optional[Verifier] = None):
+        self.verifier = verifier or Verifier()
+
+    def repair(
+        self,
+        candidate: PipelineCandidate,
+        question: str,
+        database: Database,
+    ) -> Optional[PipelineCandidate]:
+        """Attempt every applicable rule; return a legal copy or None."""
+        if candidate.tree is None:
+            return None
+        codes = set(
+            violation.code for violation in candidate.violations
+        )
+        tree = candidate.tree
+        notes: List[str] = []
+        if "unknown-literal" in codes:
+            tree = _fix_literals(tree, database, notes)
+        if "bad-aggregate" in codes:
+            tree = _fix_aggregates(tree, database, notes)
+        if codes & {
+            "illegal-vis-type", "group-mismatch", "bin-unit",
+            "illegal-combination",
+        }:
+            conformed = _conform(tree, database, notes)
+            if conformed is None:
+                return None
+            tree = conformed
+        if not notes:
+            return None
+        repaired = PipelineCandidate(
+            tokens=to_tokens(tree),
+            score=candidate.score + REPAIR_PENALTY,
+            tree=tree,
+            repaired=True,
+            repairs=notes,
+        )
+        self.verifier.verify(repaired, database)
+        if repaired.status != PASS:
+            return None
+        return repaired
+
+
+# ----- literal fuzzy matching ---------------------------------------------
+
+
+def _fix_literals(
+    query: VisQuery, database: Database, notes: List[str]
+) -> VisQuery:
+    def fix_pred(pred: Predicate) -> Predicate:
+        if isinstance(pred, LogicalPredicate):
+            return LogicalPredicate(
+                op=pred.op, left=fix_pred(pred.left), right=fix_pred(pred.right)
+            )
+        if not isinstance(pred, Comparison):
+            return pred
+        if pred.op not in ("=", "!=") or not isinstance(pred.value, str):
+            return pred
+        match = _closest_value(pred, database)
+        if match is None or str(match) == pred.value:
+            return pred
+        notes.append(
+            f"literal {pred.value!r} -> {match!r} on {pred.attr.qualified_name}"
+        )
+        return replace(pred, value=match)
+
+    def fix_core(core: QueryCore) -> QueryCore:
+        if core.filter is None:
+            return core
+        return replace(core, filter=Filter(root=fix_pred(core.filter.root)))
+
+    body = query.body
+    if isinstance(body, SetQuery):
+        new_body = SetQuery(
+            op=body.op, left=fix_core(body.left), right=fix_core(body.right)
+        )
+    else:
+        new_body = fix_core(body)
+    return VisQuery(vis_type=query.vis_type, body=new_body)
+
+
+def _closest_value(pred: Comparison, database: Database):
+    """The column value closest to the predicate's literal, if any."""
+    try:
+        if database.column_type(pred.attr.table, pred.attr.column) != "C":
+            return None
+        values = database.table(pred.attr.table).column_values(pred.attr.column)
+    except Exception:
+        return None
+    by_text = {}
+    for value in values:
+        if value is not None:
+            by_text.setdefault(str(value), value)
+    if not by_text:
+        return None
+    folded = {text.casefold(): text for text in sorted(by_text)}
+    exact = folded.get(pred.value.casefold())
+    if exact is not None:
+        return by_text[exact]
+    close = difflib.get_close_matches(
+        pred.value, sorted(by_text), n=1, cutoff=0.5
+    )
+    if not close:
+        close = difflib.get_close_matches(
+            pred.value.casefold(), sorted(folded), n=1, cutoff=0.5
+        )
+        if not close:
+            return None
+        return by_text[folded[close[0]]]
+    return by_text[close[0]]
+
+
+# ----- aggregate snapping -------------------------------------------------
+
+
+def _fix_aggregates(
+    query: VisQuery, database: Database, notes: List[str]
+) -> VisQuery:
+    def fix_core(core: QueryCore) -> QueryCore:
+        new_select = []
+        for attr in core.select:
+            if attr.agg in ("sum", "avg") and attr.column != "*":
+                try:
+                    ctype = database.column_type(attr.table, attr.column)
+                except Exception:
+                    ctype = "Q"
+                if ctype != "Q":
+                    notes.append(f"{attr.agg}({attr.qualified_name}) -> count")
+                    attr = replace(attr, agg="count")
+            new_select.append(attr)
+        return replace(core, select=tuple(new_select))
+
+    body = query.body
+    if isinstance(body, SetQuery):
+        new_body = SetQuery(
+            op=body.op, left=fix_core(body.left), right=fix_core(body.right)
+        )
+    else:
+        new_body = fix_core(body)
+    return VisQuery(vis_type=query.vis_type, body=new_body)
+
+
+# ----- structural conformance ---------------------------------------------
+
+
+def _conform(
+    query: VisQuery, database: Database, notes: List[str]
+) -> Optional[VisQuery]:
+    """Rebuild *query* against the nearest legal chart spec.
+
+    Set-operation bodies are left alone (axes span two cores; no local
+    rebuild is trustworthy there).
+    """
+    if isinstance(query.body, SetQuery):
+        return None
+    core = query.body
+    try:
+        signature, info = chart_signature(core, database)
+    except Exception:
+        return None
+    specs = chart_specs_for(signature)
+    if not specs:
+        return None
+    spec = _pick_spec(query, specs, info)
+    if spec is None:
+        return None
+
+    bare: List[Tuple[Attribute, str]] = [
+        (attr.bare(), ctype) for attr, ctype, is_count in info if not is_count
+    ]
+    original_agg = next(
+        (
+            attr.agg for attr, _, is_count in info
+            if not is_count and attr.is_aggregated
+        ),
+        None,
+    )
+    if spec.count_measure:
+        x_attr = _prefer_x(bare, spec)
+        measure = Attribute(column="*", table=x_attr.table, agg="count")
+        select: Tuple[Attribute, ...] = (x_attr, measure)
+        color = None
+    else:
+        axes = arrange_axes(bare, spec)
+        x_attr = axes[0]
+        color = axes[2] if spec.arity == 3 else None
+        measure = axes[1]
+        if spec.needs_aggregate:
+            agg = original_agg if original_agg else "sum"
+            measure = replace(measure, agg=agg)
+        select = (x_attr, measure) + ((color,) if color is not None else ())
+
+    groups = []
+    x_type = dict((attr.qualified_name, ctype) for attr, ctype in bare).get(
+        x_attr.qualified_name, "C"
+    )
+    if spec.x_group == GROUP_GROUPING:
+        groups.append(Group(kind="grouping", attr=x_attr))
+    elif spec.x_group == GROUP_BINNING:
+        groups.append(
+            Group(kind="binning", attr=x_attr, bin_unit=_bin_unit(core, x_attr, x_type))
+        )
+    if color is not None and spec.color_group == GROUP_GROUPING:
+        groups.append(Group(kind="grouping", attr=color))
+
+    order = core.order
+    if order is not None:
+        selected = {attr.qualified_name for attr in select}
+        if (
+            spec.vis_type not in ORDERABLE_VIS_TYPES
+            or order.attr.qualified_name not in selected
+        ):
+            notes.append("dropped order (illegal for repaired chart)")
+            order = None
+
+    try:
+        rebuilt = VisQuery(
+            vis_type=spec.vis_type,
+            body=QueryCore(
+                select=select,
+                filter=core.filter,
+                groups=tuple(groups),
+                order=order,
+                superlative=core.superlative,
+            ),
+        )
+        validate_query(rebuilt)
+    except Exception:
+        return None
+    if spec.vis_type != query.vis_type:
+        notes.append(f"vis type {query.vis_type!r} -> {spec.vis_type!r}")
+    else:
+        notes.append(f"conformed group/aggregate layout for {spec.vis_type!r}")
+    return rebuilt
+
+
+def _pick_spec(
+    query: VisQuery, specs: List[ChartSpec], info
+) -> Optional[ChartSpec]:
+    """The target spec: same type if legal, else the nearest legal type.
+
+    Among specs of the chosen type, prefer one whose aggregation demand
+    matches what the candidate already has — least-surprising rebuild.
+    """
+    legal_types = list(dict.fromkeys(spec.vis_type for spec in specs))
+    if query.vis_type in legal_types:
+        target = query.vis_type
+    else:
+        target = next(
+            (
+                vis_type for vis_type in _NEAREST.get(query.vis_type, ())
+                if vis_type in legal_types
+            ),
+            legal_types[0],
+        )
+    of_type = [spec for spec in specs if spec.vis_type == target]
+    if not of_type:
+        return None
+    has_aggregate = any(
+        attr.is_aggregated for attr, _, is_count in info if not is_count
+    ) or any(is_count for _, _, is_count in info)
+    matching = [spec for spec in of_type if
+                (spec.needs_aggregate or spec.count_measure) == has_aggregate]
+    return (matching or of_type)[0]
+
+
+def _prefer_x(bare: List[Tuple[Attribute, str]], spec: ChartSpec) -> Attribute:
+    want = "C" if spec.x_group == GROUP_GROUPING else ("T", "Q")
+    for attr, ctype in bare:
+        if ctype in want:
+            return attr
+    return bare[0][0]
+
+
+def _bin_unit(core: QueryCore, attr: Attribute, ctype: str) -> str:
+    """Keep the candidate's bin unit when it suits the column type."""
+    for group in core.groups:
+        if (
+            group.kind == "binning"
+            and group.attr.qualified_name == attr.qualified_name
+            and group.bin_unit in BIN_UNITS
+        ):
+            if ctype == "T" and group.bin_unit != "numeric":
+                return group.bin_unit
+            if ctype == "Q" and group.bin_unit == "numeric":
+                return group.bin_unit
+    return "year" if ctype == "T" else "numeric"

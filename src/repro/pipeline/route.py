@@ -1,0 +1,133 @@
+"""Route stage: pick the target database for a question.
+
+A served corpus holds many databases; a question names none explicitly.
+The router scores every database with a schema-linking heuristic —
+exact column-phrase matches (strongest signal), table-name mentions,
+and bag-of-tokens overlap between the question and the schema
+vocabulary — and returns a deterministic ranking.  The same scorer
+doubles as a *table* ranking within the chosen database (which tables
+the question is about), surfaced on the route result for downstream
+consumers.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.baselines.common import match_columns
+from repro.nlp.tokenize import tokenize_nl
+from repro.storage.schema import Database
+
+_STOPWORDS = frozenset(
+    "a an the of for in on by per and or to show me all each every with"
+    " what which how many number count total average".split()
+)
+
+
+@dataclass
+class RouteScore:
+    """One database's routing evidence."""
+
+    db_name: str
+    score: float
+    #: qualified names of columns whose phrase occurs in the question
+    matched_columns: List[str] = field(default_factory=list)
+    #: tables mentioned by name in the question
+    matched_tables: List[str] = field(default_factory=list)
+    #: fraction of (non-stopword) question tokens found in the schema
+    token_overlap: float = 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "db": self.db_name,
+            "score": round(self.score, 4),
+            "matched_columns": list(self.matched_columns),
+            "matched_tables": list(self.matched_tables),
+            "token_overlap": round(self.token_overlap, 4),
+        }
+
+
+class Router:
+    """Scores databases (and tables) against a question.
+
+    Stage contract: ``route(question, databases) -> List[RouteScore]``
+    ranked best-first, deterministic for identical inputs (ties break on
+    database name).  Swap in any object with that method to change the
+    routing policy.
+    """
+
+    name = "route"
+
+    #: scoring weights: exact column-phrase hits dominate, table-name
+    #: mentions help, raw token overlap breaks near-ties
+    column_weight: float = 2.0
+    table_weight: float = 1.5
+    overlap_weight: float = 1.0
+
+    def route(
+        self, question: str, databases: Dict[str, Database]
+    ) -> List[RouteScore]:
+        """Rank every database by schema-linking evidence."""
+        scores = [
+            self.score(question, database)
+            for database in databases.values()
+        ]
+        scores.sort(key=lambda s: (-s.score, s.db_name))
+        return scores
+
+    def score(self, question: str, database: Database) -> RouteScore:
+        """Score one database against the question."""
+        lowered = question.lower()
+        matches = match_columns(question, database)
+        matched_columns = [
+            f"{table}.{column.name}"
+            for table, columns in sorted(matches.items())
+            for column in columns
+        ]
+        matched_tables = [
+            name for name in sorted(database.tables)
+            if re.search(rf"\b{re.escape(name.replace('_', ' '))}", lowered)
+        ]
+        overlap = self._token_overlap(question, database)
+        score = (
+            self.column_weight * len(matched_columns)
+            + self.table_weight * len(matched_tables)
+            + self.overlap_weight * overlap
+        )
+        return RouteScore(
+            db_name=database.name,
+            score=score,
+            matched_columns=matched_columns,
+            matched_tables=matched_tables,
+            token_overlap=overlap,
+        )
+
+    def rank_tables(self, question: str, database: Database) -> List[str]:
+        """Tables of *database* ranked by how much the question hits them."""
+        lowered = question.lower()
+        matches = match_columns(question, database)
+        ranked = []
+        for name in database.tables:
+            hits = float(len(matches.get(name, [])))
+            if re.search(rf"\b{re.escape(name.replace('_', ' '))}", lowered):
+                hits += 1.5
+            ranked.append((-hits, name))
+        ranked.sort()
+        return [name for _, name in ranked]
+
+    @staticmethod
+    def _token_overlap(question: str, database: Database) -> float:
+        tokens = [
+            token for token in tokenize_nl(question)
+            if token.isalpha() and token not in _STOPWORDS
+        ]
+        if not tokens:
+            return 0.0
+        schema_vocab = set()
+        for table_name, column in database.iter_columns():
+            schema_vocab.update(table_name.lower().split("_"))
+            schema_vocab.update(column.name.lower().split("_"))
+        hits = sum(1 for token in tokens if token in schema_vocab)
+        return hits / len(tokens)

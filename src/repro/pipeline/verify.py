@@ -1,0 +1,84 @@
+"""Verify stage: classify each candidate pass / near-miss / fail.
+
+Two layers of checking, in order:
+
+1. **Grammar** — the candidate must have parsed into a ``VisQuery`` and
+   satisfy the structural rules (:func:`repro.grammar.validate
+   .validate_query`: select arity per vis type, GROUP BY coverage, set
+   shapes).  Grammar breakage is a ``fail`` — there is no local edit
+   the repair stage trusts for a malformed tree.
+2. **Table-1 legality** — :func:`repro.core.vis_rules.validate_chart`
+   judges the chart against the paper's chart-validity rules plus
+   data-aware checks (bin units, aggregate types, filter literals).
+   All-repairable violations make the candidate a ``near_miss`` — the
+   repair stage's input; anything unrepairable is a ``fail``.
+
+The stage mutates candidates in place (status + violations) and returns
+them, so it composes with budget checks between candidates.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.vis_rules import ChartViolation, validate_chart
+from repro.grammar.errors import GrammarError
+from repro.grammar.validate import validate_query
+from repro.pipeline.candidate import FAIL, NEAR_MISS, PASS, PipelineCandidate
+from repro.storage.schema import Database
+
+
+class Verifier:
+    """Stamps a Table-1 verdict on candidates.
+
+    Stage contract: ``verify(candidate, database) -> candidate`` with
+    ``status`` set to ``pass`` / ``near_miss`` / ``fail`` and
+    ``violations`` populated.  ``check_literals=False`` skips the
+    data-aware literal scan (cheaper on huge tables).
+    """
+
+    name = "verify"
+
+    def __init__(self, check_literals: bool = True):
+        self.check_literals = check_literals
+
+    def verify(
+        self, candidate: PipelineCandidate, database: Database
+    ) -> PipelineCandidate:
+        """Classify one candidate; never raises."""
+        if candidate.tree is None:
+            candidate.status = FAIL
+            candidate.violations = [
+                ChartViolation(
+                    code="parse-error",
+                    message=candidate.error or "candidate did not parse",
+                    repairable=False,
+                )
+            ]
+            return candidate
+        try:
+            validate_query(candidate.tree)
+        except GrammarError as exc:
+            candidate.status = FAIL
+            candidate.violations = [
+                ChartViolation(
+                    code="grammar", message=str(exc), repairable=False
+                )
+            ]
+            return candidate
+        validation = validate_chart(
+            candidate.tree, database, check_literals=self.check_literals
+        )
+        candidate.violations = list(validation.violations)
+        candidate.status = {
+            validation.PASS: PASS,
+            validation.NEAR_MISS: NEAR_MISS,
+            validation.FAIL: FAIL,
+        }[validation.status]
+        return candidate
+
+    def verify_all(
+        self, candidates: List[PipelineCandidate], database: Database
+    ) -> List[PipelineCandidate]:
+        """Verify a batch (no budget awareness — the pipeline owns that)."""
+        return [self.verify(candidate, database) for candidate in candidates]

@@ -104,6 +104,37 @@ class ServeClient:
             payload["candidates"] = candidates
         return self._checked("POST", "/translate", payload)
 
+    def pipeline(
+        self,
+        question: str,
+        db: Optional[str] = None,
+        model: Optional[str] = None,
+        k: Optional[int] = None,
+        budget_ms: Optional[float] = None,
+        max_rows: Optional[int] = None,
+        repair: Optional[bool] = None,
+    ) -> dict:
+        """Run the staged copilot; raises :class:`ServeError` on non-200.
+
+        Omitting *db* lets the route stage pick the database; the
+        response carries the ranked candidate set with verify/repair
+        verdicts and per-stage timings.
+        """
+        payload: Dict[str, object] = {"question": question}
+        if db is not None:
+            payload["db"] = db
+        if model is not None:
+            payload["model"] = model
+        if k is not None:
+            payload["k"] = k
+        if budget_ms is not None:
+            payload["budget_ms"] = budget_ms
+        if max_rows is not None:
+            payload["max_rows"] = max_rows
+        if repair is not None:
+            payload["repair"] = repair
+        return self._checked("POST", "/pipeline", payload)
+
 
 @dataclass
 class LoadReport:

@@ -17,6 +17,7 @@ traffic doesn't pay allocation cost.
 
 from __future__ import annotations
 
+import inspect
 import threading
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -129,6 +130,13 @@ class BaselineTranslator(Translator):
     ):
         self.name = name
         self._predict = predict
+        # Multi-prediction rule systems take a top-k argument; detect it
+        # once so candidate requests get a genuinely ranked list instead
+        # of the single best chart.
+        try:
+            self._accepts_k = len(inspect.signature(predict).parameters) >= 3
+        except (TypeError, ValueError):
+            self._accepts_k = False
 
     @classmethod
     def from_name(cls, name: str) -> "BaselineTranslator":
@@ -153,7 +161,10 @@ class BaselineTranslator(Translator):
         want = decode.num_candidates if decode is not None else 1
         results = []
         for question, database in requests:
-            prediction = self._predict(question, database)
+            if self._accepts_k:
+                prediction = self._predict(question, database, max(1, want))
+            else:
+                prediction = self._predict(question, database)
             ranked = (
                 prediction if isinstance(prediction, list)
                 else [] if prediction is None else [prediction]

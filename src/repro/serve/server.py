@@ -5,9 +5,14 @@ no third-party framework, no ``http.server`` — exposing three endpoints:
 
 * ``POST /translate`` — JSON ``{"question", "db", "model"?, "format"?,
   "use_cache"?}`` → decoded VisQuery plus a rendered spec;
+* ``POST /pipeline``  — JSON ``{"question", "db"?, "model"?, "k"?,
+  "budget_ms"?, "max_rows"?, "repair"?}`` → the staged copilot
+  (:mod:`repro.pipeline`): route (when ``db`` is omitted), generate,
+  verify, execute, repair — a ranked candidate set with verdicts;
 * ``GET /healthz``   — liveness, registered models, queue depth;
 * ``GET /metrics``   — latency histograms, batch-size distribution,
-  cache hit rates (see :mod:`repro.serve.metrics`).
+  cache hit rates, pipeline verify/repair counters
+  (see :mod:`repro.serve.metrics`).
 
 Request flow: response-cache lookup → micro-batcher (padded forward
 pass shared with concurrent requests) → value-slot fill + parse →
@@ -109,6 +114,14 @@ class InferenceServer:
         # derived from its old weights in both caches.
         registry.add_swap_listener(self._on_model_swap)
         self.execution_cache = execution_cache or ExecutionCache()
+        # The staged copilot shares the server's execution cache (and
+        # its per-database executors) across /pipeline requests.  The
+        # import is deferred: repro.pipeline imports the serve package
+        # for the translator interface, so a module-level import here
+        # would be circular.
+        from repro.pipeline import ExecuteStage
+
+        self.pipeline_executor = ExecuteStage(cache=self.execution_cache)
         #: optional request tracer: every request gets an ``http.request``
         #: span at ingress whose trace id follows it through the batcher
         #: (``batch.wait`` / ``decode`` spans) and comes back to the
@@ -326,6 +339,10 @@ class InferenceServer:
             if method != "POST":
                 raise _HTTPError(405, "translate only supports POST")
             return await self._translate(body, span)
+        if path == "/pipeline":
+            if method != "POST":
+                raise _HTTPError(405, "pipeline only supports POST")
+            return await self._pipeline(body, span)
         raise _HTTPError(404, f"no such endpoint: {path}")
 
     def _healthz(self) -> dict:
@@ -437,6 +454,88 @@ class InferenceServer:
         if use_cache:
             self.response_cache.put(cache_key, dict(response))
         return 200, response
+
+    async def _pipeline(self, body: bytes, span) -> Tuple[int, dict]:
+        """Run the staged copilot for one question.
+
+        Unlike ``/translate`` this path skips the micro-batcher — the
+        pipeline drives its own generate stage (and four more) with a
+        per-request budget, so it runs as one unit on an executor
+        thread.  Its verify/repair counters land in ``/metrics`` under
+        a ``pipeline_`` prefix.
+        """
+        from repro.pipeline import Budget, Generator, Pipeline
+
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HTTPError(400, f"body is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise _HTTPError(400, "body must be a JSON object")
+
+        question = payload.get("question")
+        if not isinstance(question, str) or not question.strip():
+            raise _HTTPError(400, "missing or empty 'question'")
+        db_name = payload.get("db")
+        if db_name is not None:
+            if not isinstance(db_name, str) or not db_name:
+                raise _HTTPError(400, "'db' must be a non-empty string")
+            if db_name not in self.databases:
+                raise _HTTPError(
+                    404,
+                    f"unknown database {db_name!r}; choices: "
+                    f"{sorted(self.databases)[:10]}",
+                )
+        model_name = payload.get("model") or self.registry.default_model
+        if model_name is None or model_name not in self.registry:
+            raise _HTTPError(
+                404,
+                f"unknown model {model_name!r}; registered: "
+                f"{self.registry.names()}",
+            )
+        k = payload.get("k", 3)
+        if not isinstance(k, int) or isinstance(k, bool):
+            raise _HTTPError(400, "'k' must be an integer")
+        if not 1 <= k <= self.config.max_candidates:
+            raise _HTTPError(
+                400,
+                f"'k' must be in [1, {self.config.max_candidates}], got {k}",
+            )
+        budget_ms = payload.get("budget_ms")
+        if budget_ms is not None and (
+            not isinstance(budget_ms, (int, float))
+            or isinstance(budget_ms, bool)
+            or budget_ms <= 0
+        ):
+            raise _HTTPError(400, "'budget_ms' must be a positive number")
+        max_rows = payload.get("max_rows", 1000)
+        if not isinstance(max_rows, int) or isinstance(max_rows, bool) or max_rows < 1:
+            raise _HTTPError(400, "'max_rows' must be a positive integer")
+        repair = payload.get("repair", True)
+        if not isinstance(repair, bool):
+            raise _HTTPError(400, "'repair' must be a boolean")
+
+        budget = Budget(
+            total_ms=budget_ms, max_rows=max_rows, k=k, repair=repair
+        )
+        translator = self.registry.get(model_name)
+        pipeline = Pipeline(
+            self.databases,
+            Generator(
+                translator, model_name=model_name,
+                max_width=self.config.max_beam_width,
+            ),
+            budget=budget,
+            executor=self.pipeline_executor,
+            tracer=self.tracer,
+            metrics=self.metrics,
+        )
+        self.metrics.count("pipeline_requests")
+        result = await asyncio.get_running_loop().run_in_executor(
+            None, lambda: pipeline.run(question, db_name)
+        )
+        span.set_attribute("db", result.db_name)
+        return 200, {**result.to_json(), "model": model_name}
 
     def _decode_config(self, payload: dict) -> DecodeConfig:
         """Per-request decode settings, validated against config caps."""

@@ -1,4 +1,5 @@
-"""Tests for the Table 1 chart-validity rules and axis arrangement."""
+"""Tests for the Table 1 chart-validity rules, axis arrangement, and
+the validating side (:func:`validate_chart`)."""
 
 from repro.core.vis_rules import (
     GROUP_BINNING,
@@ -6,8 +7,10 @@ from repro.core.vis_rules import (
     GROUP_NONE,
     arrange_axes,
     chart_specs_for,
+    validate_chart,
 )
 from repro.grammar.ast_nodes import Attribute
+from repro.grammar.serialize import from_tokens
 
 
 def _attr(col):
@@ -98,3 +101,121 @@ class TestArrangeAxes:
         assert axes[0].column == "day"
         assert axes[1].column == "cases"
         assert axes[2].column == "country"
+
+
+def _query(text):
+    return from_tokens(text.split())
+
+
+class TestValidateChart:
+    def test_legal_chart_passes(self, flight_db):
+        validation = validate_chart(
+            _query(
+                "visualize bar select flight.origin , count ( flight.* )"
+                " group grouping flight.origin"
+            ),
+            flight_db,
+        )
+        assert validation.ok
+        assert validation.status == validation.PASS
+        assert validation.signature == ("C",)
+
+    def test_illegal_vis_type_names_legal_alternatives(self, flight_db):
+        validation = validate_chart(
+            _query(
+                "visualize scatter select flight.origin , count ( flight.* )"
+                " group grouping flight.origin"
+            ),
+            flight_db,
+        )
+        assert validation.codes() == ["illegal-vis-type"]
+        assert validation.status == validation.NEAR_MISS
+        assert set(validation.violations[0].legal_types) == {"bar", "pie"}
+        assert validation.legal_types == ("bar", "pie")
+
+    def test_group_mismatch_when_layout_breaks_spec(self, flight_db):
+        # Legal type (bar on C+Q) but an aggregate without its grouping.
+        validation = validate_chart(
+            _query("visualize bar select flight.origin , sum ( flight.price )"),
+            flight_db,
+        )
+        assert "group-mismatch" in validation.codes()
+        assert validation.status == validation.NEAR_MISS
+
+    def test_bad_aggregate_over_categorical(self, flight_db):
+        validation = validate_chart(
+            _query(
+                "visualize bar select flight.origin , avg ( flight.fno )"
+            ),
+            flight_db,
+        )
+        # avg(C) corrupts the signature: illegal-combination, but
+        # repairable because the aggregate caused it.
+        assert validation.codes() == ["illegal-combination", "bad-aggregate"]
+        assert validation.status == validation.NEAR_MISS
+        assert validation.violations[0].repairable
+
+    def test_bare_illegal_combination_is_unrepairable(self, flight_db):
+        validation = validate_chart(
+            _query("visualize bar select flight.origin , flight.destination"),
+            flight_db,
+        )
+        assert validation.codes() == ["illegal-combination"]
+        assert validation.status == validation.FAIL
+        assert not validation.violations[0].repairable
+
+    def test_bin_unit_mismatches(self, flight_db):
+        temporal = validate_chart(
+            _query(
+                "visualize bar select flight.departure_date , count ( flight.* )"
+                " group binning flight.departure_date by numeric"
+            ),
+            flight_db,
+        )
+        assert "bin-unit" in temporal.codes()
+        quantitative = validate_chart(
+            _query(
+                "visualize bar select flight.price , count ( flight.* )"
+                " group binning flight.price by year"
+            ),
+            flight_db,
+        )
+        assert "bin-unit" in quantitative.codes()
+
+    def test_unknown_literal_and_the_check_toggle(self, flight_db):
+        query = _query(
+            'visualize bar select flight.origin , flight.price'
+            ' filter = flight.origin "APX"'
+        )
+        checked = validate_chart(query, flight_db)
+        assert checked.codes() == ["unknown-literal"]
+        assert checked.violations[0].value == "APX"
+        unchecked = validate_chart(query, flight_db, check_literals=False)
+        assert unchecked.ok
+
+    def test_case_insensitive_literal_passes(self, flight_db):
+        validation = validate_chart(
+            _query(
+                'visualize bar select flight.origin , flight.price'
+                ' filter = flight.origin "apg"'
+            ),
+            flight_db,
+        )
+        assert validation.ok
+
+    def test_unknown_column_fails(self, flight_db):
+        validation = validate_chart(
+            _query("visualize bar select flight.altitude , flight.price"),
+            flight_db,
+        )
+        assert validation.codes() == ["unknown-column"]
+        assert validation.status == validation.FAIL
+
+    def test_to_json_shape(self, flight_db):
+        payload = validate_chart(
+            _query("visualize scatter select flight.origin , flight.price"),
+            flight_db,
+        ).to_json()
+        assert payload["status"] == "near_miss"
+        assert payload["signature"] == ["C", "Q"]
+        assert payload["violations"][0]["code"] == "illegal-vis-type"

@@ -1,0 +1,147 @@
+"""Tests for the ambiguous-question split and accuracy@k."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import pytest
+
+from repro.eval.ambiguity import (
+    accuracy_at_k,
+    ambiguous_split,
+    coverage_at_k,
+    normalize_question,
+)
+from repro.grammar.serialize import from_tokens
+
+BAR = (
+    "visualize bar select flight.origin , count ( flight.* )"
+    " group grouping flight.origin"
+)
+PIE = (
+    "visualize pie select flight.origin , count ( flight.* )"
+    " group grouping flight.origin"
+)
+LINE = (
+    "visualize line select flight.departure_date , flight.price"
+)
+
+
+def _tree(text):
+    return from_tokens(text.split())
+
+
+@dataclass
+class FakePair:
+    nl: str
+    vis: object
+    db_name: str
+    source_sql: Optional[str] = None
+    source_nl: Optional[str] = None
+
+
+class TestNormalizeQuestion:
+    def test_drops_chart_flavor_words(self):
+        assert normalize_question(
+            "Show a bar chart of flights per origin"
+        ) == normalize_question("Draw a pie graph of flights per origin")
+
+    def test_keeps_the_data_question(self):
+        assert "origin" in normalize_question("flights per origin as a bar chart")
+
+    def test_lowercases_and_strips_punctuation(self):
+        assert normalize_question("Flights, per ORIGIN?") == "flights per origin"
+
+
+class TestAmbiguousSplit:
+    def test_groups_by_source_sql_provenance(self):
+        pairs = [
+            FakePair("bar of flights", _tree(BAR), "flights",
+                     source_sql="SELECT o", source_nl="flights per origin"),
+            FakePair("pie of flights", _tree(PIE), "flights",
+                     source_sql="SELECT o", source_nl="flights per origin"),
+            FakePair("price over time", _tree(LINE), "flights",
+                     source_sql="SELECT p"),
+        ]
+        split = ambiguous_split(pairs)
+        assert len(split) == 1
+        item = split[0]
+        assert item.question == "flights per origin"
+        assert item.db_name == "flights"
+        assert item.num_golds == 2
+
+    def test_duplicate_masked_trees_do_not_make_ambiguity(self):
+        pairs = [
+            FakePair("bar of flights", _tree(BAR), "flights", source_sql="S"),
+            FakePair("another bar", _tree(BAR), "flights", source_sql="S"),
+        ]
+        assert ambiguous_split(pairs) == []
+
+    def test_normalized_nl_fallback_without_provenance(self):
+        pairs = [
+            FakePair("show a bar chart of flights per origin", _tree(BAR), "flights"),
+            FakePair("show a pie chart of flights per origin", _tree(PIE), "flights"),
+        ]
+        split = ambiguous_split(pairs)
+        assert len(split) == 1
+        assert split[0].num_golds == 2
+
+    def test_deterministic_order_and_content(self):
+        pairs = [
+            FakePair("q bar", _tree(BAR), "flights", source_sql="A"),
+            FakePair("q pie", _tree(PIE), "flights", source_sql="A"),
+            FakePair("z bar", _tree(BAR), "other", source_sql="B"),
+            FakePair("z pie", _tree(PIE), "other", source_sql="B"),
+        ]
+        first = ambiguous_split(pairs)
+        second = ambiguous_split(list(reversed(pairs)))
+        assert [(i.db_name, i.question) for i in first] == [
+            (i.db_name, i.question) for i in second
+        ]
+        assert [i.golds for i in first] == [i.golds for i in second]
+
+    def test_benchmark_pairs_produce_a_split(self, small_nvbench):
+        split = ambiguous_split(small_nvbench.pairs)
+        assert len(split) >= 5
+        assert all(item.num_golds >= 2 for item in split)
+        # deterministic on the real corpus too
+        again = ambiguous_split(small_nvbench.pairs)
+        assert [(i.db_name, i.question, i.num_golds) for i in split] == [
+            (i.db_name, i.question, i.num_golds) for i in again
+        ]
+
+
+class TestAccuracyAtK:
+    def test_coverage_math(self):
+        golds = [_tree(BAR), _tree(PIE)]
+        ranked = [_tree(BAR), None, _tree(PIE)]
+        assert coverage_at_k(ranked, golds, 1) == 0.5
+        assert coverage_at_k(ranked, golds, 3) == 1.0
+        assert coverage_at_k([], golds, 3) == 0.0
+        assert coverage_at_k(ranked, [], 3) == 0.0
+
+    def test_at_3_can_strictly_beat_at_1(self):
+        split = ambiguous_split(
+            [
+                FakePair("q bar", _tree(BAR), "flights", source_sql="A"),
+                FakePair("q pie", _tree(PIE), "flights", source_sql="A"),
+            ]
+        )
+        predictions = [[_tree(BAR), _tree(PIE)]]
+        accuracy = accuracy_at_k(predictions, split, ks=(1, 3))
+        assert accuracy[1] == 0.5
+        assert accuracy[3] == 1.0
+
+    def test_length_mismatch_raises(self):
+        split = ambiguous_split(
+            [
+                FakePair("q bar", _tree(BAR), "flights", source_sql="A"),
+                FakePair("q pie", _tree(PIE), "flights", source_sql="A"),
+            ]
+        )
+        with pytest.raises(ValueError):
+            accuracy_at_k([], split)
+
+    def test_empty_split_scores_zero(self):
+        assert accuracy_at_k([], [], ks=(1, 5)) == {1: 0.0, 5: 0.0}

@@ -775,3 +775,76 @@ class TestBeamServing:
         assert len(server.encoder_cache) == 1
         registry.unregister("attn")
         assert len(server.encoder_cache) == 0
+
+
+class TestPipelineEndpoint:
+    def test_pinned_database(self, running, stack):
+        _, _, databases = stack
+        _, client = running
+        db = sorted(databases)[0]
+        response = client.pipeline(
+            "how many rows per category?", db=db, model="deepeye", k=3
+        )
+        assert response["db"] == db
+        assert response["routed"] is False
+        assert response["model"] == "deepeye"
+        assert response["candidates"]
+        assert response["charts"], "baseline should yield a valid chart"
+        assert set(response["stage_timings_ms"]) == {
+            "route", "generate", "verify", "execute", "repair"
+        }
+        assert response["timed_out"] is None
+        top = response["candidates"][0]
+        assert set(top) >= {"tokens", "score", "status", "violations", "execution"}
+
+    def test_routes_when_db_omitted(self, running):
+        _, client = running
+        response = client.pipeline(
+            "how many rows per category?", model="deepeye"
+        )
+        assert response["routed"] is True
+        assert response["routes"], "route evidence is returned"
+        assert response["db"] == response["routes"][0]["db"]
+
+    def test_budget_fields_round_trip(self, running, stack):
+        _, _, databases = stack
+        _, client = running
+        db = sorted(databases)[0]
+        response = client.pipeline(
+            "counts per type", db=db, model="deepeye",
+            k=2, budget_ms=30000, max_rows=5, repair=False,
+        )
+        budget = response["budget"]
+        assert budget["k"] == 2
+        assert budget["total_ms"] == 30000
+        assert budget["max_rows"] == 5
+        assert budget["repair"] is False
+        assert response["counters"]["repairs_attempted"] == 0
+
+    def test_error_statuses(self, running):
+        _, client = running
+        with pytest.raises(ServeError) as err:
+            client.pipeline("q?", db="no_such_db")
+        assert err.value.status == 404
+        with pytest.raises(ServeError) as err:
+            client.pipeline("q?", model="no_such_model")
+        assert err.value.status == 404
+        with pytest.raises(ServeError) as err:
+            client.pipeline("")
+        assert err.value.status == 400
+        with pytest.raises(ServeError) as err:
+            client.pipeline("q?", k=0)
+        assert err.value.status == 400
+        with pytest.raises(ServeError) as err:
+            client.pipeline("q?", budget_ms=-5)
+        assert err.value.status == 400
+
+    def test_pipeline_counters_in_metrics(self, running, stack):
+        _, _, databases = stack
+        _, client = running
+        db = sorted(databases)[0]
+        client.pipeline("metrics see the pipeline", db=db, model="deepeye")
+        counters = client.metrics()["counters"]
+        assert counters.get("pipeline_requests", 0) >= 1
+        assert counters.get("pipeline_executions", 0) >= 1
+        assert counters.get("pipeline_verify_pass", 0) >= 1
