@@ -26,7 +26,9 @@ from typing import List, Optional
 from repro.core.nvbench import (
     NVBenchConfig,
     build_nvbench,
+    load_nvbench_dir,
     load_nvbench_pairs,
+    paper_scale_config,
     save_nvbench_pairs,
 )
 from repro.perf import BuildProfiler
@@ -84,30 +86,56 @@ def _cmd_build_corpus(args: argparse.Namespace) -> int:
 
 
 def _cmd_build_benchmark(args: argparse.Namespace) -> int:
+    # --out ending in .json keeps the classic single-file build; any
+    # other path is a shard directory (docs/CORPUS.md).
+    sharded = not args.out.endswith(".json")
+    stream = args.stream or args.paper_scale
+    if args.resume and not sharded:
+        print("--resume needs a shard directory --out (not a .json file)",
+              file=sys.stderr)
+        return 2
+    if stream and args.corpus:
+        print("--stream/--paper-scale generate their own corpus; "
+              "drop --corpus", file=sys.stderr)
+        return 2
     corpus = load_corpus(args.corpus) if args.corpus else None
-    config = NVBenchConfig(
-        corpus=CorpusConfig(
-            num_databases=args.databases,
-            pairs_per_database=args.pairs_per_db,
-            row_scale=args.row_scale,
+    if args.paper_scale:
+        config = paper_scale_config(use_cache=not args.no_cache,
+                                    seed=args.seed)
+    else:
+        config = NVBenchConfig(
+            corpus=CorpusConfig(
+                num_databases=args.databases,
+                pairs_per_database=args.pairs_per_db,
+                row_scale=args.row_scale,
+                seed=args.seed,
+            ),
+            use_cache=not args.no_cache,
             seed=args.seed,
-        ),
-        use_cache=not args.no_cache,
-        seed=args.seed,
-    )
+        )
     profiler = BuildProfiler()
     tracer, exporter = _open_tracer(args.trace)
     bench = build_nvbench(
         corpus=corpus, config=config, workers=args.workers,
         profiler=profiler, tracer=tracer,
+        out=args.out if sharded else None,
+        resume=args.resume, stream=stream,
+        max_databases=args.max_databases,
     )
     _close_tracer(exporter, args.trace)
-    if not args.corpus:
-        save_corpus(bench.corpus, args.out + ".corpus.json")
-        print(f"wrote corpus to {args.out}.corpus.json")
-    save_nvbench_pairs(bench, args.out)
-    print(f"wrote {len(bench.pairs)} (NL, VIS) pairs "
-          f"({len(bench.distinct_vis)} distinct vis) to {args.out}")
+    if sharded:
+        counters = profiler.report()["counters"]
+        print(f"wrote {len(bench.pairs)} (NL, VIS) pairs over "
+              f"{len(bench.databases)} database shards to {args.out} "
+              f"(built {counters.get('shards_built', 0)}, "
+              f"skipped clean {counters.get('shards_skipped_clean', 0)})")
+    else:
+        if not args.corpus:
+            save_corpus(bench.corpus, args.out + ".corpus.json")
+            print(f"wrote corpus to {args.out}.corpus.json")
+        save_nvbench_pairs(bench, args.out)
+        print(f"wrote {len(bench.pairs)} (NL, VIS) pairs "
+              f"({len(bench.distinct_vis)} distinct vis) to {args.out}")
     # Pairs are saved first so a bad --profile path cannot lose the build.
     if args.profile:
         profiler.write_json(args.profile)
@@ -115,16 +143,34 @@ def _cmd_build_benchmark(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_bench(corpus_path: str, pairs_path: str):
-    corpus = load_corpus(corpus_path)
-    return load_nvbench_pairs(corpus, pairs_path)
+def _load_bench(args: argparse.Namespace):
+    """The benchmark named by --benchmark DIR or --corpus/--pairs.
+
+    Returns ``None`` (with a message on stderr) when the flags don't add
+    up; shard directories load lazily, so stats/training over a
+    paper-scale benchmark never materialize it whole.
+    """
+    if args.benchmark:
+        if args.corpus or args.pairs:
+            print("--benchmark replaces --corpus/--pairs; pick one",
+                  file=sys.stderr)
+            return None
+        return load_nvbench_dir(args.benchmark)
+    if not (args.corpus and args.pairs):
+        print("need either --benchmark DIR or both --corpus and --pairs",
+              file=sys.stderr)
+        return None
+    corpus = load_corpus(args.corpus)
+    return load_nvbench_pairs(corpus, args.pairs)
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.stats.dataset_stats import dataset_summary
     from repro.stats.nl_stats import nl_vis_table
 
-    bench = _load_bench(args.corpus, args.pairs)
+    bench = _load_bench(args)
+    if bench is None:
+        return 2
     summary = dataset_summary(bench.corpus)
     print(f"databases: {summary.n_databases}  tables: {summary.n_tables}  "
           f"domains: {summary.n_domains}")
@@ -147,7 +193,9 @@ def _cmd_train(args: argparse.Namespace) -> int:
     from repro.neural.trainer import TrainConfig, train_model
     from repro.perf import TrainProfiler
 
-    bench = _load_bench(args.corpus, args.pairs)
+    bench = _load_bench(args)
+    if bench is None:
+        return 2
     config = ExperimentConfig(
         embed_dim=args.embed_dim,
         hidden_dim=args.hidden_dim,
@@ -429,9 +477,23 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("build-benchmark", help="synthesize an nvBench-style benchmark")
     _corpus_args(p)
     p.add_argument("--corpus", help="reuse a saved corpus JSON")
-    p.add_argument("--out", required=True)
+    p.add_argument("--out", required=True,
+                   help="a .json file for the classic single-file build, "
+                        "or a directory for the sharded, resumable build "
+                        "(docs/CORPUS.md)")
     p.add_argument("--workers", type=int, default=1,
                    help="shard the build by database over N processes")
+    p.add_argument("--resume", action="store_true",
+                   help="reuse clean shards from a previous build to the "
+                        "same --out directory (content keys re-verified)")
+    p.add_argument("--stream", action="store_true",
+                   help="generate the corpus one database at a time "
+                        "(bounded memory; requires a directory --out)")
+    p.add_argument("--paper-scale", action="store_true",
+                   help="the paper-shape streamed build: 153 databases, "
+                        ">=25k pairs (implies --stream)")
+    p.add_argument("--max-databases", type=int,
+                   help="cap the streamed database count (CI smoke runs)")
     p.add_argument("--no-cache", action="store_true",
                    help="disable the execution-result cache")
     p.add_argument("--profile",
@@ -442,13 +504,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_build_benchmark)
 
     p = sub.add_parser("stats", help="print benchmark statistics")
-    p.add_argument("--corpus", required=True)
-    p.add_argument("--pairs", required=True)
+    p.add_argument("--benchmark",
+                   help="sharded benchmark directory written by "
+                        "build-benchmark --out DIR (replaces "
+                        "--corpus/--pairs; loads lazily)")
+    p.add_argument("--corpus")
+    p.add_argument("--pairs")
     p.set_defaults(func=_cmd_stats)
 
     p = sub.add_parser("train", help="train a seq2vis model")
-    p.add_argument("--corpus", required=True)
-    p.add_argument("--pairs", required=True)
+    p.add_argument("--benchmark",
+                   help="sharded benchmark directory written by "
+                        "build-benchmark --out DIR (replaces "
+                        "--corpus/--pairs; loads lazily)")
+    p.add_argument("--corpus")
+    p.add_argument("--pairs")
     p.add_argument("--variant", choices=("basic", "attention", "copy"),
                    default="attention")
     p.add_argument("--epochs", type=int, default=20)

@@ -15,7 +15,14 @@ Pipeline (paper Section 2):
 
 from repro.core.filter_model import ChartFeatures, DeepEyeFilter, extract_features
 from repro.core.hardness import Hardness, classify_hardness
-from repro.core.nvbench import NVBench, NVBenchConfig, NVBenchPair, build_nvbench
+from repro.core.nvbench import (
+    NVBench,
+    NVBenchConfig,
+    NVBenchPair,
+    build_nvbench,
+    load_nvbench_dir,
+    paper_scale_config,
+)
 from repro.core.synthesizer import NL2VISSynthesizer, SynthesizedPair
 from repro.core.tree_edits import TreeEdit, VisCandidate, generate_candidates
 from repro.core.vis_rules import (
@@ -43,5 +50,7 @@ __all__ = [
     "classify_hardness",
     "extract_features",
     "generate_candidates",
+    "load_nvbench_dir",
+    "paper_scale_config",
     "validate_chart",
 ]

@@ -64,6 +64,17 @@ class BuildProfiler:
         """Increment a named counter."""
         self.counters[name] = self.counters.get(name, 0) + amount
 
+    def count_max(self, name: str, value: int) -> None:
+        """Record a high-water-mark counter (keeps the max, not a sum).
+
+        Used by the streamed build for ``resident_pairs_peak`` — the
+        largest pair set held in memory at once, the bounded-memory
+        evidence in ``BENCH_build.json``.  High-water counters are only
+        recorded by the coordinating profiler, so :meth:`merge_report`
+        (which sums) never touches them.
+        """
+        self.counters[name] = max(self.counters.get(name, 0), value)
+
     def merge_report(self, report: dict) -> None:
         """Fold another profiler's :meth:`report` into this one.
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -37,6 +37,15 @@ class CorpusConfig:
     row_scale: float = 1.0
     max_rows: int = 3000
     seed: int = 7
+
+
+#: The paper-shape corpus: 153 databases, enough (NL, SQL) inputs that
+#: the synthesizer yields ≥ 25k (NL, VIS) pairs (nvBench ships 25,750).
+#: Built through the streamed, sharded engine (``docs/CORPUS.md``) —
+#: never materialized in one pass.
+PAPER_SCALE_CORPUS = CorpusConfig(
+    num_databases=153, pairs_per_database=50, row_scale=0.5, seed=7
+)
 
 
 @dataclass
@@ -120,6 +129,82 @@ def build_spider_corpus(config: Optional[CorpusConfig] = None) -> SpiderCorpus:
             )
             made += 1
     return corpus
+
+
+# ----- streamed per-database generation ------------------------------------
+
+
+def domain_schedule(config: CorpusConfig) -> List[tuple]:
+    """``(DomainSpec, db_name)`` per database slot, deterministically.
+
+    The schedule (and so every database's name and domain) depends only
+    on ``(num_databases, seed)`` — the same assignment
+    :func:`build_spider_corpus` uses, computable without generating any
+    data.  This is what lets the streamed build address one database at
+    a time.
+    """
+    rng = np.random.default_rng(config.seed)
+    counters: Dict[str, int] = {}
+    named = []
+    for spec in _domain_schedule(config.num_databases, rng):
+        counters[spec.name] = counters.get(spec.name, 0) + 1
+        named.append((spec, f"{spec.name}_{counters[spec.name]}"))
+    return named
+
+
+def generate_corpus_unit(
+    config: CorpusConfig, db_index: int
+) -> Tuple[Database, List[NLSQLPair]]:
+    """Generate database *db_index* of the streamed corpus, independently.
+
+    Unlike :func:`build_spider_corpus` — which threads one RNG through
+    every database in order, so database *k* depends on databases
+    ``0..k-1`` — each streamed unit draws from its own
+    ``(seed, salt, db_index)``-derived RNG.  Units are therefore
+    individually addressable: the sharded build generates, synthesizes,
+    and discards one at a time, and an incremental rebuild can skip or
+    regenerate any single database without touching the rest.
+    """
+    schedule = domain_schedule(config)
+    if not 0 <= db_index < len(schedule):
+        raise IndexError(f"db_index {db_index} out of range 0..{len(schedule) - 1}")
+    spec, db_name = schedule[db_index]
+    # 9176 salts the stream apart from build_spider_corpus' and the
+    # synthesizer's (seed, index) streams.
+    rng = np.random.default_rng((config.seed, 9176, db_index))
+    database = build_database(
+        spec, db_name, rng, row_scale=config.row_scale, max_rows=config.max_rows
+    )
+    generator = QueryGenerator(database, rng)
+    pairs: List[NLSQLPair] = []
+    attempts = 0
+    while (
+        len(pairs) < config.pairs_per_database
+        and attempts < config.pairs_per_database * 6
+    ):
+        attempts += 1
+        generated = generator.generate()
+        if generated is None:
+            continue
+        pairs.append(
+            NLSQLPair(
+                nl=generated.nl,
+                sql=generated.sql,
+                query=generated.query,
+                db_name=db_name,
+            )
+        )
+    return database, pairs
+
+
+def iter_corpus_units(
+    config: CorpusConfig, limit: Optional[int] = None
+) -> "Iterator[Tuple[int, Database, List[NLSQLPair]]]":
+    """Yield ``(db_index, database, pairs)`` one database at a time."""
+    count = config.num_databases if limit is None else min(limit, config.num_databases)
+    for db_index in range(count):
+        database, pairs = generate_corpus_unit(config, db_index)
+        yield db_index, database, pairs
 
 
 # ----- JSON (de)serialization ---------------------------------------------

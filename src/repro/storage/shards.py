@@ -1,0 +1,552 @@
+"""On-disk shard format and build manifest for streamed benchmark builds.
+
+A sharded benchmark is a directory (see ``docs/CORPUS.md``)::
+
+    <dir>/
+      manifest.json          build manifest: per-DB content keys + file hashes
+      shards/<db>.jsonl      one (NL, VIS) pair per line, grammar-token form
+      corpus/<db>.json       the database (schema + rows) and its (NL, SQL) pairs
+      cache/journal.jsonl    persistent ExecutionCache journal (repro.storage.journal)
+
+Every shard is **content-addressed**: the manifest maps each database to
+a key hashed over everything that determines the shard's bytes (the
+database's schema and data — or, in streamed-generation mode, the
+corpus config and database index that deterministically produce them —
+plus the tree-edit config, build parameters, and the chart filter's
+training fingerprint).  An incremental rebuild recomputes keys, verifies
+file hashes, and skips every clean shard; a killed build resumes from
+the last committed manifest entry.  Files are written atomically
+(temp + rename), so a shard either exists completely or not at all.
+
+The shard format round-trips through the grammar serializer
+(:func:`repro.grammar.serialize.to_tokens` / ``from_tokens``), so a
+shard line is exactly one :class:`~repro.core.synthesizer.SynthesizedPair`
+and the whole directory is a save/load representation of an
+:class:`~repro.core.nvbench.NVBench`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import OrderedDict
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.storage.schema import Column, Database, ForeignKey, Table
+
+#: Bump when the shard record layout or the key derivation changes; a
+#: version mismatch makes every prior shard dirty instead of garbled.
+FORMAT_VERSION = 1
+
+
+# ----- canonical hashing ---------------------------------------------------
+
+
+def canonical_json(payload: object) -> str:
+    """Deterministic JSON: sorted keys, no whitespace drift."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def content_hash(payload: object) -> str:
+    """SHA-256 over the canonical JSON form of *payload*."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def file_sha256(path: Path) -> str:
+    """SHA-256 of a file's bytes (streamed, constant memory)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def write_text_atomic(path: Path, text: str) -> str:
+    """Write *text* to *path* via temp-file + rename; returns the sha256.
+
+    The rename is atomic on POSIX, so a killed build never leaves a
+    half-written shard or manifest — the file either has the old
+    content, the new content, or does not exist.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    data = text.encode("utf-8")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return hashlib.sha256(data).hexdigest()
+
+
+# ----- pair records --------------------------------------------------------
+
+
+def pair_record(pair, index: int) -> dict:
+    """One shard line for a synthesized pair; VIS in token form."""
+    from repro.grammar.serialize import to_tokens
+
+    return {
+        "index": index,
+        "nl": pair.nl,
+        "vis_tokens": to_tokens(pair.vis),
+        "db_name": pair.db_name,
+        "hardness": pair.hardness.value,
+        "source_nl": pair.source_nl,
+        "source_sql": pair.source_sql,
+        "manually_edited": pair.manually_edited,
+        "back_translated": pair.back_translated,
+    }
+
+
+def pair_from_record(record: dict):
+    """Rebuild a :class:`SynthesizedPair` from one shard line."""
+    from repro.core.hardness import Hardness
+    from repro.core.synthesizer import SynthesizedPair
+    from repro.grammar.ast_nodes import VisQuery
+    from repro.grammar.serialize import from_tokens
+
+    vis = from_tokens(record["vis_tokens"])
+    if not isinstance(vis, VisQuery):
+        raise ShardError("stored tokens do not form a vis query")
+    return SynthesizedPair(
+        nl=record["nl"],
+        vis=vis,
+        db_name=record["db_name"],
+        hardness=Hardness(record["hardness"]),
+        source_nl=record["source_nl"],
+        source_sql=record["source_sql"],
+        manually_edited=record["manually_edited"],
+        back_translated=record["back_translated"],
+    )
+
+
+# ----- database payloads ---------------------------------------------------
+
+
+def database_payload(database: Database) -> dict:
+    """The JSON form of one database (schema, rows, foreign keys)."""
+    return {
+        "name": database.name,
+        "domain": database.domain,
+        "tables": [
+            {
+                "name": table.name,
+                "columns": [
+                    {"name": c.name, "ctype": c.ctype} for c in table.columns
+                ],
+                "rows": [list(row) for row in table.rows],
+            }
+            for table in database.tables.values()
+        ],
+        "foreign_keys": [
+            {
+                "table": fk.table,
+                "column": fk.column,
+                "ref_table": fk.ref_table,
+                "ref_column": fk.ref_column,
+            }
+            for fk in database.foreign_keys
+        ],
+    }
+
+
+def database_from_payload(payload: dict) -> Database:
+    """Inverse of :func:`database_payload`."""
+    database = Database(name=payload["name"], domain=payload["domain"])
+    for table_payload in payload["tables"]:
+        table = Table(
+            name=table_payload["name"],
+            columns=tuple(
+                Column(name=c["name"], ctype=c["ctype"])
+                for c in table_payload["columns"]
+            ),
+        )
+        table.extend([tuple(row) for row in table_payload["rows"]])
+        database.add_table(table)
+    database.foreign_keys = [
+        ForeignKey(
+            table=fk["table"],
+            column=fk["column"],
+            ref_table=fk["ref_table"],
+            ref_column=fk["ref_column"],
+        )
+        for fk in payload["foreign_keys"]
+    ]
+    return database
+
+
+class ShardError(RuntimeError):
+    """Raised for unreadable or internally inconsistent shard files."""
+
+
+# ----- the manifest --------------------------------------------------------
+
+
+@dataclass
+class ManifestEntry:
+    """One database's committed shard: content key plus file hashes."""
+
+    name: str
+    key: str
+    db_index: int
+    shard_sha256: str
+    corpus_sha256: str
+    pairs: int
+    input_pairs: int
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "ManifestEntry":
+        return cls(**payload)
+
+
+@dataclass
+class BuildManifest:
+    """The build's source of truth: which shards exist and their keys.
+
+    The manifest is rewritten atomically after every committed shard, so
+    its entry list is exactly the set of shards a resumed build may
+    trust (subject to :meth:`ShardStore.entry_is_clean` re-verifying the
+    file hashes — a truncated or garbled shard is detected there and
+    rebuilt, never silently merged).
+    """
+
+    version: int = FORMAT_VERSION
+    mode: str = "corpus"
+    config_fingerprint: str = ""
+    filter_fingerprint: str = ""
+    entries: "OrderedDict[str, ManifestEntry]" = field(default_factory=OrderedDict)
+
+    def to_json(self) -> dict:
+        return {
+            "version": self.version,
+            "mode": self.mode,
+            "config_fingerprint": self.config_fingerprint,
+            "filter_fingerprint": self.filter_fingerprint,
+            "databases": [entry.to_json() for entry in self.entries.values()],
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "BuildManifest":
+        manifest = cls(
+            version=payload["version"],
+            mode=payload["mode"],
+            config_fingerprint=payload["config_fingerprint"],
+            filter_fingerprint=payload["filter_fingerprint"],
+        )
+        for entry_payload in payload["databases"]:
+            entry = ManifestEntry.from_json(entry_payload)
+            manifest.entries[entry.name] = entry
+        return manifest
+
+    def compatible_with(self, other: "BuildManifest") -> bool:
+        """Whether *other*'s shards may be reused by this build."""
+        return (
+            other.version == self.version
+            and other.mode == self.mode
+            and other.config_fingerprint == self.config_fingerprint
+            and other.filter_fingerprint == self.filter_fingerprint
+        )
+
+    @property
+    def total_pairs(self) -> int:
+        return sum(entry.pairs for entry in self.entries.values())
+
+    @property
+    def total_input_pairs(self) -> int:
+        return sum(entry.input_pairs for entry in self.entries.values())
+
+
+# ----- the store -----------------------------------------------------------
+
+
+class ShardStore:
+    """Path layout and atomic I/O for one sharded benchmark directory."""
+
+    def __init__(self, root: str):
+        self.root = Path(root)
+
+    # -- paths --
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / "manifest.json"
+
+    @property
+    def journal_path(self) -> Path:
+        return self.root / "cache" / "journal.jsonl"
+
+    def shard_path(self, db_name: str) -> Path:
+        return self.root / "shards" / f"{db_name}.jsonl"
+
+    def corpus_path(self, db_name: str) -> Path:
+        return self.root / "corpus" / f"{db_name}.json"
+
+    # -- shards --
+
+    def write_shard(self, db_name: str, records: Sequence[dict]) -> str:
+        """Write one shard atomically; returns its sha256."""
+        text = "".join(canonical_json(record) + "\n" for record in records)
+        return write_text_atomic(self.shard_path(db_name), text)
+
+    def read_shard_records(self, db_name: str) -> List[dict]:
+        """Parse one shard back into its record dicts."""
+        path = self.shard_path(db_name)
+        try:
+            lines = path.read_text().splitlines()
+        except OSError as exc:
+            raise ShardError(f"cannot read shard {path}: {exc}") from exc
+        records = []
+        for number, line in enumerate(lines, start=1):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ShardError(
+                    f"corrupt shard {path} line {number}: {exc}"
+                ) from exc
+            records.append(record)
+        return records
+
+    def read_shard_pairs(self, db_name: str) -> list:
+        """One shard as :class:`SynthesizedPair` objects."""
+        return [pair_from_record(r) for r in self.read_shard_records(db_name)]
+
+    # -- per-database corpus units --
+
+    def write_corpus_unit(
+        self, db_name: str, database: Database, input_pairs: Sequence[tuple]
+    ) -> str:
+        """Persist one database plus its (NL, SQL) pairs; returns sha256.
+
+        *input_pairs* is a sequence of ``(nl, sql)`` strings — the parsed
+        AST is rebuilt against the schema on load.
+        """
+        payload = {
+            "database": database_payload(database),
+            "pairs": [{"nl": nl, "sql": sql} for nl, sql in input_pairs],
+        }
+        return write_text_atomic(self.corpus_path(db_name), canonical_json(payload))
+
+    def load_corpus_unit(self, db_name: str) -> Tuple[Database, list]:
+        """Load one database and its re-parsed (NL, SQL) pairs."""
+        from repro.spider.corpus import NLSQLPair
+        from repro.sqlparse.parser import parse_sql
+
+        path = self.corpus_path(db_name)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ShardError(f"cannot read corpus unit {path}: {exc}") from exc
+        database = database_from_payload(payload["database"])
+        pairs = [
+            NLSQLPair(
+                nl=item["nl"],
+                sql=item["sql"],
+                query=parse_sql(item["sql"], database),
+                db_name=db_name,
+            )
+            for item in payload["pairs"]
+        ]
+        return database, pairs
+
+    # -- manifest --
+
+    def load_manifest(self) -> Optional[BuildManifest]:
+        """The committed manifest, or ``None`` when missing/corrupt.
+
+        A corrupt manifest is treated like an absent one — the build
+        restarts from zero rather than trusting damaged state (the shard
+        files themselves are still re-verified per entry, so nothing
+        garbled is ever merged).
+        """
+        try:
+            payload = json.loads(self.manifest_path.read_text())
+            return BuildManifest.from_json(payload)
+        except (OSError, json.JSONDecodeError, KeyError, TypeError):
+            return None
+
+    def save_manifest(self, manifest: BuildManifest) -> None:
+        write_text_atomic(
+            self.manifest_path, json.dumps(manifest.to_json(), indent=2)
+        )
+
+    def entry_is_clean(self, entry: ManifestEntry, key: str) -> bool:
+        """Whether a committed shard may be reused for content key *key*.
+
+        Requires the stored key to match *and* both on-disk files to
+        hash to their recorded digests — a truncated or bit-flipped
+        shard fails here and is rebuilt.
+        """
+        if entry.key != key:
+            return False
+        shard = self.shard_path(entry.name)
+        corpus = self.corpus_path(entry.name)
+        if not shard.is_file() or not corpus.is_file():
+            return False
+        return (
+            file_sha256(shard) == entry.shard_sha256
+            and file_sha256(corpus) == entry.corpus_sha256
+        )
+
+
+# ----- lazy, shard-backed views --------------------------------------------
+
+
+class _ShardLRU:
+    """Small LRU over decoded shards so lazy reads stay bounded-memory."""
+
+    def __init__(self, store: ShardStore, capacity: int = 4):
+        self.store = store
+        self.capacity = max(1, capacity)
+        self._cache: "OrderedDict[str, list]" = OrderedDict()
+
+    def pairs(self, db_name: str) -> list:
+        if db_name in self._cache:
+            self._cache.move_to_end(db_name)
+            return self._cache[db_name]
+        pairs = self.store.read_shard_pairs(db_name)
+        self._cache[db_name] = pairs
+        while len(self._cache) > self.capacity:
+            self._cache.popitem(last=False)
+        return pairs
+
+
+class ShardedPairs(Sequence):
+    """A lazy ``Sequence[SynthesizedPair]`` over a shard directory.
+
+    Lengths come from the manifest (no file is opened to answer
+    ``len``); ``__getitem__`` maps a global position to (shard, offset)
+    through precomputed prefix sums and decodes at most ``lru_size``
+    shards at a time; ``__iter__`` streams shard by shard.  This is the
+    backing sequence of a lazily loaded :class:`NVBench` — stats, eval,
+    and training iterate it without the corpus ever being fully
+    materialized.
+    """
+
+    def __init__(self, store: ShardStore, manifest: BuildManifest, lru_size: int = 4):
+        self._store = store
+        self._names: List[str] = list(manifest.entries)
+        self._counts = [manifest.entries[name].pairs for name in self._names]
+        self._offsets: List[int] = []
+        total = 0
+        for count in self._counts:
+            self._offsets.append(total)
+            total += count
+        self._total = total
+        self._lru = _ShardLRU(store, lru_size)
+
+    def __len__(self) -> int:
+        return self._total
+
+    def __iter__(self) -> Iterator:
+        for name in self._names:
+            yield from self._lru.pairs(name)
+
+    def __getitem__(self, position):
+        if isinstance(position, slice):
+            return [self[i] for i in range(*position.indices(self._total))]
+        if position < 0:
+            position += self._total
+        if not 0 <= position < self._total:
+            raise IndexError(position)
+        import bisect
+
+        shard = bisect.bisect_right(self._offsets, position) - 1
+        return self._lru.pairs(self._names[shard])[position - self._offsets[shard]]
+
+
+class LazyCorpusUnits:
+    """Shared loader/cache behind the lazy database map and pair list."""
+
+    def __init__(self, store: ShardStore, manifest: BuildManifest, capacity: int = 4):
+        self.store = store
+        self.names: List[str] = list(manifest.entries)
+        self.input_counts = {
+            name: manifest.entries[name].input_pairs for name in self.names
+        }
+        self.capacity = max(1, capacity)
+        self._cache: "OrderedDict[str, tuple]" = OrderedDict()
+
+    def unit(self, db_name: str) -> Tuple[Database, list]:
+        if db_name in self._cache:
+            self._cache.move_to_end(db_name)
+            return self._cache[db_name]
+        unit = self.store.load_corpus_unit(db_name)
+        self._cache[db_name] = unit
+        while len(self._cache) > self.capacity:
+            self._cache.popitem(last=False)
+        return unit
+
+
+class LazyDatabases(dict):
+    """A ``name -> Database`` map that loads per-DB JSON on first access.
+
+    Subclasses ``dict`` so everything that treats ``corpus.databases``
+    as a plain mapping (iteration, ``len``, membership) works without
+    touching the data; values load (and may later be evicted from the
+    shared LRU, staying pinned here once requested) on ``[]`` access.
+    """
+
+    def __init__(self, units: LazyCorpusUnits):
+        super().__init__()
+        self._units = units
+        for name in units.names:
+            dict.__setitem__(self, name, None)
+
+    def __getitem__(self, name: str) -> Database:
+        value = dict.__getitem__(self, name)
+        if value is None:
+            value = self._units.unit(name)[0]
+            dict.__setitem__(self, name, value)
+        return value
+
+    def get(self, name, default=None):
+        try:
+            return self[name]
+        except KeyError:
+            return default
+
+    def values(self):
+        return [self[name] for name in self]
+
+    def items(self):
+        return [(name, self[name]) for name in self]
+
+
+class LazyInputPairs(Sequence):
+    """Lazy ``Sequence[NLSQLPair]`` over the per-DB corpus units."""
+
+    def __init__(self, units: LazyCorpusUnits):
+        self._units = units
+        self._offsets: List[int] = []
+        total = 0
+        for name in units.names:
+            self._offsets.append(total)
+            total += units.input_counts[name]
+        self._total = total
+
+    def __len__(self) -> int:
+        return self._total
+
+    def __iter__(self) -> Iterator:
+        for name in self._units.names:
+            yield from self._units.unit(name)[1]
+
+    def __getitem__(self, position):
+        if isinstance(position, slice):
+            return [self[i] for i in range(*position.indices(self._total))]
+        if position < 0:
+            position += self._total
+        if not 0 <= position < self._total:
+            raise IndexError(position)
+        import bisect
+
+        unit = bisect.bisect_right(self._offsets, position) - 1
+        name = self._units.names[unit]
+        return self._units.unit(name)[1][position - self._offsets[unit]]

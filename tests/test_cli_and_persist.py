@@ -154,3 +154,58 @@ class TestCLI:
             "--database", "nope", "anything",
         ])
         assert code == 2
+
+
+class TestShardedCLI:
+    """build-benchmark --out DIR + stats/train --benchmark DIR."""
+
+    BASE = ["build-benchmark", "--databases", "2", "--pairs-per-db", "3",
+            "--row-scale", "0.3", "--seed", "3"]
+
+    def test_build_resume_and_stats_round_trip(self, tmp_path, capsys):
+        bench_dir = str(tmp_path / "bench_dir")
+        assert main(self.BASE + ["--out", bench_dir]) == 0
+        out = capsys.readouterr().out
+        assert "database shards" in out
+        assert (tmp_path / "bench_dir" / "manifest.json").is_file()
+
+        # resume over a finished build rebuilds nothing
+        assert main(self.BASE + ["--out", bench_dir, "--resume"]) == 0
+        assert "skipped clean 2" in capsys.readouterr().out
+
+        assert main(["stats", "--benchmark", bench_dir]) == 0
+        assert "databases: 2" in capsys.readouterr().out
+
+    def test_stats_flag_validation(self, tmp_path, capsys):
+        assert main(["stats"]) == 2
+        assert "--benchmark" in capsys.readouterr().err
+        assert main(["stats", "--benchmark", str(tmp_path / "d"),
+                     "--corpus", "x.json"]) == 2
+        assert "pick one" in capsys.readouterr().err
+
+    def test_resume_rejects_json_out(self, tmp_path, capsys):
+        code = main(self.BASE + ["--out", str(tmp_path / "bench.json"),
+                                 "--resume"])
+        assert code == 2
+        assert "shard directory" in capsys.readouterr().err
+
+    def test_stream_build_and_train(self, tmp_path, capsys):
+        bench_dir = str(tmp_path / "streamed")
+        code = main(self.BASE + ["--stream", "--out", bench_dir])
+        assert code == 0
+        capsys.readouterr()
+        code = main([
+            "train", "--benchmark", bench_dir, "--variant", "basic",
+            "--epochs", "1", "--embed-dim", "12", "--hidden-dim", "16",
+            "--out", str(tmp_path / "model"),
+        ])
+        assert code == 0
+        assert "saved model to" in capsys.readouterr().out
+
+    def test_paper_scale_capped_smoke(self, tmp_path, capsys):
+        bench_dir = str(tmp_path / "paper")
+        code = main(["build-benchmark", "--paper-scale",
+                     "--max-databases", "1", "--out", bench_dir])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 database shards" in out

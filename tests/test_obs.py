@@ -314,8 +314,12 @@ class TestBuildTracing:
         (root,) = _by_name(records, "build_nvbench")
         assert root["parent_id"] is None
         assert {r["trace_id"] for r in records} == {root["trace_id"]}
+        # one shard span per database — the shard is the unit of work
         shards = _by_name(records, "shard")
-        assert len(shards) == 2
+        assert len(shards) == len(tiny_corpus.databases)
+        assert {s["attributes"]["db"] for s in shards} == set(
+            tiny_corpus.databases
+        )
         (synth,) = _by_name(records, "synthesize")
         for shard in shards:
             assert shard["parent_id"] == synth["span_id"]
@@ -580,13 +584,13 @@ class TestTraceCLI:
 
         records = load_spans(str(trace_path))
         assert _by_name(records, "build_nvbench")
-        assert len(_by_name(records, "shard")) == 2
+        assert len(_by_name(records, "shard")) == 3  # one per database
 
         capsys.readouterr()
         assert main(["trace", "summarize", str(trace_path)]) == 0
         output = capsys.readouterr().out
         assert "build_nvbench" in output
-        assert "shard ×2" in output
+        assert "shard ×3" in output
         assert "stage breakdown" in output
 
     def test_summarize_missing_file(self, tmp_path, capsys):

@@ -1,0 +1,277 @@
+"""Unit tests for the shard store, build manifest, and cache journal.
+
+End-to-end resume/corruption behaviour lives in
+``tests/test_build_parallel.py``; this file pins the layer contracts:
+atomic writes, canonical hashing, record round-trips, manifest
+compatibility, and the journal's corruption tolerance.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.hardness import Hardness
+from repro.core.synthesizer import SynthesizedPair
+from repro.spider.corpus import CorpusConfig, generate_corpus_unit
+from repro.storage.executor import ExecutionCache, ResultTable
+from repro.storage.journal import (
+    PersistentExecutionCache,
+    decode_entry,
+    encode_entry,
+    load_journal,
+)
+from repro.storage.shards import (
+    BuildManifest,
+    ManifestEntry,
+    ShardError,
+    ShardStore,
+    canonical_json,
+    content_hash,
+    database_payload,
+    database_from_payload,
+    file_sha256,
+    pair_from_record,
+    pair_record,
+    write_text_atomic,
+)
+
+CFG = CorpusConfig(num_databases=2, pairs_per_database=3, row_scale=0.3, seed=3)
+
+
+@pytest.fixture(scope="module")
+def unit():
+    return generate_corpus_unit(CFG, 0)
+
+
+def _entry(name="db", key="k", **overrides):
+    fields = dict(
+        name=name, key=key, db_index=0, shard_sha256="s",
+        corpus_sha256="c", pairs=1, input_pairs=1,
+    )
+    fields.update(overrides)
+    return ManifestEntry(**fields)
+
+
+class TestHashing:
+    def test_canonical_json_is_key_order_independent(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+        assert content_hash({"b": 1, "a": 2}) == content_hash({"a": 2, "b": 1})
+
+    def test_content_hash_changes_with_content(self):
+        assert content_hash({"a": 1}) != content_hash({"a": 2})
+
+    def test_write_text_atomic_returns_file_hash(self, tmp_path):
+        path = tmp_path / "deep" / "file.txt"
+        written = write_text_atomic(path, "payload")
+        assert path.read_text() == "payload"
+        assert written == file_sha256(path)
+        assert not list(tmp_path.rglob("*.tmp"))
+
+    def test_database_payload_round_trips(self, unit):
+        database, _ = unit
+        rebuilt = database_from_payload(database_payload(database))
+        assert database_payload(rebuilt) == database_payload(database)
+        assert content_hash(database_payload(rebuilt)) == \
+            content_hash(database_payload(database))
+
+
+class TestPairRecords:
+    def test_round_trip(self, unit):
+        database, pairs = unit
+        from repro.core.nvbench import NVBenchConfig, build_nvbench
+        from repro.spider.corpus import SpiderCorpus
+
+        corpus = SpiderCorpus(databases={database.name: database}, pairs=pairs)
+        bench = build_nvbench(
+            corpus, NVBenchConfig(corpus=CFG, filter_training_pairs=4, seed=3)
+        )
+        assert bench.pairs
+        for index, pair in enumerate(bench.pairs):
+            record = pair_record(pair, index)
+            assert record["index"] == index
+            assert json.loads(canonical_json(record)) == record
+            assert pair_from_record(record) == pair
+
+    def test_bad_tokens_raise_shard_error(self, unit):
+        from repro.core.tree_edits import TreeEditConfig, generate_candidates
+        from repro.grammar.serialize import to_tokens
+
+        database, pairs = unit
+        candidate = next(
+            iter(generate_candidates(pairs[0].query, database, TreeEditConfig()))
+        )
+        record = pair_record(
+            SynthesizedPair(
+                nl="q", vis=candidate.vis, db_name=database.name,
+                hardness=Hardness.EASY, source_nl=pairs[0].nl,
+                source_sql=pairs[0].sql, manually_edited=False,
+                back_translated=False,
+            ),
+            0,
+        )
+        # stripping the "visualize <type>" prefix parses as a plain SQL
+        # query — not a vis — which the loader must reject
+        record["vis_tokens"] = to_tokens(candidate.vis)[2:]
+        with pytest.raises(ShardError):
+            pair_from_record(record)
+
+
+class TestShardStore:
+    def test_shard_write_read_round_trip(self, tmp_path):
+        store = ShardStore(str(tmp_path))
+        records = [{"index": 0, "a": 1}, {"index": 1, "a": 2}]
+        sha = store.write_shard("db_1", records)
+        assert file_sha256(store.shard_path("db_1")) == sha
+        assert store.read_shard_records("db_1") == records
+
+    def test_corrupt_shard_raises(self, tmp_path):
+        store = ShardStore(str(tmp_path))
+        store.write_shard("db_1", [{"a": 1}])
+        store.shard_path("db_1").write_text('{"a": 1}\ngarbage{{{\n')
+        with pytest.raises(ShardError):
+            store.read_shard_records("db_1")
+        with pytest.raises(ShardError):
+            store.read_shard_records("missing_db")
+
+    def test_corpus_unit_round_trip(self, tmp_path, unit):
+        database, pairs = unit
+        store = ShardStore(str(tmp_path))
+        store.write_corpus_unit(
+            database.name, database, [(p.nl, p.sql) for p in pairs]
+        )
+        loaded_db, loaded_pairs = store.load_corpus_unit(database.name)
+        assert database_payload(loaded_db) == database_payload(database)
+        assert [(p.nl, p.sql) for p in loaded_pairs] == \
+            [(p.nl, p.sql) for p in pairs]
+        # the SQL AST is re-parsed against the loaded schema
+        assert all(p.query is not None for p in loaded_pairs)
+
+    def test_entry_is_clean_verifies_key_and_both_files(self, tmp_path):
+        store = ShardStore(str(tmp_path))
+        shard_sha = store.write_shard("db_1", [{"a": 1}])
+        corpus_sha = write_text_atomic(store.corpus_path("db_1"), "{}")
+        entry = _entry(
+            name="db_1", key="k", shard_sha256=shard_sha,
+            corpus_sha256=corpus_sha,
+        )
+        assert store.entry_is_clean(entry, "k")
+        assert not store.entry_is_clean(entry, "other-key")
+        store.shard_path("db_1").write_text("tampered\n")
+        assert not store.entry_is_clean(entry, "k")
+
+
+class TestManifest:
+    def test_json_round_trip_preserves_order(self, tmp_path):
+        manifest = BuildManifest(
+            mode="streamed", config_fingerprint="cf", filter_fingerprint="ff"
+        )
+        manifest.entries["b"] = _entry(name="b", db_index=0)
+        manifest.entries["a"] = _entry(name="a", db_index=1)
+        store = ShardStore(str(tmp_path))
+        store.save_manifest(manifest)
+        loaded = store.load_manifest()
+        assert list(loaded.entries) == ["b", "a"]
+        assert loaded.to_json() == manifest.to_json()
+        assert loaded.compatible_with(manifest)
+
+    def test_incompatible_fingerprints(self):
+        base = BuildManifest(config_fingerprint="cf", filter_fingerprint="ff")
+        assert not base.compatible_with(
+            BuildManifest(config_fingerprint="other", filter_fingerprint="ff")
+        )
+        assert not base.compatible_with(
+            BuildManifest(config_fingerprint="cf", filter_fingerprint="other")
+        )
+        assert not base.compatible_with(
+            BuildManifest(mode="streamed", config_fingerprint="cf",
+                          filter_fingerprint="ff")
+        )
+
+    def test_corrupt_manifest_loads_as_none(self, tmp_path):
+        store = ShardStore(str(tmp_path))
+        assert store.load_manifest() is None
+        store.manifest_path.parent.mkdir(parents=True, exist_ok=True)
+        store.manifest_path.write_text("{ not json")
+        assert store.load_manifest() is None
+        store.manifest_path.write_text('{"version": 1}')
+        assert store.load_manifest() is None
+
+
+class TestJournal:
+    KEY = ("db_1", ("select", "name", "from", "t"))
+
+    def test_result_entry_round_trips(self):
+        table = ResultTable(columns=["a", "b"], rows=[(1, "x"), (2, "y")])
+        line = encode_entry(self.KEY, ExecutionCache._OK, table)
+        key, (kind, value) = decode_entry(line)
+        assert key == self.KEY
+        assert kind == ExecutionCache._OK
+        assert value.columns == ["a", "b"]
+        assert value.rows == [(1, "x"), (2, "y")]
+
+    def test_error_entry_round_trips(self):
+        line = encode_entry(self.KEY, ExecutionCache._ERR, "no such column")
+        _, (kind, value) = decode_entry(line)
+        assert kind == ExecutionCache._ERR
+        assert value == "no such column"
+
+    def test_tampered_line_decodes_to_none(self):
+        line = encode_entry(self.KEY, ExecutionCache._ERR, "boom")
+        assert decode_entry(line.replace("boom", "BOOM")) is None
+        assert decode_entry(line[: len(line) // 2]) is None
+        assert decode_entry("not json\n") is None
+
+    def test_load_journal_skips_and_counts_corruption(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        ok1 = encode_entry(("db", ("a",)), ExecutionCache._ERR, "x")
+        ok2 = encode_entry(("db", ("b",)), ExecutionCache._ERR, "y")
+        path.write_text(ok1 + "garbage\n" + ok2 + ok2[:10])
+        entries, corrupt = load_journal(path)
+        assert len(entries) == 2
+        assert corrupt == 2
+
+    def test_later_lines_win(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        first = encode_entry(("db", ("a",)), ExecutionCache._ERR, "old")
+        second = encode_entry(("db", ("a",)), ExecutionCache._ERR, "new")
+        path.write_text(first + second)
+        entries, _ = load_journal(path)
+        assert entries[("db", ("a",))] == (ExecutionCache._ERR, "new")
+
+    def test_persistent_cache_flush_and_reload(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        cache = PersistentExecutionCache(str(path))
+        assert cache.preloaded == 0
+        table = ResultTable(columns=["a"], rows=[(1,)])
+        cache.store_result(("db", ("q",)), table)
+        cache.store_error(("db", ("bad",)), "boom")
+        assert cache.flush() == 2
+        assert cache.flush() == 0  # nothing pending twice
+
+        reloaded = PersistentExecutionCache(str(path))
+        assert reloaded.preloaded == 2
+        kind, value = reloaded.fetch(("db", ("q",)))
+        assert kind == ExecutionCache._OK
+        assert value.columns == ["a"] and value.rows == [(1,)]
+        assert reloaded.fetch(("db", ("bad",))) == \
+            (ExecutionCache._ERR, "boom")
+
+    def test_absorb_entries_marks_pending(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        cache = PersistentExecutionCache(str(path))
+        donor = ExecutionCache()
+        donor.store_error(("db", ("q",)), "boom")
+        added = cache.absorb_entries(list(donor._entries.items()))
+        assert added == 1
+        assert cache.absorb_entries(list(donor._entries.items())) == 0
+        assert cache.flush() == 1
+        assert PersistentExecutionCache(str(path)).preloaded == 1
+
+    def test_does_not_pickle(self, tmp_path):
+        import pickle
+
+        cache = PersistentExecutionCache(str(tmp_path / "j.jsonl"))
+        with pytest.raises(TypeError):
+            pickle.dumps(cache)
