@@ -19,9 +19,18 @@ config), and pins the headline claim — the vectorized batched beam must
 be at least 3x the per-example beam's throughput while staying
 token-identical.
 
-Both tests read-modify-write ``results/BENCH_serve.json`` so the
-batching trajectory and the decode matrix land in one artifact
-regardless of which test (or ``-k`` subset) ran.
+``test_multi_worker_matrix`` scales out instead of up: the same load
+replayed against the multi-process :class:`WorkerPool` at 1/2/4/8
+workers (greedy and beam at the standard profile), asserting outputs
+stay bit-identical to the serial reference, resident weight bytes stay
+O(1) in the worker count (one shared segment), and a rolling hot-swap
+under load completes with zero failed requests.  The 4-worker >= 2.5x
+throughput assertion requires >= 4 cores — single-core CI records the
+curve without asserting scaling.
+
+All tests read-modify-write ``results/BENCH_serve.json`` so the
+batching trajectory, the decode matrix, and the multi-worker matrix
+land in one artifact regardless of which test (or ``-k`` subset) ran.
 """
 
 from __future__ import annotations
@@ -41,7 +50,9 @@ from repro.serve import (
     LoadGenerator,
     ModelRegistry,
     NeuralTranslator,
+    PoolConfig,
     ServerConfig,
+    WorkerPool,
     translate_batch,
     translate_question,
 )
@@ -319,3 +330,181 @@ def test_decode_matrix():
     assert beam_speedup >= 3.0, (
         f"batched beam-4 only {beam_speedup:.2f}x the per-example beam"
     )
+
+
+def test_multi_worker_matrix():
+    """The horizontal-scaling headline: rps/p50 at 1/2/4/8 workers.
+
+    Every pool shares one weight segment, so the recorded
+    ``shared_weight_bytes`` must be identical across worker counts (the
+    O(1)-resident claim), and every response must be token-identical to
+    the serial ``translate_question`` reference.  A rolling hot-swap
+    runs under load and must complete with zero failed requests.  The
+    >= 2.5x 4-worker throughput assertion only fires on hosts with >= 4
+    cores at the standard profile — numpy decode is CPU-bound, so a
+    1-core CI slice records the curve without asserting scaling.
+    """
+    quick = os.environ.get("REPRO_BENCH_PROFILE") == "quick"
+    corpus_config = CorpusConfig(
+        num_databases=4 if quick else 6,
+        pairs_per_database=8,
+        row_scale=0.4,
+        seed=7,
+    )
+    bench = build_nvbench(config=NVBenchConfig(corpus=corpus_config, seed=7))
+    dataset = build_dataset(bench.pairs[:80], bench.databases)
+    model = Seq2Vis(
+        len(dataset.in_vocab), len(dataset.out_vocab), "attention",
+        32, 48, seed=11, dtype="float32",
+    )
+    db_names = sorted(bench.databases)
+    n_requests = 24 if quick else 48
+    worker_counts = [1, 2] if quick else [1, 2, 4, 8]
+    decodes = (
+        [("greedy", {})]
+        if quick
+        else [("greedy", {}), ("beam4", {"beam_width": 4})]
+    )
+
+    def request_list(extra: dict) -> list:
+        return [
+            {
+                "question": f"{QUESTION_STEMS[i % len(QUESTION_STEMS)]} ({i})",
+                "db": db_names[i % len(db_names)],
+                "use_cache": False,
+                **extra,
+            }
+            for i in range(n_requests)
+        ]
+
+    reference = {
+        tag: [
+            translate_batch(
+                model, dataset.in_vocab, dataset.out_vocab,
+                [(r["question"], bench.databases[r["db"]])],
+                decode=DecodeConfig(beam_width=extra.get("beam_width", 1)),
+            )[0].tokens
+            for r in request_list(extra)
+        ]
+        for tag, extra in decodes
+    }
+
+    def make_pool(workers: int) -> WorkerPool:
+        pool = WorkerPool(
+            bench.databases,
+            PoolConfig(
+                workers=workers,
+                worker=ServerConfig(
+                    max_batch_size=8, flush_interval=0.01, cache_size=0
+                ),
+            ),
+        )
+        pool.share_model(
+            "attn", model, dataset.in_vocab, dataset.out_vocab, default=True
+        )
+        return pool
+
+    matrix: dict = {}
+    shared_bytes_by_workers: dict = {}
+    rps: dict = {}
+    lines = []
+    for workers in worker_counts:
+        pool = make_pool(workers)
+        with BackgroundServer(pool) as background:
+            client = background.client()
+            shared_bytes_by_workers[workers] = (
+                client.healthz()["weights"]["shared_bytes"]
+            )
+            for tag, extra in decodes:
+                generator = LoadGenerator(client, concurrency=8)
+                report, responses = generator.run(request_list(extra))
+                assert report.errors == 0, report.by_status
+                for response, expected in zip(responses, reference[tag]):
+                    assert response["tokens"] == expected, (
+                        f"workers={workers} {tag} diverged from the "
+                        "single-process reference"
+                    )
+                matrix[f"workers={workers}/{tag}"] = report.to_json()
+                rps[(workers, tag)] = report.rps
+                lines.append(
+                    f"workers={workers} {tag:7s} {report.rps:7.1f} rps  "
+                    f"p50 {report.p50_ms:6.1f}ms  p99 {report.p99_ms:6.1f}ms"
+                )
+
+    # resident weight bytes are O(1), not O(workers): every pool maps
+    # the same single segment
+    assert len(set(shared_bytes_by_workers.values())) == 1, (
+        f"shared weight bytes varied with worker count: "
+        f"{shared_bytes_by_workers}"
+    )
+
+    # ----- rolling hot-swap under load: zero failed requests -----------
+    import threading
+
+    pool = make_pool(2)
+    new_model = Seq2Vis(
+        len(dataset.in_vocab), len(dataset.out_vocab), "attention",
+        32, 48, seed=13, dtype="float32",
+    )
+    with BackgroundServer(pool) as background:
+        client = background.client()
+        generator = LoadGenerator(client, concurrency=8)
+        outcome: dict = {}
+        thread = threading.Thread(
+            target=lambda: outcome.update(
+                report=generator.run(request_list({}))[0]
+            )
+        )
+        thread.start()
+        time.sleep(0.05)
+        swap_started = time.perf_counter()
+        pool.swap_model(
+            "attn", new_model, dataset.in_vocab, dataset.out_vocab,
+            default=True,
+        )
+        swap_seconds = time.perf_counter() - swap_started
+        thread.join(timeout=300)
+    swap_report = outcome["report"]
+    assert swap_report.errors == 0, (
+        f"rolling hot-swap failed requests: {swap_report.by_status}"
+    )
+
+    cores = os.cpu_count() or 1
+    scaling_4x = (
+        rps.get((4, "greedy"), 0.0) / rps[(1, "greedy")]
+        if rps.get((1, "greedy")) else 0.0
+    )
+    _merge_trajectory({
+        "multi_worker": {
+            "matrix": matrix,
+            "shared_weight_bytes": shared_bytes_by_workers[
+                worker_counts[0]
+            ],
+            "shared_bytes_by_workers": {
+                str(k): v for k, v in shared_bytes_by_workers.items()
+            },
+            "scaling_4x_vs_1": scaling_4x,
+            "cpu_cores": cores,
+            "hot_swap": {
+                **swap_report.to_json(),
+                "swap_seconds": swap_seconds,
+            },
+        },
+    })
+
+    emit(
+        "BENCH multi-worker serving",
+        "\n".join(lines)
+        + f"\nshared weights {shared_bytes_by_workers[worker_counts[0]]} "
+        f"bytes (identical at every worker count)\n"
+        f"hot swap under load: {swap_report.errors} failed requests "
+        f"({swap_seconds * 1000:.0f}ms swap)\n"
+        f"cores {cores}"
+        + (f"  4-worker scaling {scaling_4x:.2f}x" if scaling_4x else ""),
+    )
+
+    if not quick and cores >= 4 and (4, "greedy") in rps:
+        assert scaling_4x >= 2.5, (
+            f"4 workers only {scaling_4x:.2f}x single-worker rps "
+            f"on a {cores}-core host"
+        )

@@ -372,7 +372,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.serve import InferenceServer, ModelRegistry, ServerConfig
 
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
     corpus = load_corpus(args.corpus)
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_batch_size=args.max_batch_size,
+        flush_interval=args.flush_ms / 1000.0,
+        max_queue_depth=args.queue_depth,
+        request_timeout=args.timeout,
+        cache_size=args.cache_size,
+        encoder_cache_size=args.encoder_cache_size,
+        default_format=args.format,
+        default_beam_width=args.beam_width,
+    )
+    if args.workers > 1:
+        return _serve_pool(args, corpus, config)
+
     registry = ModelRegistry()
     for spec in args.model or []:
         name, _, path = spec.partition("=")
@@ -393,18 +411,6 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         for name, seconds in registry.warm(corpus.databases).items():
             print(f"warmed {name} in {seconds * 1000:.1f} ms")
 
-    config = ServerConfig(
-        host=args.host,
-        port=args.port,
-        max_batch_size=args.max_batch_size,
-        flush_interval=args.flush_ms / 1000.0,
-        max_queue_depth=args.queue_depth,
-        request_timeout=args.timeout,
-        cache_size=args.cache_size,
-        encoder_cache_size=args.encoder_cache_size,
-        default_format=args.format,
-        default_beam_width=args.beam_width,
-    )
     tracer, exporter = _open_tracer(args.trace)
     server = InferenceServer(
         registry, corpus.databases, config=config, tracer=tracer
@@ -432,6 +438,72 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pass
     _close_tracer(exporter, args.trace)
     print("server drained; bye")
+    return 0
+
+
+def _serve_pool(args: argparse.Namespace, corpus, config) -> int:
+    """``serve --workers N`` (N > 1): the multi-process front/worker pool.
+
+    With ``--trace`` the argument names a **directory**: the front
+    writes ``front.jsonl`` and each worker ``worker-N.jsonl``, and
+    ``repro trace summarize DIR`` stitches them into one tree.
+    """
+    import asyncio
+    from pathlib import Path
+
+    from repro.serve import PoolConfig, WorkerPool
+
+    tracer = exporter = None
+    if args.trace:
+        from repro.obs import JsonlExporter, Tracer
+
+        Path(args.trace).mkdir(parents=True, exist_ok=True)
+        exporter = JsonlExporter(Path(args.trace) / "front.jsonl")
+        tracer = Tracer(exporter=exporter)
+
+    pool = WorkerPool(
+        corpus.databases,
+        PoolConfig(
+            workers=args.workers,
+            host=args.host,
+            port=args.port,
+            worker=config,
+            warm=args.warm,
+            trace_dir=args.trace,
+        ),
+        tracer=tracer,
+    )
+    models = 0
+    for spec in args.model or []:
+        name, _, path = spec.partition("=")
+        if not name or not path:
+            print(f"--model wants NAME=PATH, got {spec!r}", file=sys.stderr)
+            return 2
+        pool.load_npz(name, path, precision=args.precision)
+        models += 1
+    if args.baselines or not models:
+        pool.register_baselines()
+    if args.default:
+        pool.set_default(args.default)
+
+    async def _main() -> None:
+        host, port = await pool.start()
+        print(f"serving on http://{host}:{port} with {args.workers} decode "
+              f"workers (shared weights; batch<={config.max_batch_size} "
+              f"per worker, flush {args.flush_ms}ms)")
+        try:
+            await pool._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await pool.shutdown()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    _close_tracer(exporter, args.trace and str(Path(args.trace) / "front.jsonl"))
+    print("pool drained; bye")
     return 0
 
 
@@ -633,9 +705,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="default render format for responses")
     p.add_argument("--warm", action="store_true",
                    help="run one dummy request per model before serving")
+    p.add_argument("--workers", type=int, default=1,
+                   help="decode worker processes; 1 (default) serves "
+                        "single-process, N>1 runs the front/worker pool "
+                        "with weights in shared memory")
     p.add_argument("--trace",
                    help="write a JSONL span export: one trace per request "
-                        "(http.request → batch.wait/decode/render)")
+                        "(http.request → batch.wait/decode/render); with "
+                        "--workers N>1 this names a directory holding "
+                        "front.jsonl + worker-N.jsonl")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("trace", help="inspect JSONL span exports")
@@ -644,7 +722,11 @@ def build_parser() -> argparse.ArgumentParser:
         "summarize",
         help="render a span tree + per-stage latency table from an export",
     )
-    ps.add_argument("path", help="JSONL file written by a --trace flag")
+    ps.add_argument("path",
+                    help="JSONL file written by a --trace flag, or a "
+                         "directory of per-process exports (the "
+                         "multi-worker pool's front.jsonl + "
+                         "worker-N.jsonl stitch into one tree)")
     ps.add_argument("--trace-id", help="render only this trace")
     ps.add_argument("--min-ms", type=float, default=0.0,
                     help="hide spans shorter than this many milliseconds")

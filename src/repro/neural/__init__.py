@@ -27,6 +27,13 @@ from repro.neural.quantize import (
     quantize_model,
     quantized_copy,
 )
+from repro.neural.shared import (
+    SharedManifest,
+    SharedModel,
+    SharedWeightsError,
+    share_model,
+    shared_segments_report,
+)
 from repro.neural.slots import fill_value_slots
 from repro.neural.trainer import TrainConfig, train_model
 
@@ -40,6 +47,9 @@ __all__ = [
     "ReferenceAdam",
     "Seq2Vis",
     "Seq2VisDataset",
+    "SharedManifest",
+    "SharedModel",
+    "SharedWeightsError",
     "Tensor",
     "TrainConfig",
     "build_dataset",
@@ -50,6 +60,8 @@ __all__ = [
     "quantize_model",
     "quantized_copy",
     "set_default_dtype",
+    "share_model",
+    "shared_segments_report",
     "train_model",
     "using_dtype",
 ]

@@ -1,0 +1,402 @@
+"""Model weights in POSIX shared memory: pack once, attach everywhere.
+
+The multi-process serving layer (:mod:`repro.serve.pool`) runs N decode
+workers, and N private copies of the weights would make replica memory
+grow O(workers).  The flat-buffer persistence layout already stores each
+parameter as one contiguous array, which is exactly what a shared
+mapping wants: :func:`share_model` copies every parameter payload into a
+single :class:`multiprocessing.shared_memory.SharedMemory` segment, and
+:meth:`SharedModel.views` rebuilds a :class:`~repro.neural.model.Seq2Vis`
+whose parameters are **read-only numpy views into the segment** — no
+copy, so resident weight bytes stay O(1) in the worker count.
+
+Quantized models compose: an int8/float16 model's payloads are shared
+as-is (the segment is 4x/2x smaller), and each worker's
+:class:`~repro.neural.quantize.QuantizedParameter` dequantizes lazily
+into its own float32 compute cache on first use.
+
+Segment layout::
+
+    [0:8)    generation counter (little-endian uint64, starts at 1)
+    [8:64)   reserved
+    [64:...) parameter payloads, each 64-byte aligned, in
+             ``Module.parameters()`` order
+
+The :class:`SharedManifest` (JSON-serializable) carries everything a
+worker needs to attach: segment name, model hyperparameters, both
+vocabularies, and per-parameter (shape, dtype, offset, scale) slots.
+It crosses process boundaries as plain JSON — the hot-swap control
+message is exactly ``manifest.to_json()``.
+
+Lifecycle: the process that calls :func:`share_model` owns the segment
+and must :meth:`SharedModel.destroy` it (close + unlink) on shutdown;
+attached processes only ever :meth:`SharedModel.close`.  Attaching
+processes must be **forked** from the owner so both share one
+``resource_tracker`` daemon — a ``spawn``\\ ed process's private tracker
+would unlink the segment out from under everyone when it exits.
+"""
+
+from __future__ import annotations
+
+import secrets
+import struct
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.neural.model import Seq2Vis
+from repro.neural.quantize import (
+    QuantizedParameter,
+    _parameter_slots,
+    model_precision,
+)
+from repro.nlp.vocab import SPECIALS, Vocabulary
+
+#: Reserved bytes before the first payload: generation counter + spare.
+HEADER_BYTES = 64
+
+#: Payload alignment (cache-line) inside the segment.
+ALIGNMENT = 64
+
+#: Every segment name starts with this, so a leak check can
+#: ``ls /dev/shm/repro-weights-*`` and a crashed test run is greppable.
+SEGMENT_PREFIX = "repro-weights-"
+
+_GENERATION_STRUCT = struct.Struct("<Q")
+
+
+class SharedWeightsError(RuntimeError):
+    """A segment/manifest mismatch while packing or attaching."""
+
+
+def _aligned(offset: int) -> int:
+    return (offset + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+
+
+@dataclass(frozen=True)
+class SharedSlot:
+    """One parameter's location inside the segment."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str              # payload dtype as stored (int8/float16/float32/...)
+    offset: int
+    nbytes: int
+    scale: float = 1.0      # int8 dequantize scale (1.0 otherwise)
+    quantized: Optional[str] = None  # "int8"/"float16" or None for plain floats
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "shape": list(self.shape),
+            "dtype": self.dtype,
+            "offset": self.offset,
+            "nbytes": self.nbytes,
+            "scale": self.scale,
+            "quantized": self.quantized,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "SharedSlot":
+        return cls(
+            name=payload["name"],
+            shape=tuple(int(d) for d in payload["shape"]),
+            dtype=payload["dtype"],
+            offset=int(payload["offset"]),
+            nbytes=int(payload["nbytes"]),
+            scale=float(payload.get("scale", 1.0)),
+            quantized=payload.get("quantized"),
+        )
+
+
+@dataclass(frozen=True)
+class SharedManifest:
+    """Everything needed to rebuild a model from a shared segment.
+
+    JSON-serializable (:meth:`to_json` / :meth:`from_json`): the
+    pool ships it to workers inside the ``/control/swap`` body.
+    """
+
+    segment: str
+    variant: str
+    embed_dim: int
+    hidden_dim: int
+    in_vocab: Tuple[str, ...]
+    out_vocab: Tuple[str, ...]
+    dtype: str       # compute dtype of float parameters
+    precision: str   # model_precision(): float32/float64/float16/int8
+    total_bytes: int
+    slots: Tuple[SharedSlot, ...]
+
+    def to_json(self) -> dict:
+        return {
+            "segment": self.segment,
+            "variant": self.variant,
+            "embed_dim": self.embed_dim,
+            "hidden_dim": self.hidden_dim,
+            "in_vocab": list(self.in_vocab),
+            "out_vocab": list(self.out_vocab),
+            "dtype": self.dtype,
+            "precision": self.precision,
+            "total_bytes": self.total_bytes,
+            "slots": [slot.to_json() for slot in self.slots],
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "SharedManifest":
+        return cls(
+            segment=payload["segment"],
+            variant=payload["variant"],
+            embed_dim=int(payload["embed_dim"]),
+            hidden_dim=int(payload["hidden_dim"]),
+            in_vocab=tuple(payload["in_vocab"]),
+            out_vocab=tuple(payload["out_vocab"]),
+            dtype=payload["dtype"],
+            precision=payload["precision"],
+            total_bytes=int(payload["total_bytes"]),
+            slots=tuple(
+                SharedSlot.from_json(slot) for slot in payload["slots"]
+            ),
+        )
+
+
+class SharedModel:
+    """A handle on one model's weights in a shared segment.
+
+    ``owner=True`` for the process that created (and must unlink) the
+    segment; attached handles are ``owner=False`` and only ever close.
+    """
+
+    def __init__(
+        self,
+        manifest: SharedManifest,
+        shm: shared_memory.SharedMemory,
+        owner: bool,
+    ):
+        self.manifest = manifest
+        self.shm = shm
+        self.owner = owner
+        self._destroyed = False
+
+    # ----- segment header ------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """The swap-epoch counter stored in the segment header."""
+        return _GENERATION_STRUCT.unpack_from(self.shm.buf, 0)[0]
+
+    def set_generation(self, value: int) -> None:
+        """Stamp the header counter (single-writer: the pool)."""
+        _GENERATION_STRUCT.pack_into(self.shm.buf, 0, int(value))
+
+    @property
+    def nbytes(self) -> int:
+        """Total segment size (header + aligned payloads)."""
+        return self.manifest.total_bytes
+
+    # ----- model reconstruction -----------------------------------------
+
+    def views(self) -> Tuple[Seq2Vis, Vocabulary, Vocabulary]:
+        """A model whose parameters are read-only views into the segment.
+
+        Bit-identical to the model :func:`share_model` packed: float
+        parameters alias the shared bytes directly; quantized slots get
+        a :class:`QuantizedParameter` over the shared payload.  Nothing
+        is copied, so calling this in every worker costs no weight
+        memory beyond the one segment.
+        """
+        manifest = self.manifest
+        in_vocab = Vocabulary(
+            t for t in manifest.in_vocab if t not in SPECIALS
+        )
+        out_vocab = Vocabulary(
+            t for t in manifest.out_vocab if t not in SPECIALS
+        )
+        if (
+            tuple(in_vocab.tokens) != manifest.in_vocab
+            or tuple(out_vocab.tokens) != manifest.out_vocab
+        ):
+            raise SharedWeightsError(
+                f"vocabulary mismatch attaching {manifest.segment!r}"
+            )
+        model = Seq2Vis(
+            in_vocab_size=len(in_vocab),
+            out_vocab_size=len(out_vocab),
+            variant=manifest.variant,
+            embed_dim=manifest.embed_dim,
+            hidden_dim=manifest.hidden_dim,
+            dtype=manifest.dtype,
+        )
+        slots = _parameter_slots(model)
+        if len(slots) != len(manifest.slots):
+            raise SharedWeightsError(
+                f"parameter count mismatch attaching {manifest.segment!r}: "
+                f"{len(manifest.slots)} shared vs {len(slots)} in the model"
+            )
+        buf = self.shm.buf
+        for (module, attr, param), slot in zip(slots, manifest.slots):
+            view = np.ndarray(
+                slot.shape, dtype=np.dtype(slot.dtype),
+                buffer=buf, offset=slot.offset,
+            )
+            view.flags.writeable = False
+            if slot.quantized is not None:
+                setattr(
+                    module, attr,
+                    QuantizedParameter(
+                        view, slot.scale, slot.quantized, name=param.name
+                    ),
+                )
+            else:
+                if view.shape != param.data.shape:
+                    raise SharedWeightsError(
+                        f"shape mismatch for {slot.name!r}: "
+                        f"{view.shape} shared vs {param.data.shape}"
+                    )
+                param.data = view
+        model.checkpoint_meta = {
+            "dtype": manifest.dtype,
+            "optimizer": None,
+            "precision": manifest.precision,
+            "segment": manifest.segment,
+        }
+        return model, in_vocab, out_vocab
+
+    # ----- lifecycle -----------------------------------------------------
+
+    @classmethod
+    def attach(cls, manifest: SharedManifest) -> "SharedModel":
+        """Attach to an existing segment by name (non-owning).
+
+        Pool workers are forked, so they share the pool's
+        ``resource_tracker`` daemon: the attach-time registration is a
+        set-idempotent no-op there, and the single unregister happens in
+        the owner's :meth:`unlink`.  (Do not attach from a ``spawn``\\ ed
+        process — its private tracker would unlink the segment when the
+        process exits.)
+        """
+        shm = shared_memory.SharedMemory(name=manifest.segment)
+        return cls(manifest, shm, owner=False)
+
+    def close(self) -> None:
+        """Drop this process's mapping, best-effort.
+
+        numpy views exported from the buffer keep the mapping pinned —
+        a ``BufferError`` here just means an old translator is still
+        being garbage-collected, and the memory is reclaimed when the
+        process (or the last view) goes away.
+        """
+        try:
+            self.shm.close()
+        except BufferError:
+            pass
+
+    def unlink(self) -> None:
+        """Remove the segment name (owner only); mappings survive it."""
+        if not self.owner or self._destroyed:
+            return
+        self._destroyed = True
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def destroy(self) -> None:
+        """Owner shutdown: unlink the name, then drop the mapping."""
+        self.unlink()
+        self.close()
+
+
+def share_model(
+    model: Seq2Vis,
+    in_vocab: Vocabulary,
+    out_vocab: Vocabulary,
+    name: Optional[str] = None,
+) -> SharedModel:
+    """Pack *model*'s weights into a fresh shared segment (owning handle).
+
+    Works for float and quantized models alike: a
+    :class:`QuantizedParameter`'s stored payload (int8/float16) is what
+    lands in the segment, so quantization shrinks the shared bytes too.
+    The source model is left untouched.
+    """
+    slots = []
+    offset = HEADER_BYTES
+    payloads = []
+    for _, _, param in _parameter_slots(model):
+        if isinstance(param, QuantizedParameter):
+            payload = np.ascontiguousarray(param.payload)
+            quantized: Optional[str] = param.precision
+            scale = float(param.scale)
+        else:
+            payload = np.ascontiguousarray(param.data)
+            quantized = None
+            scale = 1.0
+        offset = _aligned(offset)
+        slots.append(SharedSlot(
+            name=param.name,
+            shape=tuple(int(d) for d in payload.shape),
+            dtype=str(payload.dtype),
+            offset=offset,
+            nbytes=int(payload.nbytes),
+            scale=scale,
+            quantized=quantized,
+        ))
+        payloads.append(payload)
+        offset += int(payload.nbytes)
+
+    total = max(_aligned(offset), HEADER_BYTES + ALIGNMENT)
+    segment_name = name or f"{SEGMENT_PREFIX}{secrets.token_hex(6)}"
+    shm = shared_memory.SharedMemory(
+        create=True, size=total, name=segment_name
+    )
+    manifest = SharedManifest(
+        segment=shm.name,
+        variant=model.variant,
+        embed_dim=int(model.embed_in.weight.data.shape[1]),
+        hidden_dim=int(model.hidden_dim),
+        in_vocab=tuple(in_vocab.tokens),
+        out_vocab=tuple(out_vocab.tokens),
+        dtype=str(model.dtype),
+        precision=model_precision(model),
+        total_bytes=total,
+        slots=tuple(slots),
+    )
+    buf = shm.buf
+    buf[:HEADER_BYTES] = bytes(HEADER_BYTES)
+    for slot, payload in zip(slots, payloads):
+        dest = np.ndarray(
+            slot.shape, dtype=np.dtype(slot.dtype),
+            buffer=buf, offset=slot.offset,
+        )
+        dest[...] = payload
+        del dest  # release the buffer export so close() stays possible
+    shared = SharedModel(manifest, shm, owner=True)
+    shared.set_generation(1)
+    return shared
+
+
+def shared_segments_report(
+    shared: Dict[str, SharedModel]
+) -> Dict[str, object]:
+    """The ``weights`` document /healthz and /metrics publish.
+
+    ``shared_bytes`` is the sum over segments — by construction it does
+    not depend on how many workers attached, which is the O(1)-resident
+    claim the multi-worker benchmark asserts.
+    """
+    segments = {
+        name: {
+            "segment": handle.manifest.segment,
+            "bytes": handle.nbytes,
+            "generation": handle.generation,
+            "precision": handle.manifest.precision,
+        }
+        for name, handle in sorted(shared.items())
+    }
+    return {
+        "shared_bytes": sum(entry["bytes"] for entry in segments.values()),
+        "segments": segments,
+    }

@@ -95,10 +95,25 @@ class JsonlExporter:
 def load_spans(path: str) -> List[dict]:
     """Read a JSONL trace export back into span records.
 
+    *path* may also be a **directory**: every ``*.jsonl`` inside (sorted
+    by name) is concatenated, which is how multi-process traces come
+    back together — the worker pool writes ``front.jsonl`` plus one
+    ``worker-N.jsonl`` per process, all sharing trace ids, and the span
+    tree stitches them because parent ids cross the files.
+
     Blank lines are skipped; a malformed line raises ``ValueError`` with
     its line number so a truncated export is diagnosable.
     """
-    records: List[dict] = []
+    target = Path(path)
+    if target.is_dir():
+        files = sorted(target.glob("*.jsonl"))
+        if not files:
+            raise ValueError(f"{path}: directory holds no .jsonl trace files")
+        records: List[dict] = []
+        for file in files:
+            records.extend(load_spans(str(file)))
+        return records
+    records = []
     for number, line in enumerate(_lines(path), start=1):
         if not line.strip():
             continue

@@ -10,6 +10,7 @@ from repro.perf.histogram import (
     BATCH_SIZE_BUCKETS,
     LATENCY_BUCKETS_MS,
     Histogram,
+    merge_summaries,
 )
 from repro.perf.profiler import BuildProfiler, StageStats, stage
 from repro.perf.train import TrainProfiler
@@ -21,5 +22,6 @@ __all__ = [
     "LATENCY_BUCKETS_MS",
     "StageStats",
     "TrainProfiler",
+    "merge_summaries",
     "stage",
 ]

@@ -104,3 +104,54 @@ def _label(bound: float) -> str:
     if float(bound).is_integer():
         return str(int(bound))
     return str(bound)
+
+
+def merge_summaries(summaries: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Combine per-process :meth:`Histogram.summary` dicts into one.
+
+    The multi-worker front aggregates worker ``/metrics`` documents; raw
+    observations never cross the process boundary, so counts, extrema,
+    and buckets merge exactly while percentiles are estimated from the
+    merged cumulative buckets (each estimate is the upper bound of the
+    bucket holding that rank — the usual Prometheus-style answer; the
+    overflow bucket reports the merged max).  Empty input or all-empty
+    summaries yield an all-zero summary.
+    """
+    summaries = [s for s in summaries if s]
+    count = sum(int(s.get("count", 0)) for s in summaries)
+    total = sum(
+        float(s.get("mean", 0.0) or 0.0) * int(s.get("count", 0))
+        for s in summaries
+    )
+    mins = [s.get("min") for s in summaries if s.get("min") is not None]
+    maxes = [s.get("max") for s in summaries if s.get("max") is not None]
+    merged_min = min(mins) if mins else None
+    merged_max = max(maxes) if maxes else None
+    buckets: Dict[str, int] = {}
+    for s in summaries:
+        for label, bucket_count in (s.get("buckets") or {}).items():
+            buckets[label] = buckets.get(label, 0) + int(bucket_count)
+
+    def estimate(q: float) -> float:
+        if not count:
+            return 0.0
+        rank = max(1, round(q / 100 * count))
+        seen = 0
+        for label, bucket_count in buckets.items():
+            seen += bucket_count
+            if seen >= rank:
+                if label == "le_inf":
+                    return float(merged_max or 0.0)
+                return float(label[len("le_"):])
+        return float(merged_max or 0.0)
+
+    return {
+        "count": count,
+        "mean": total / count if count else 0.0,
+        "min": merged_min,
+        "max": merged_max,
+        "p50": estimate(50),
+        "p90": estimate(90),
+        "p99": estimate(99),
+        "buckets": buckets,
+    }

@@ -11,16 +11,21 @@ The serving layer the ROADMAP's "heavy traffic" north star asks for:
 * :mod:`repro.serve.cache` — LRU response cache over the execution cache;
 * :mod:`repro.serve.server` — the asyncio HTTP service
   (``POST /translate``, ``GET /healthz``, ``GET /metrics``);
+* :mod:`repro.serve.pool` — multi-process horizontal serving: a front
+  proxy over N forked decode workers with shared-memory weights,
+  crash respawn, and rolling hot-swap;
 * :mod:`repro.serve.client` — blocking client + load generator.
 
 Start one with ``python -m repro serve --corpus corpus.json --model
-attn=model.npz`` (see ``docs/SERVING.md``).
+attn=model.npz`` (add ``--workers 4`` for the multi-process pool; see
+``docs/SERVING.md``).
 """
 
 from repro.serve.batcher import MicroBatcher, QueueFullError, ServerDrainingError
 from repro.serve.cache import EncoderCache, ResponseCache
 from repro.serve.client import LoadGenerator, LoadReport, ServeClient, ServeError
 from repro.serve.metrics import ServeMetrics
+from repro.serve.pool import PoolConfig, WorkerHandle, WorkerPool
 from repro.serve.runner import BackgroundServer
 from repro.serve.registry import (
     BaselineTranslator,
@@ -58,6 +63,7 @@ __all__ = [
     "MicroBatcher",
     "ModelRegistry",
     "NeuralTranslator",
+    "PoolConfig",
     "QueueFullError",
     "ResponseCache",
     "ServeClient",
@@ -68,6 +74,8 @@ __all__ = [
     "Translator",
     "TranslateResult",
     "UnknownModelError",
+    "WorkerHandle",
+    "WorkerPool",
     "grammar_token_mask",
     "normalize_question",
     "render_spec",

@@ -74,6 +74,24 @@ class ServeClient:
         """The /metrics document."""
         return self._checked("GET", "/metrics")
 
+    def workers(self) -> List[dict]:
+        """Per-worker liveness/queue-depth entries from ``/healthz``.
+
+        A multi-worker front reports one entry per decode worker; a
+        single-process server reports itself as worker 0, so sweep
+        harnesses can treat every deployment shape uniformly.
+        """
+        doc = self.healthz()
+        if "workers" in doc:
+            return list(doc["workers"])
+        return [{
+            "worker_id": doc.get("worker_id", 0),
+            "state": doc.get("status", "ok"),
+            "alive": True,
+            "queue_depth": doc.get("queue_depth", 0),
+            "restarts": 0,
+        }]
+
     def translate(
         self,
         question: str,
@@ -233,3 +251,19 @@ class LoadGenerator:
             by_status=by_status,
         )
         return report, responses
+
+    def sweep(
+        self, targets: Dict[str, ServeClient], requests: List[dict]
+    ) -> Dict[str, Tuple[LoadReport, List[Optional[dict]]]]:
+        """Replay the same request list against several deployments.
+
+        *targets* maps a label (e.g. ``"workers=4"``) to a client for
+        one running server/pool; each gets a fresh generator at this
+        one's concurrency.  Returns label → (report, responses) — the
+        shape the multi-worker BENCH_serve scaling matrix consumes.
+        """
+        results: Dict[str, Tuple[LoadReport, List[Optional[dict]]]] = {}
+        for label, client in targets.items():
+            generator = LoadGenerator(client, concurrency=self.concurrency)
+            results[label] = generator.run(requests)
+        return results

@@ -1,11 +1,17 @@
-"""Run an :class:`InferenceServer` on a background thread.
+"""Run a server (or worker pool) on a background thread.
 
-The server is asyncio-native; tests, benchmarks, and notebook users are
-usually synchronous.  :class:`BackgroundServer` owns a private event
-loop on a daemon thread, starts the server there, and exposes the bound
-address — so blocking :class:`~repro.serve.client.ServeClient` calls can
-be made from the caller's thread.  Use it as a context manager to get
-drain-on-exit for free.
+The serving objects are asyncio-native; tests, benchmarks, and notebook
+users are usually synchronous.  :class:`BackgroundServer` owns a private
+event loop on a daemon thread, starts the server there, and exposes the
+bound address — so blocking :class:`~repro.serve.client.ServeClient`
+calls can be made from the caller's thread.  Use it as a context manager
+to get drain-on-exit for free.
+
+Anything with coroutine ``start() -> (host, port)`` / ``shutdown()``
+methods and ``host``/``port`` attributes works: both
+:class:`~repro.serve.server.InferenceServer` and the multi-process
+:class:`~repro.serve.pool.WorkerPool` qualify, so a test can swap
+deployment shapes without changing its harness.
 """
 
 from __future__ import annotations
@@ -15,13 +21,12 @@ import threading
 from typing import Optional, Tuple
 
 from repro.serve.client import ServeClient
-from repro.serve.server import InferenceServer
 
 
 class BackgroundServer:
-    """Starts/stops an inference server on its own event-loop thread."""
+    """Starts/stops a server-like object on its own event-loop thread."""
 
-    def __init__(self, server: InferenceServer, startup_timeout: float = 30.0):
+    def __init__(self, server, startup_timeout: float = 30.0):
         self.server = server
         self.startup_timeout = startup_timeout
         self._loop: Optional[asyncio.AbstractEventLoop] = None

@@ -26,7 +26,7 @@ from __future__ import annotations
 import asyncio
 import json
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.obs.trace import SpanContext, Tracer, traced
 from repro.serve.batcher import MicroBatcher, QueueFullError, ServerDrainingError
@@ -83,6 +83,66 @@ class _HTTPError(Exception):
         self.status = status
 
 
+# ----- shared HTTP plumbing -------------------------------------------------
+#
+# The single-process server and the multi-worker frontend
+# (:mod:`repro.serve.pool`) speak the same minimal HTTP/1.1; these
+# helpers are the one implementation both use.
+
+
+async def read_http_request(
+    reader: asyncio.StreamReader, max_body_bytes: int
+) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+    """Read one request; ``None`` on a cleanly closed connection.
+
+    Returns ``(method, target, lower-cased headers, body)``.  Raises
+    :class:`_HTTPError` on malformed framing or an oversized body.
+    """
+    request_line = await reader.readline()
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise _HTTPError(400, f"malformed request line: {parts!r}")
+    method, target = parts[0].upper(), parts[1]
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length_text = headers.get("content-length", "0") or "0"
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise _HTTPError(400, f"bad Content-Length: {length_text!r}") from None
+    if length > max_body_bytes:
+        raise _HTTPError(413, f"body of {length} bytes exceeds limit")
+    body = await reader.readexactly(length) if length else b""
+    return method, target, headers, body
+
+
+def write_http_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    body: bytes,
+    keep_alive: bool,
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> None:
+    """Write one JSON response frame with an already-encoded body."""
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    lines.append(f"Connection: {'keep-alive' if keep_alive else 'close'}")
+    head = "\r\n".join(lines) + "\r\n\r\n"
+    writer.write(head.encode("latin-1") + body)
+
+
 class InferenceServer:
     """Serves a :class:`ModelRegistry` over corpus databases."""
 
@@ -93,10 +153,22 @@ class InferenceServer:
         config: Optional[ServerConfig] = None,
         execution_cache: Optional[ExecutionCache] = None,
         tracer: Optional[Tracer] = None,
+        worker_id: Optional[int] = None,
+        control_handlers: Optional[Dict[str, Callable[[dict], dict]]] = None,
+        health_extra: Optional[Callable[[], dict]] = None,
     ):
         self.registry = registry
         self.databases = databases
         self.config = config or ServerConfig()
+        #: set when this server runs as a decode worker behind a
+        #: :class:`repro.serve.pool.WorkerPool` front; surfaces in
+        #: ``/healthz`` so the front can attribute replies.
+        self.worker_id = worker_id
+        #: ``POST /control/<action>`` handlers (pool-internal plane:
+        #: hot-swap, cache invalidation).  Each takes the JSON body and
+        #: returns a JSON-able dict; runs on an executor thread.
+        self.control_handlers = dict(control_handlers or {})
+        self.health_extra = health_extra
         if self.config.default_format not in FORMATS:
             raise ValueError(
                 f"unknown default format {self.config.default_format!r}; "
@@ -203,17 +275,25 @@ class InferenceServer:
     ) -> None:
         try:
             while True:
-                request = await self._read_request(reader)
+                request = await read_http_request(
+                    reader, self.config.max_body_bytes
+                )
                 if request is None:
                     break
                 method, target, headers, body = request
                 loop = asyncio.get_running_loop()
                 start = loop.time()
                 # A bare inbound x-trace-id (no span id) roots this
-                # request's span in the caller's existing trace.
+                # request's span in the caller's existing trace; when
+                # the pool front also forwards its own span id in
+                # x-parent-span, the worker span nests under it so
+                # `trace summarize DIR` stitches front→worker→decode.
                 inbound = headers.get("x-trace-id")
                 parent = (
-                    SpanContext(trace_id=inbound, span_id="")
+                    SpanContext(
+                        trace_id=inbound,
+                        span_id=headers.get("x-parent-span", ""),
+                    )
                     if inbound else None
                 )
                 with traced(
@@ -267,33 +347,6 @@ class InferenceServer:
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
-    async def _read_request(
-        self, reader: asyncio.StreamReader
-    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
-        request_line = await reader.readline()
-        if not request_line:
-            return None
-        parts = request_line.decode("latin-1").strip().split()
-        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
-            raise _HTTPError(400, f"malformed request line: {parts!r}")
-        method, target = parts[0].upper(), parts[1]
-        headers: Dict[str, str] = {}
-        while True:
-            line = await reader.readline()
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = line.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        length_text = headers.get("content-length", "0") or "0"
-        try:
-            length = int(length_text)
-        except ValueError:
-            raise _HTTPError(400, f"bad Content-Length: {length_text!r}") from None
-        if length > self.config.max_body_bytes:
-            raise _HTTPError(413, f"body of {length} bytes exceeds limit")
-        body = await reader.readexactly(length) if length else b""
-        return method, target, headers, body
-
     @staticmethod
     def _write_response(
         writer: asyncio.StreamWriter,
@@ -303,16 +356,8 @@ class InferenceServer:
         trace_id: Optional[str] = None,
     ) -> None:
         body = json.dumps(payload).encode("utf-8")
-        trace_header = f"X-Trace-Id: {trace_id}\r\n" if trace_id else ""
-        head = (
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            "Content-Type: application/json\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"{trace_header}"
-            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-            "\r\n"
-        )
-        writer.write(head.encode("latin-1") + body)
+        extra = {"X-Trace-Id": trace_id} if trace_id else None
+        write_http_response(writer, status, body, keep_alive, extra)
 
     # ----- routing ------------------------------------------------------
 
@@ -343,10 +388,37 @@ class InferenceServer:
             if method != "POST":
                 raise _HTTPError(405, "pipeline only supports POST")
             return await self._pipeline(body, span)
+        if path.startswith("/control/"):
+            if method != "POST":
+                raise _HTTPError(405, "control only supports POST")
+            return await self._control(path[len("/control/"):], body, span)
         raise _HTTPError(404, f"no such endpoint: {path}")
 
+    async def _control(self, action: str, body: bytes, span) -> Tuple[int, dict]:
+        """Pool-internal control plane: swap weights, drop caches.
+
+        Only actions wired in via ``control_handlers`` exist; a plain
+        single-process server exposes none.  Handlers are synchronous
+        (they touch the registry and caches, not the event loop) and
+        run on an executor thread so a large swap never stalls decode.
+        """
+        handler = self.control_handlers.get(action)
+        if handler is None:
+            raise _HTTPError(404, f"no such control action: {action!r}")
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HTTPError(400, f"body is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise _HTTPError(400, "body must be a JSON object")
+        span.set_attribute("action", action)
+        result = await asyncio.get_running_loop().run_in_executor(
+            None, lambda: handler(payload)
+        )
+        return 200, dict(result or {})
+
     def _healthz(self) -> dict:
-        return {
+        doc = {
             "status": "draining" if self.batcher.draining else "ok",
             "models": self.registry.info(),
             "default_model": self.registry.default_model,
@@ -354,6 +426,11 @@ class InferenceServer:
             "queue_depth": self.batcher.depth,
             "uptime_seconds": self.metrics.uptime,
         }
+        if self.worker_id is not None:
+            doc["worker_id"] = self.worker_id
+        if self.health_extra is not None:
+            doc.update(self.health_extra())
+        return doc
 
     async def _translate(self, body: bytes, span) -> Tuple[int, dict]:
         try:

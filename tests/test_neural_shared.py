@@ -1,0 +1,192 @@
+"""Shared-memory weights: pack/attach round-trips, bit-identical decodes.
+
+The multi-worker pool only works if a model attached from a shared
+segment is indistinguishable from the same ``.npz`` loaded in-process —
+these tests pin that down token-by-token for greedy and beam decode at
+every precision, plus the segment lifecycle (read-only views, the
+generation counter, unlink semantics, manifest JSON round-trip).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.neural import Seq2Vis, build_dataset
+from repro.neural.persist import save_model
+from repro.neural.shared import (
+    SEGMENT_PREFIX,
+    SharedManifest,
+    SharedModel,
+    share_model,
+    shared_segments_report,
+)
+from repro.serve import DecodeConfig, NeuralTranslator
+from repro.serve.translate import translate_batch
+
+QUESTIONS = [
+    "how many rows per category?",
+    "show the average price by type",
+    "total amount for each name, sorted descending",
+    "what is the number of items per year?",
+]
+
+
+@pytest.fixture(scope="module")
+def stack(small_nvbench, tmp_path_factory):
+    """A saved model archive plus the databases it serves."""
+    dataset = build_dataset(small_nvbench.pairs[:60], small_nvbench.databases)
+    model = Seq2Vis(
+        len(dataset.in_vocab), len(dataset.out_vocab), "attention", 16, 24,
+        seed=2, dtype="float32",
+    )
+    path = tmp_path_factory.mktemp("shared") / "model.npz"
+    save_model(
+        model, dataset.in_vocab, dataset.out_vocab, path
+    )
+    return path, dataset, small_nvbench.databases
+
+
+def _decodes(translator, databases, decode):
+    requests = [
+        (question, databases[name])
+        for question, name in zip(QUESTIONS, sorted(databases))
+    ]
+    results = translate_batch(
+        translator.model, translator.in_vocab, translator.out_vocab,
+        requests, decode=decode,
+    )
+    return [(r.tokens, r.error) for r in results]
+
+
+@pytest.mark.parametrize("precision", ["float32", "float16", "int8"])
+@pytest.mark.parametrize(
+    "decode",
+    [DecodeConfig(), DecodeConfig(beam_width=3, num_candidates=2)],
+    ids=["greedy", "beam3"],
+)
+def test_attached_decodes_bit_identical(stack, precision, decode):
+    """npz-loaded vs shared-attached: token-identical at every precision."""
+    path, _, databases = stack
+    reference = NeuralTranslator.from_npz(str(path), precision=precision)
+    shared = share_model(
+        reference.model, reference.in_vocab, reference.out_vocab
+    )
+    try:
+        manifest = SharedManifest.from_json(
+            json.loads(json.dumps(shared.manifest.to_json()))
+        )
+        attached = SharedModel.attach(manifest)
+        try:
+            model, in_vocab, out_vocab = attached.views()
+            worker = NeuralTranslator(model, in_vocab, out_vocab)
+            assert worker.precision == precision
+            assert _decodes(worker, databases, decode) == _decodes(
+                reference, databases, decode
+            )
+        finally:
+            attached.close()
+    finally:
+        shared.destroy()
+
+
+def test_shared_views_are_read_only(stack):
+    path, _, _ = stack
+    reference = NeuralTranslator.from_npz(str(path))
+    shared = share_model(
+        reference.model, reference.in_vocab, reference.out_vocab
+    )
+    try:
+        model, _, _ = SharedModel.attach(shared.manifest).views()
+        weight = model.embed_in.weight.data
+        assert not weight.flags.writeable
+        with pytest.raises(ValueError):
+            weight[0, 0] = 1.0
+    finally:
+        shared.destroy()
+
+
+def test_generation_counter_is_shared(stack):
+    path, _, _ = stack
+    reference = NeuralTranslator.from_npz(str(path))
+    shared = share_model(
+        reference.model, reference.in_vocab, reference.out_vocab
+    )
+    try:
+        attached = SharedModel.attach(shared.manifest)
+        assert attached.generation == 1
+        shared.set_generation(7)
+        # The counter lives in the segment header, so every attachment
+        # sees the bump without any message passing.
+        assert attached.generation == 7
+        attached.close()
+    finally:
+        shared.destroy()
+
+
+def test_manifest_round_trip(stack):
+    path, _, _ = stack
+    reference = NeuralTranslator.from_npz(str(path), precision="int8")
+    shared = share_model(
+        reference.model, reference.in_vocab, reference.out_vocab
+    )
+    try:
+        payload = json.loads(json.dumps(shared.manifest.to_json()))
+        assert SharedManifest.from_json(payload) == shared.manifest
+        assert shared.manifest.precision == "int8"
+        assert shared.manifest.segment.startswith(SEGMENT_PREFIX)
+    finally:
+        shared.destroy()
+
+
+def test_quantization_shrinks_segment(stack):
+    path, _, _ = stack
+    sizes = {}
+    for precision in ("float32", "float16", "int8"):
+        translator = NeuralTranslator.from_npz(str(path), precision=precision)
+        shared = share_model(
+            translator.model, translator.in_vocab, translator.out_vocab
+        )
+        sizes[precision] = shared.nbytes
+        shared.destroy()
+    assert sizes["float16"] < sizes["float32"]
+    assert sizes["int8"] < sizes["float16"]
+
+
+def test_destroy_unlinks_segment(stack):
+    path, _, _ = stack
+    reference = NeuralTranslator.from_npz(str(path))
+    shared = share_model(
+        reference.model, reference.in_vocab, reference.out_vocab
+    )
+    segment = shared.manifest.segment
+    assert os.path.exists(f"/dev/shm/{segment}")
+    shared.destroy()
+    assert not os.path.exists(f"/dev/shm/{segment}")
+    with pytest.raises(FileNotFoundError):
+        SharedModel.attach(shared.manifest)
+    # idempotent: a second destroy is a no-op, not an error
+    shared.destroy()
+
+
+def test_segments_report_is_worker_count_independent(stack):
+    path, _, _ = stack
+    reference = NeuralTranslator.from_npz(str(path))
+    shared = share_model(
+        reference.model, reference.in_vocab, reference.out_vocab
+    )
+    try:
+        report = shared_segments_report({"attn": shared})
+        assert report["shared_bytes"] == shared.nbytes
+        attachments = [SharedModel.attach(shared.manifest) for _ in range(4)]
+        # Attaching four more times (≈ four workers) changes nothing:
+        # the reported resident weight bytes are per segment, not per
+        # attachment.
+        assert shared_segments_report({"attn": shared}) == report
+        for attached in attachments:
+            attached.close()
+    finally:
+        shared.destroy()
