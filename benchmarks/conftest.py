@@ -19,6 +19,7 @@ capture.
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
@@ -98,6 +99,28 @@ PROFILES = {
         covid_epochs=5,
     ),
 }
+
+
+def merge_result(name: str, updates: dict) -> dict:
+    """Read-merge-write a ``results/`` JSON artifact.
+
+    ``BENCH_eval.json`` is shared by the accuracy@k and judged-matrix
+    benchmarks; merging (instead of overwriting) lets each test own its
+    top-level keys regardless of run order.  A corrupt or missing file
+    starts fresh.  Returns the merged payload.
+    """
+    path = results_path(name)
+    data: dict = {}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            if isinstance(loaded, dict):
+                data = loaded
+        except json.JSONDecodeError:
+            data = {}
+    data.update(updates)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True))
+    return data
 
 
 def emit(name: str, text: str) -> None:

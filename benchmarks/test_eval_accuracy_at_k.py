@@ -14,9 +14,7 @@ Writes ``results/BENCH_eval.json``.
 
 from __future__ import annotations
 
-import json
-
-from conftest import emit, results_path
+from conftest import emit, merge_result
 
 from repro.eval.ambiguity import accuracy_at_k, ambiguous_split
 from repro.pipeline import Budget, Generator, Pipeline
@@ -47,14 +45,13 @@ def test_accuracy_at_k_on_ambiguous_split(bench, profile):
     accuracy = accuracy_at_k(predictions, split, ks=(1, 3, 5))
 
     golds = sum(item.num_golds for item in split)
-    payload = {
+    merge_result("BENCH_eval.json", {
         "profile": profile.name,
         "questions": len(split),
         "gold_charts": golds,
         "accuracy_at_k": {str(k): round(v, 4) for k, v in accuracy.items()},
         "pipeline_counters": counters,
-    }
-    results_path("BENCH_eval.json").write_text(json.dumps(payload, indent=2))
+    })
 
     emit(
         "BENCH eval accuracy@k (ambiguous split)",

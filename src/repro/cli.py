@@ -8,6 +8,7 @@ Commands
 ``train``            train a seq2vis variant on a benchmark; save the model
 ``translate``        translate an NL question with a saved model
 ``pipeline``         staged copilot: route → generate → verify → execute → repair
+``judge``            judged evaluation: per-scenario × per-dimension accuracy
 ``serve``            run the batched HTTP inference service
 ``trace``            summarize a JSONL span export written by ``--trace``
 
@@ -367,6 +368,69 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_judge(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.eval import (
+        format_matrix,
+        judge_matrix,
+        run_scenario,
+        scenario_names,
+    )
+
+    bench = _load_bench(args)
+    if bench is None:
+        return 2
+    names = args.scenario or scenario_names()
+    unknown = sorted(set(names) - set(scenario_names()))
+    if unknown:
+        print(f"unknown scenario(s) {unknown}; choices: {scenario_names()}",
+              file=sys.stderr)
+        return 2
+    if args.model:
+        from repro.serve import NeuralTranslator
+
+        translator = NeuralTranslator.from_npz(args.model)
+    else:
+        from repro.serve import BaselineTranslator
+
+        translator = BaselineTranslator.from_name(args.baseline)
+
+    tracer, exporter = _open_tracer(args.trace)
+    reports = [
+        run_scenario(
+            name, bench, translator=translator, k=args.k,
+            max_examples=args.max_examples, tracer=tracer,
+        )
+        for name in names
+    ]
+    _close_tracer(exporter, args.trace)
+
+    matrix = judge_matrix(reports)
+    if args.out:
+        merged = {}
+        if os.path.exists(args.out):
+            with open(args.out) as handle:
+                merged = json.load(handle)
+        merged["judged"] = matrix
+        with open(args.out, "w") as handle:
+            json.dump(merged, handle, indent=2, sort_keys=True)
+        print(f"merged judged matrix into {args.out}")
+    if args.json:
+        print(json.dumps(
+            {**matrix, "reports": [report.to_json() for report in reports]},
+            indent=2, default=str,
+        ))
+        return 0
+    print(format_matrix(reports))
+    for report in reports:
+        repaired = report.counters.get("repaired_total", 0)
+        born = report.counters.get("born_legal_total", 0)
+        print(f"{report.scenario}: {len(report.examples)} examples, "
+              f"{repaired} repaired-to-legal vs {born} born-legal answers")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -668,6 +732,40 @@ def build_parser() -> argparse.ArgumentParser:
                         "route/generate/verify/execute/repair)")
     p.add_argument("question")
     p.set_defaults(func=_cmd_pipeline)
+
+    p = sub.add_parser(
+        "judge",
+        help="judged evaluation: per-scenario x per-dimension accuracy matrix",
+    )
+    p.add_argument("--benchmark",
+                   help="sharded benchmark directory written by "
+                        "build-benchmark --out DIR (replaces "
+                        "--corpus/--pairs; loads lazily)")
+    p.add_argument("--corpus")
+    p.add_argument("--pairs")
+    p.add_argument("--scenario", action="append",
+                   help="scenario to judge (repeatable; default: all "
+                        "registered — see docs/EVALUATION.md)")
+    p.add_argument("--model",
+                   help="saved seq2vis .npz to judge "
+                        "(default: the --baseline rule system)")
+    p.add_argument("--baseline", default="deepeye",
+                   choices=("deepeye", "nl4dv"),
+                   help="rule-based generator when no --model is given")
+    p.add_argument("--k", type=int, default=3,
+                   help="pipeline candidates ranked per question")
+    p.add_argument("--max-examples", type=int,
+                   help="judge at most this many examples per scenario "
+                        "(multi-turn sessions are never cut open)")
+    p.add_argument("--json", action="store_true",
+                   help="print the matrix plus per-example verdicts as JSON")
+    p.add_argument("--out",
+                   help="merge the matrix into this JSON file under the "
+                        "'judged' key (the BENCH_eval.json shape)")
+    p.add_argument("--trace",
+                   help="write a JSONL span export (pipeline spans for "
+                        "every judged question)")
+    p.set_defaults(func=_cmd_judge)
 
     p = sub.add_parser("serve", help="run the HTTP inference service")
     p.add_argument("--corpus", required=True,

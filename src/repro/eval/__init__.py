@@ -3,6 +3,10 @@
 * :mod:`splits` — the 80 / 4.5 / 15.5 train/val/test split (Section 4.2)
 * :mod:`metrics` — tree / result / component matching accuracy
 * :mod:`ambiguity` — ambiguous-question split + accuracy@k coverage
+* :mod:`judge` — multi-dimension judged evaluation (tree / validity /
+  legality / readability verdicts, scenario runner, accuracy matrix)
+* :mod:`scenarios` — named workload registry (standard / ambiguous /
+  edit_session / temporal) feeding the judge
 * :mod:`harness` — end-to-end seq2vis training + evaluation driver
 * :mod:`crowd` — the expert/crowd human-study simulation (Section 3.3)
 * :mod:`lowrated` — the low-rated-pair injection experiment (Section 4.5)
@@ -22,27 +26,69 @@ from repro.eval.harness import (
     quantization_report,
     train_and_evaluate,
 )
+from repro.eval.judge import (
+    DIMENSIONS,
+    ChartJudgement,
+    DimensionVerdict,
+    ReadabilityIssue,
+    ReadabilityRules,
+    ScenarioReport,
+    format_matrix,
+    judge_chart,
+    judge_matrix,
+    readability_issues,
+    run_scenario,
+)
 from repro.eval.metrics import (
     PairOutcome,
     component_match,
     result_match,
     tree_match,
 )
+from repro.eval.scenarios import (
+    Scenario,
+    ScenarioExample,
+    ScenarioPack,
+    SpecEdit,
+    apply_edit,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
 from repro.eval.splits import split_pairs
 
 __all__ = [
     "AmbiguousQuestion",
+    "ChartJudgement",
+    "DIMENSIONS",
+    "DimensionVerdict",
     "EvaluationReport",
     "PairOutcome",
     "QuantizationReport",
+    "ReadabilityIssue",
+    "ReadabilityRules",
+    "Scenario",
+    "ScenarioExample",
+    "ScenarioPack",
+    "ScenarioReport",
+    "SpecEdit",
     "accuracy_at_k",
     "ambiguous_split",
+    "apply_edit",
     "coverage_at_k",
     "normalize_question",
     "component_match",
     "evaluate_model",
+    "format_matrix",
+    "get_scenario",
+    "judge_chart",
+    "judge_matrix",
     "quantization_report",
+    "readability_issues",
+    "register_scenario",
     "result_match",
+    "run_scenario",
+    "scenario_names",
     "split_pairs",
     "train_and_evaluate",
     "tree_match",

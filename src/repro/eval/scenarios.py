@@ -1,0 +1,341 @@
+"""Named evaluation scenarios — the judged workload registry.
+
+A *scenario* is a named, deterministic recipe that turns a benchmark
+into a list of judged examples (:class:`ScenarioExample`).  The judge
+layer (:mod:`repro.eval.judge`) drives the staged pipeline over each
+scenario and reports a per-scenario × per-dimension accuracy matrix —
+one row per registered workload:
+
+* ``standard`` — the single-shot paper protocol: every test-split pair
+  is one question with one gold chart.
+* ``ambiguous`` — the accuracy@k split: one question, a *set* of gold
+  charts (nvBench synthesizes several charts per source SQL query, so
+  the source question is genuinely ambiguous).
+* ``edit_session`` — multi-turn edit sessions in the nvBench 2.0 style:
+  turn 0 asks a fresh question, later turns issue follow-up
+  instructions ("change it to a pie chart") that mutate the *previous
+  turn's prediction* via :func:`apply_edit`.
+* ``temporal`` — the Figure-19 COVID case study generalized: the six
+  expert dashboard queries plus every temporally-binned benchmark pair.
+
+Scenarios live in a registry so new workloads are one
+:func:`register_scenario` call away — ``repro judge --scenario NAME``
+and the benchmark suite pick them up by name.  ``docs/EVALUATION.md``
+walks through adding one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.eval.ambiguity import AmbiguousQuestion, ambiguous_split
+from repro.eval.splits import split_pairs
+from repro.grammar.ast_nodes import Attribute, Order, QueryCore, VisQuery
+from repro.grammar.serialize import from_tokens, to_tokens
+from repro.grammar.validate import ORDERABLE_VIS_TYPES, validate_query
+from repro.storage.schema import Database
+
+
+# ----- spec edits (multi-turn follow-ups) ----------------------------------
+
+
+@dataclass(frozen=True)
+class SpecEdit:
+    """One follow-up instruction that mutates a prior chart spec.
+
+    ``kind`` selects the mutation:
+
+    * ``vis_type`` — re-render the same data as ``vis_type``;
+    * ``add_order`` — sort by the measure, ``direction`` (asc/desc).
+    """
+
+    kind: str
+    vis_type: Optional[str] = None
+    direction: str = "desc"
+
+    def instruction(self) -> str:
+        """The follow-up phrased as a user would say it."""
+        if self.kind == "vis_type":
+            return f"Now show the same data as a {self.vis_type} chart."
+        if self.kind == "add_order":
+            longform = "descending" if self.direction == "desc" else "ascending"
+            return f"Sort it by the measure in {longform} order."
+        raise ValueError(f"unknown edit kind: {self.kind!r}")
+
+
+def apply_edit(query: VisQuery, edit: SpecEdit) -> VisQuery:
+    """Apply *edit* to *query*, returning the mutated spec.
+
+    This is the deterministic executor for follow-up turns: the session
+    carries the previous prediction forward and each follow-up is a
+    small tree rewrite, not a fresh translation.  Raises ``ValueError``
+    when the edit cannot apply (e.g. ordering a set operation).
+    """
+    if edit.kind == "vis_type":
+        if edit.vis_type is None:
+            raise ValueError("vis_type edit needs a target type")
+        return dataclasses.replace(query, vis_type=edit.vis_type)
+    if edit.kind == "add_order":
+        if not isinstance(query.body, QueryCore):
+            raise ValueError("cannot order a set-operation query")
+        core = query.body
+        measure = _order_target(core)
+        ordered = dataclasses.replace(
+            core, order=Order(edit.direction, measure)
+        )
+        return dataclasses.replace(query, body=ordered)
+    raise ValueError(f"unknown edit kind: {edit.kind!r}")
+
+
+def _order_target(core: QueryCore) -> Attribute:
+    """The attribute a sort-follow-up refers to: the measure (y) axis."""
+    if len(core.select) < 2:
+        return core.select[0]
+    return core.select[1]
+
+
+# ----- scenario data model --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioExample:
+    """One judged unit: a question (or follow-up) with its gold set."""
+
+    question: str
+    db_name: str
+    #: acceptable gold charts — tree dimension passes on matching any
+    golds: Tuple[VisQuery, ...]
+    #: session id for multi-turn examples (None = single-shot)
+    session: Optional[str] = None
+    #: 0-based turn index within the session
+    turn: int = 0
+    #: set on follow-up turns: mutate the prior prediction instead of
+    #: translating the question from scratch
+    edit: Optional[SpecEdit] = None
+
+
+@dataclass
+class ScenarioPack:
+    """A built scenario: its examples plus every database they touch."""
+
+    name: str
+    examples: List[ScenarioExample]
+    databases: Dict[str, Database]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named workload recipe: ``build(bench) -> ScenarioPack``."""
+
+    name: str
+    description: str
+    build: Callable[[object], ScenarioPack] = field(compare=False)
+
+
+_REGISTRY: Dict[str, Scenario] = {}
+
+
+def register_scenario(
+    name: str, description: str
+) -> Callable[[Callable], Callable]:
+    """Decorator registering a ``build(bench) -> ScenarioPack`` recipe."""
+
+    def decorate(build: Callable) -> Callable:
+        _REGISTRY[name] = Scenario(
+            name=name, description=description, build=build
+        )
+        return build
+
+    return decorate
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(scenario_names())
+        raise KeyError(f"unknown scenario {name!r} (known: {known})") from None
+
+
+def scenario_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+# ----- built-in scenarios ---------------------------------------------------
+
+
+@register_scenario(
+    "standard",
+    "single-shot questions from the paper's test split, one gold each",
+)
+def build_standard(bench) -> ScenarioPack:
+    _, _, test = split_pairs(bench.pairs)
+    examples = [
+        ScenarioExample(
+            question=pair.nl, db_name=pair.db_name, golds=(pair.vis,)
+        )
+        for pair in test
+    ]
+    examples.sort(key=lambda example: (example.db_name, example.question))
+    return ScenarioPack("standard", examples, dict(bench.databases))
+
+
+@register_scenario(
+    "ambiguous",
+    "ambiguous questions with multi-chart gold sets (the accuracy@k split)",
+)
+def build_ambiguous(bench) -> ScenarioPack:
+    examples = [
+        ScenarioExample(
+            question=item.question, db_name=item.db_name, golds=item.golds
+        )
+        for item in ambiguous_split(bench.pairs)
+    ]
+    return ScenarioPack("ambiguous", examples, dict(bench.databases))
+
+
+def _masked(query: VisQuery) -> Optional[VisQuery]:
+    try:
+        return from_tokens(to_tokens(query, mask_values=True))
+    except Exception:
+        return None
+
+
+def _edit_chains(
+    split: List[AmbiguousQuestion],
+) -> List[Tuple[AmbiguousQuestion, List[VisQuery]]]:
+    """Gold chains for edit sessions: same masked body, different type.
+
+    An ambiguous group whose golds share one query body but differ in
+    chart type is exactly a re-render session: ask once, then say "now
+    as a pie chart".  Golds keep the split's deterministic order.
+    """
+    chains: List[Tuple[AmbiguousQuestion, List[VisQuery]]] = []
+    for item in split:
+        by_body: Dict[str, List[VisQuery]] = {}
+        for gold in item.golds:
+            masked = _masked(gold)
+            if masked is None:
+                continue
+            key = " ".join(to_tokens(masked)[2:])  # body tokens only
+            by_body.setdefault(key, []).append(gold)
+        best = max(by_body.values(), key=len, default=[])
+        if len({gold.vis_type for gold in best}) >= 2:
+            chains.append((item, best))
+    return chains
+
+
+def _order_followup(gold: VisQuery) -> Optional[Tuple[SpecEdit, VisQuery]]:
+    """An ``add_order`` turn for *gold*, when one is legal."""
+    if gold.vis_type not in ORDERABLE_VIS_TYPES:
+        return None
+    if not isinstance(gold.body, QueryCore) or gold.body.order is not None:
+        return None
+    edit = SpecEdit(kind="add_order", direction="desc")
+    try:
+        edited = apply_edit(gold, edit)
+        validate_query(edited)
+    except Exception:
+        return None
+    return edit, edited
+
+
+@register_scenario(
+    "edit_session",
+    "multi-turn sessions: follow-up instructions mutate the prior chart",
+)
+def build_edit_session(bench) -> ScenarioPack:
+    examples: List[ScenarioExample] = []
+    for index, (item, chain) in enumerate(_edit_chains(ambiguous_split(bench.pairs))):
+        session = f"session-{index:04d}"
+        first, rest = chain[0], chain[1:]
+        examples.append(
+            ScenarioExample(
+                question=item.question,
+                db_name=item.db_name,
+                golds=(first,),
+                session=session,
+                turn=0,
+            )
+        )
+        turn = 1
+        previous = first
+        for gold in rest:
+            edit = SpecEdit(kind="vis_type", vis_type=gold.vis_type)
+            examples.append(
+                ScenarioExample(
+                    question=edit.instruction(),
+                    db_name=item.db_name,
+                    golds=(gold,),
+                    session=session,
+                    turn=turn,
+                    edit=edit,
+                )
+            )
+            previous = gold
+            turn += 1
+        followup = _order_followup(previous)
+        if followup is not None:
+            edit, edited = followup
+            examples.append(
+                ScenarioExample(
+                    question=edit.instruction(),
+                    db_name=item.db_name,
+                    golds=(edited,),
+                    session=session,
+                    turn=turn,
+                    edit=edit,
+                )
+            )
+    return ScenarioPack("edit_session", examples, dict(bench.databases))
+
+
+def _is_temporal(query: VisQuery) -> bool:
+    return any(
+        group.kind == "binning" and group.bin_unit not in (None, "numeric")
+        for core in query.cores
+        for group in core.groups
+    )
+
+
+@register_scenario(
+    "temporal",
+    "Figure-19 COVID expert queries plus temporally-binned benchmark pairs",
+)
+def build_temporal(bench, max_pairs: int = 24) -> ScenarioPack:
+    from repro.eval.covid_case import case_study_queries
+    from repro.spider.covid import build_covid_database
+
+    covid = build_covid_database()
+    databases = dict(bench.databases)
+    databases[covid.name] = covid
+
+    examples = [
+        ScenarioExample(
+            question=case.nl, db_name=covid.name, golds=(case.gold,)
+        )
+        for case in case_study_queries()
+    ]
+
+    seen: set = set()
+    temporal: List[ScenarioExample] = []
+    for pair in bench.pairs:
+        if not _is_temporal(pair.vis):
+            continue
+        masked = _masked(pair.vis)
+        if masked is None:
+            continue
+        key = (pair.db_name, " ".join(to_tokens(masked)))
+        if key in seen:
+            continue
+        seen.add(key)
+        temporal.append(
+            ScenarioExample(
+                question=pair.nl, db_name=pair.db_name, golds=(pair.vis,)
+            )
+        )
+    temporal.sort(key=lambda example: (example.db_name, example.question))
+    examples.extend(temporal[:max_pairs])
+    return ScenarioPack("temporal", examples, databases)

@@ -194,6 +194,10 @@ class Pipeline:
             "executions": 0,
             "execution_truncations": 0,
             "execution_skips": 0,
+            # valid answers that needed the repair stage vs. came out of
+            # the generator already legal — the judge layer's repair rate
+            "repaired_total": 0,
+            "born_legal_total": 0,
         }
         with self.tracer.span(
             "pipeline", question=question, k=budget.k
@@ -300,6 +304,13 @@ class Pipeline:
             clock.end_stage()
 
             ranked = _rank(candidates)
+            for candidate in ranked:
+                if not candidate.valid:
+                    continue
+                if candidate.repaired:
+                    counters["repaired_total"] += 1
+                else:
+                    counters["born_legal_total"] += 1
             root.set_attributes(
                 {
                     "db": db_name,

@@ -131,12 +131,15 @@ class ServeClient:
         budget_ms: Optional[float] = None,
         max_rows: Optional[int] = None,
         repair: Optional[bool] = None,
+        judge: Optional[bool] = None,
     ) -> dict:
         """Run the staged copilot; raises :class:`ServeError` on non-200.
 
         Omitting *db* lets the route stage pick the database; the
         response carries the ranked candidate set with verify/repair
-        verdicts and per-stage timings.
+        verdicts and per-stage timings.  ``judge=True`` adds gold-free
+        validity/legality/readability verdicts per returned chart
+        (``docs/EVALUATION.md``).
         """
         payload: Dict[str, object] = {"question": question}
         if db is not None:
@@ -151,6 +154,8 @@ class ServeClient:
             payload["max_rows"] = max_rows
         if repair is not None:
             payload["repair"] = repair
+        if judge is not None:
+            payload["judge"] = judge
         return self._checked("POST", "/pipeline", payload)
 
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 import asyncio
 import json
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.obs.trace import SpanContext, Tracer, traced
 from repro.serve.batcher import MicroBatcher, QueueFullError, ServerDrainingError
@@ -591,6 +591,9 @@ class InferenceServer:
         repair = payload.get("repair", True)
         if not isinstance(repair, bool):
             raise _HTTPError(400, "'repair' must be a boolean")
+        judge = payload.get("judge", False)
+        if not isinstance(judge, bool):
+            raise _HTTPError(400, "'judge' must be a boolean")
 
         budget = Budget(
             total_ms=budget_ms, max_rows=max_rows, k=k, repair=repair
@@ -612,7 +615,36 @@ class InferenceServer:
             None, lambda: pipeline.run(question, db_name)
         )
         span.set_attribute("db", result.db_name)
-        return 200, {**result.to_json(), "model": model_name}
+        response = {**result.to_json(), "model": model_name}
+        if judge:
+            response["judge"] = await asyncio.get_running_loop().run_in_executor(
+                None, lambda: self._judge_charts(result)
+            )
+            self.metrics.count("pipeline_judged")
+        return 200, response
+
+    def _judge_charts(self, result) -> List[dict]:
+        """Gold-free verdicts for each returned chart (``"judge": true``).
+
+        Serve-time judging has no gold answer, so only the three
+        gold-free dimensions apply: validity (both renderers), legality
+        (Table-1 rules), readability (rule-based).  One entry per chart
+        in ``result.charts``, same order.
+        """
+        from repro.eval.judge import judge_chart
+
+        database = self.databases[result.db_name]
+        verdicts = []
+        for candidate in result.charts:
+            judgement = judge_chart(candidate.tree, database)
+            verdicts.append(
+                {
+                    "vis": candidate.vis_text,
+                    "repaired": candidate.repaired,
+                    **judgement.to_json(),
+                }
+            )
+        return verdicts
 
     def _decode_config(self, payload: dict) -> DecodeConfig:
         """Per-request decode settings, validated against config caps."""

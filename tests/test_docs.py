@@ -182,6 +182,18 @@ def test_readme_example_scripts_exist():
     )
 
 
+def test_docs_index_covers_every_page():
+    """docs/README.md must link every other page in docs/."""
+    index = REPO / "docs" / "README.md"
+    linked = {
+        target.partition("#")[0]
+        for target in LINK_RE.findall(_strip_fenced_code(index.read_text()))
+    }
+    pages = {p.name for p in (REPO / "docs").glob("*.md")} - {"README.md"}
+    missing = sorted(pages - linked)
+    assert not missing, f"docs/README.md does not index: {missing}"
+
+
 def test_readme_quickstart_runs(capsys):
     readme = (REPO / "README.md").read_text()
     _, _, after = readme.partition("## Quickstart")

@@ -1,0 +1,266 @@
+"""Tests for the multi-dimension judge: verdicts, readability rules,
+the scenario runner, and the accuracy matrix."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.judge import (
+    DIMENSIONS,
+    DEFAULT_RULES,
+    ReadabilityRules,
+    format_matrix,
+    judge_chart,
+    judge_matrix,
+    readability_issues,
+    run_scenario,
+)
+from repro.grammar.serialize import from_tokens
+from repro.vis.data import VisData
+
+BAR = (
+    "visualize bar select flight.origin , count ( flight.* )"
+    " group grouping flight.origin"
+)
+PIE = (
+    "visualize pie select flight.origin , count ( flight.* )"
+    " group grouping flight.origin"
+)
+YEAR_LINE = (
+    "visualize line select flight.departure_date , sum ( flight.price )"
+    " group binning flight.departure_date by year"
+)
+
+
+def _tree(text):
+    return from_tokens(text.split())
+
+
+def _data(vis_type="bar", rows=None, x_channel="nominal", color=None):
+    return VisData(
+        vis_type=vis_type,
+        x_name="x",
+        y_name="y",
+        x_channel=x_channel,
+        y_channel="quantitative",
+        rows=[("a", 1.0), ("b", 2.0)] if rows is None else rows,
+        color_name="series" if color else None,
+        color_channel="nominal" if color else None,
+    )
+
+
+# One hand-built chart per readability rule, each violating exactly that
+# rule, plus one fully-clean chart (the satellite's table-driven suite).
+READABILITY_CASES = [
+    pytest.param(
+        _data(rows=[]),
+        ["empty-result"],
+        id="empty-result",
+    ),
+    pytest.param(
+        _data(rows=[("x" * 40, 1.0), ("b", 2.0)]),
+        ["label-overflow"],
+        id="label-overflow-length",
+    ),
+    pytest.param(
+        _data(rows=[(f"c{i}", 1.0) for i in range(30)]),
+        ["label-overflow"],
+        id="label-overflow-ticks",
+    ),
+    pytest.param(
+        _data(
+            vis_type="stacked bar",
+            rows=[("a", 1.0, f"s{i}") for i in range(13)],
+            color=True,
+        ),
+        ["series-count"],
+        id="series-count",
+    ),
+    pytest.param(
+        _data(vis_type="pie", rows=[(f"p{i}", 1.0) for i in range(13)]),
+        ["series-count"],
+        id="series-count-pie-slices",
+    ),
+    pytest.param(
+        _data(x_channel="ordinal", rows=[("2020", 9.0)]),
+        ["bin-sanity"],
+        id="bin-sanity-degenerate",
+    ),
+    pytest.param(
+        _data(
+            x_channel="quantitative",
+            rows=[(float(i), 1.0) for i in range(60)],
+        ),
+        ["bin-sanity"],
+        id="bin-sanity-exploded",
+    ),
+    pytest.param(
+        _data(),
+        [],
+        id="clean",
+    ),
+]
+
+
+class TestReadabilityRules:
+    @pytest.mark.parametrize("data, expected_codes", READABILITY_CASES)
+    def test_each_rule_fires_alone(self, data, expected_codes):
+        binned = any(code == "bin-sanity" for code in expected_codes)
+        issues = readability_issues(data, binned=binned)
+        assert [issue.code for issue in issues] == expected_codes
+
+    def test_clean_chart_even_when_binned(self):
+        data = _data(
+            x_channel="ordinal", rows=[(str(y), 1.0) for y in range(5)]
+        )
+        assert readability_issues(data, binned=True) == []
+
+    def test_thresholds_are_tunable(self):
+        data = _data(rows=[("aaaa", 1.0), ("b", 2.0)])
+        assert readability_issues(data) == []
+        strict = ReadabilityRules(max_label_len=3)
+        codes = [i.code for i in readability_issues(data, rules=strict)]
+        assert codes == ["label-overflow"]
+
+    def test_empty_result_short_circuits(self):
+        issues = readability_issues(_data(rows=[]), binned=True)
+        assert [issue.code for issue in issues] == ["empty-result"]
+
+    def test_issue_messages_carry_numbers(self):
+        issues = readability_issues(
+            _data(rows=[(f"c{i}", 1.0) for i in range(30)])
+        )
+        assert "30" in issues[0].message
+
+    def test_default_thresholds(self):
+        assert DEFAULT_RULES.max_series == 12
+        assert DEFAULT_RULES.min_bins == 2
+
+
+class TestJudgeChart:
+    def test_good_chart_passes_every_dimension(self, flight_db):
+        tree = _tree(BAR)
+        judgement = judge_chart(tree, flight_db, golds=[tree])
+        assert set(judgement.verdicts) == set(DIMENSIONS)
+        assert judgement.all_ok
+        assert "vega-lite" in judgement.verdicts["validity"].reason
+
+    def test_tree_matches_any_gold(self, flight_db):
+        judgement = judge_chart(
+            _tree(PIE), flight_db, golds=[_tree(BAR), _tree(PIE)]
+        )
+        assert judgement.ok("tree")
+
+    def test_tree_dimension_needs_golds(self, flight_db):
+        judgement = judge_chart(_tree(BAR), flight_db)
+        assert "tree" not in judgement.verdicts
+        assert judgement.ok("validity")
+
+    def test_none_prediction_fails_everything(self, flight_db):
+        judgement = judge_chart(None, flight_db, golds=[_tree(BAR)])
+        assert not any(
+            judgement.ok(dimension) for dimension in DIMENSIONS
+        )
+        assert "no parseable prediction" in judgement.verdicts["validity"].reason
+
+    def test_illegal_chart_fails_legality_with_codes(self, flight_db):
+        # scatter over a categorical grouping violates Table 1
+        tree = _tree(
+            "visualize scatter select flight.origin , count ( flight.* )"
+            " group grouping flight.origin"
+        )
+        judgement = judge_chart(tree, flight_db)
+        assert not judgement.ok("legality")
+        assert "illegal-vis-type" in judgement.verdicts["legality"].reason
+
+    def test_unknown_column_fails_validity_with_backend_name(self, flight_db):
+        tree = _tree("visualize bar select flight.origin , flight.nope")
+        judgement = judge_chart(tree, flight_db)
+        assert not judgement.ok("validity")
+        assert judgement.verdicts["validity"].reason.startswith("vega-lite")
+
+    def test_binned_chart_readability_uses_bin_rule(self, flight_db):
+        tree = _tree(YEAR_LINE)
+        judgement = judge_chart(
+            tree, flight_db, rules=ReadabilityRules(min_bins=5)
+        )
+        assert not judgement.ok("readability")
+        assert "bin-sanity" in judgement.verdicts["readability"].reason
+
+    def test_to_json_shape(self, flight_db):
+        tree = _tree(BAR)
+        payload = judge_chart(tree, flight_db, golds=[tree]).to_json()
+        assert set(payload["dimensions"]) == set(DIMENSIONS)
+        for verdict in payload["dimensions"].values():
+            assert set(verdict) == {"ok", "reason"}
+
+
+class TestScenarioRunner:
+    @pytest.fixture(scope="class")
+    def reports(self, small_nvbench):
+        return {
+            name: run_scenario(name, small_nvbench, max_examples=8)
+            for name in ("standard", "ambiguous", "edit_session", "temporal")
+        }
+
+    def test_reports_cover_all_dimensions(self, reports):
+        for report in reports.values():
+            assert report.examples, report.scenario
+            row = report.dimension_accuracy
+            assert set(row) == set(DIMENSIONS)
+            for value in row.values():
+                assert 0.0 <= value <= 1.0
+
+    def test_deterministic(self, small_nvbench):
+        first = run_scenario("standard", small_nvbench, max_examples=6)
+        second = run_scenario("standard", small_nvbench, max_examples=6)
+        assert [e.to_json() for e in first.examples] == [
+            e.to_json() for e in second.examples
+        ]
+
+    def test_edit_sessions_stay_whole(self, reports):
+        report = reports["edit_session"]
+        by_session: dict = {}
+        for example in report.examples:
+            by_session.setdefault(example.session, []).append(example.turn)
+        for turns in by_session.values():
+            assert turns == list(range(len(turns)))
+            assert len(turns) >= 2
+
+    def test_edit_turns_skip_the_pipeline(self, small_nvbench):
+        # follow-up turns mutate the prior prediction, so the pipeline
+        # runs once per session, not once per turn
+        report = run_scenario("edit_session", small_nvbench, max_examples=6)
+        sessions = {example.session for example in report.examples}
+        opening_turns = sum(
+            1 for example in report.examples if example.turn == 0
+        )
+        assert opening_turns == len(sessions)
+        # pipeline counters only accumulate on opening turns: the
+        # executions count stays bounded by sessions × candidate width
+        assert report.counters["executions"] > 0
+
+    def test_counters_aggregate_repair_totals(self, reports):
+        counters = reports["standard"].counters
+        assert "repaired_total" in counters
+        assert "born_legal_total" in counters
+        assert counters["born_legal_total"] > 0
+
+    def test_matrix_shape(self, reports):
+        matrix = judge_matrix(list(reports.values()))
+        assert matrix["dimensions"] == list(DIMENSIONS)
+        assert set(matrix["scenarios"]) == set(reports)
+        for row in matrix["scenarios"].values():
+            assert set(row["dimensions"]) == set(DIMENSIONS)
+            assert "repair_rate" in row and "examples" in row
+
+    def test_format_matrix_prints_every_scenario(self, reports):
+        text = format_matrix(list(reports.values()))
+        for name in reports:
+            assert name in text
+        for dimension in DIMENSIONS:
+            assert dimension in text
+
+    def test_unknown_scenario_raises(self, small_nvbench):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            run_scenario("nope", small_nvbench)

@@ -1,0 +1,143 @@
+"""Tests for the scenario registry, built-in workloads, and spec edits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.scenarios import (
+    ScenarioExample,
+    ScenarioPack,
+    SpecEdit,
+    apply_edit,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+    _REGISTRY,
+)
+from repro.grammar.ast_nodes import SetQuery, VisQuery
+from repro.grammar.serialize import from_tokens
+
+
+def _tree(text):
+    return from_tokens(text.split())
+
+
+BAR = (
+    "visualize bar select flight.origin , count ( flight.* )"
+    " group grouping flight.origin"
+)
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        assert {"standard", "ambiguous", "edit_session", "temporal"} <= set(
+            scenario_names()
+        )
+
+    def test_get_scenario_carries_description(self):
+        scenario = get_scenario("standard")
+        assert scenario.name == "standard"
+        assert scenario.description
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(KeyError, match="standard"):
+            get_scenario("missing")
+
+    def test_register_scenario_round_trips(self):
+        @register_scenario("tmp_test_scenario", "a throwaway")
+        def build(bench):
+            return ScenarioPack("tmp_test_scenario", [], {})
+
+        try:
+            assert get_scenario("tmp_test_scenario").build is build
+            assert "tmp_test_scenario" in scenario_names()
+        finally:
+            del _REGISTRY["tmp_test_scenario"]
+
+
+class TestSpecEdit:
+    def test_vis_type_edit(self):
+        edited = apply_edit(_tree(BAR), SpecEdit(kind="vis_type", vis_type="pie"))
+        assert edited.vis_type == "pie"
+        assert edited.body == _tree(BAR).body
+
+    def test_add_order_edit_targets_the_measure(self):
+        edited = apply_edit(_tree(BAR), SpecEdit(kind="add_order"))
+        order = edited.body.order
+        assert order is not None
+        assert order.direction == "desc"
+        assert order.attr == edited.body.select[1]
+
+    def test_add_order_rejects_set_queries(self):
+        core = _tree(BAR).body
+        union = VisQuery("bar", SetQuery("union", core, core))
+        with pytest.raises(ValueError, match="set-operation"):
+            apply_edit(union, SpecEdit(kind="add_order"))
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown edit kind"):
+            apply_edit(_tree(BAR), SpecEdit(kind="rotate"))
+
+    def test_instruction_is_natural_language(self):
+        assert "pie" in SpecEdit(kind="vis_type", vis_type="pie").instruction()
+        assert "descending" in SpecEdit(kind="add_order").instruction()
+
+
+class TestBuiltinScenarios:
+    @pytest.fixture(scope="class")
+    def packs(self, small_nvbench):
+        return {
+            name: get_scenario(name).build(small_nvbench)
+            for name in ("standard", "ambiguous", "edit_session", "temporal")
+        }
+
+    def test_every_pack_is_nonempty_and_routable(self, packs):
+        for pack in packs.values():
+            assert pack.examples, pack.name
+            for example in pack.examples:
+                assert example.db_name in pack.databases
+                assert example.golds
+
+    def test_standard_has_single_golds(self, packs):
+        assert all(len(e.golds) == 1 for e in packs["standard"].examples)
+
+    def test_ambiguous_has_multi_golds(self, packs):
+        assert all(len(e.golds) >= 2 for e in packs["ambiguous"].examples)
+
+    def test_edit_sessions_mutate_vis_type(self, packs):
+        followups = [
+            e for e in packs["edit_session"].examples if e.turn > 0
+        ]
+        assert followups
+        for example in followups:
+            assert example.edit is not None
+            assert example.question == example.edit.instruction()
+
+    def test_edit_session_golds_follow_the_edit(self, packs):
+        by_session: dict = {}
+        for example in packs["edit_session"].examples:
+            by_session.setdefault(example.session, []).append(example)
+        for examples in by_session.values():
+            previous_gold = examples[0].golds[0]
+            for example in examples[1:]:
+                expected = apply_edit(previous_gold, example.edit)
+                assert example.golds == (expected,)
+                previous_gold = expected
+
+    def test_temporal_includes_covid_and_binned_pairs(self, packs):
+        pack = packs["temporal"]
+        assert "covid_19" in pack.databases
+        covid = [e for e in pack.examples if e.db_name == "covid_19"]
+        assert len(covid) == 6  # the Figure-19 expert queries
+        binned = [e for e in pack.examples if e.db_name != "covid_19"]
+        assert binned, "benchmark temporal pairs generalize the case study"
+
+    def test_builds_are_deterministic(self, small_nvbench, packs):
+        again = get_scenario("standard").build(small_nvbench)
+        assert again.examples == packs["standard"].examples
+
+    def test_examples_are_frozen(self, packs):
+        example = packs["standard"].examples[0]
+        assert isinstance(example, ScenarioExample)
+        with pytest.raises(Exception):
+            example.question = "mutated"

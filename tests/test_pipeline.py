@@ -361,6 +361,18 @@ class TestPipelineGuardrails:
         # both the fix and the original near-miss are reported
         assert any(c.status == NEAR_MISS and not c.repaired for c in result.candidates)
 
+    def test_repaired_total_distinguishes_born_legal(self, flight_db):
+        pipeline = _pipeline(flight_db, [PASS_BAR, NEAR_MISS_SCATTER])
+        result = pipeline.run("flights per origin", "flights")
+        assert result.counters["repaired_total"] == 1
+        assert result.counters["born_legal_total"] == 1
+
+    def test_repaired_total_zero_without_repairs(self, flight_db):
+        pipeline = _pipeline(flight_db, [PASS_BAR, PASS_PIE])
+        result = pipeline.run("flights per origin", "flights")
+        assert result.counters["repaired_total"] == 0
+        assert result.counters["born_legal_total"] == 2
+
     def test_unknown_database_raises(self, flight_db):
         pipeline = _pipeline(flight_db, [PASS_BAR])
         with pytest.raises(KeyError):

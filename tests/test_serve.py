@@ -848,3 +848,44 @@ class TestPipelineEndpoint:
         assert counters.get("pipeline_requests", 0) >= 1
         assert counters.get("pipeline_executions", 0) >= 1
         assert counters.get("pipeline_verify_pass", 0) >= 1
+        assert counters.get("pipeline_born_legal_total", 0) >= 1
+
+    def test_judge_block_on_request(self, running, stack):
+        _, _, databases = stack
+        _, client = running
+        db = sorted(databases)[0]
+        response = client.pipeline(
+            "how many rows per category?", db=db, model="deepeye", judge=True
+        )
+        assert response["charts"], "need a valid chart to judge"
+        verdicts = response["judge"]
+        assert len(verdicts) == len(response["charts"])
+        for entry in verdicts:
+            assert set(entry) >= {"vis", "repaired", "dimensions"}
+            # serve-time judging is gold-free: no tree dimension
+            assert set(entry["dimensions"]) == {
+                "validity", "legality", "readability"
+            }
+            for verdict in entry["dimensions"].values():
+                assert set(verdict) == {"ok", "reason"}
+        counters = client.metrics()["counters"]
+        assert counters.get("pipeline_judged", 0) >= 1
+
+    def test_judge_defaults_off(self, running, stack):
+        _, _, databases = stack
+        _, client = running
+        db = sorted(databases)[0]
+        response = client.pipeline("count rows", db=db, model="deepeye")
+        assert "judge" not in response
+
+    def test_judge_must_be_boolean(self, running, stack):
+        _, _, databases = stack
+        _, client = running
+        db = sorted(databases)[0]
+        with pytest.raises(ServeError) as err:
+            client._checked(
+                "POST", "/pipeline",
+                {"question": "q?", "db": db, "model": "deepeye",
+                 "judge": "yes"},
+            )
+        assert err.value.status == 400
